@@ -1,0 +1,38 @@
+//! Criterion bench of single Figure 6 cells: one heuristic grid cell and
+//! one LP-bound cell at smoke size, so regressions in the end-to-end
+//! experiment path show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fss_sim::{lp_bounds_grid, run_grid, ExperimentConfig, PolicyKind};
+use std::hint::black_box;
+
+fn cell_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        m: 10,
+        m_values: vec![10.0],
+        t_values: vec![8],
+        trials: 2,
+        seed: 0xf16,
+        policies: PolicyKind::PAPER_TRIO.to_vec(),
+    }
+}
+
+fn bench_heuristic_cell(c: &mut Criterion) {
+    let cfg = cell_cfg();
+    c.bench_function("fig6/heuristic_cell_10x10_T8", |b| {
+        b.iter(|| black_box(run_grid(&cfg)))
+    });
+}
+
+fn bench_lp_cell(c: &mut Criterion) {
+    let cfg = ExperimentConfig { trials: 1, ..cell_cfg() };
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("lp_bound_cell_10x10_T8", |b| {
+        b.iter(|| black_box(lp_bounds_grid(&cfg, Some(12))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristic_cell, bench_lp_cell);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches of the online heuristics: full-instance runs at the
+//! paper's per-port congestion levels (scaled switch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fss_core::Instance;
+use fss_online::{run_policy, FifoGreedy, MaxCard, MaxWeight, MinRTime};
+use fss_sim::{poisson_workload, WorkloadParams};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn workload(m: usize, per_port: f64, rounds: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(0xbe9c);
+    poisson_workload(
+        &mut rng,
+        &WorkloadParams { m, mean_arrivals: per_port * m as f64, rounds },
+    )
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    // Congestion 1/3, 1, 2 flows per port per round (paper: M/m in
+    // {1/3 .. 4}), on a 30x30 switch over 20 rounds.
+    for &cong in &[0.33f64, 1.0, 2.0] {
+        let inst = workload(30, cong, 20);
+        group.bench_with_input(
+            BenchmarkId::new("MaxCard", format!("{cong}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MaxCard))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("MinRTime", format!("{cong}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MinRTime))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("MaxWeight", format!("{cong}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MaxWeight))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("FifoGreedy", format!("{cong}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut FifoGreedy))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

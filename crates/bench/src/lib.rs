@@ -1,0 +1,90 @@
+//! # fss-bench — shared plumbing for the figure/table binaries
+//!
+//! Every evaluation artifact of the paper has a binary here that
+//! regenerates it (see DESIGN.md §4 for the experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig6` | Figure 6 — average response time, heuristics vs LP (1)–(4) |
+//! | `fig7` | Figure 7 — maximum response time, heuristics vs LP (19)–(21) |
+//! | `table_art` | Theorem 1 validation table |
+//! | `table_mrt` | Theorem 3 validation table |
+//! | `table_gaps` | Theorem 2 / Lemma 5.2 gap table |
+//! | `table_amrt` | Lemma 5.3 validation table |
+//! | `table_rounding_ablation` | rounding-engine ablation |
+//!
+//! Each binary accepts `--quick` (smoke-test sizes) and writes CSV files
+//! under `target/experiments/` besides printing the series to stdout.
+
+use std::path::PathBuf;
+
+/// Command-line options shared by the figure/table binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Smoke-test sizes (CI-friendly).
+    pub quick: bool,
+    /// Run the heuristic grid at the paper's full 150x150 scale.
+    pub paper_scale: bool,
+    /// Override trial count.
+    pub trials: Option<u64>,
+}
+
+impl RunOptions {
+    /// Parse from `std::env::args`: recognizes `--quick`, `--paper` and
+    /// `--trials N`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut trials = None;
+        let mut iter = args.iter().peekable();
+        while let Some(a) = iter.next() {
+            if a == "--trials" {
+                trials = iter.peek().and_then(|s| s.parse().ok());
+            }
+        }
+        RunOptions {
+            quick: args.iter().any(|a| a == "--quick"),
+            paper_scale: args.iter().any(|a| a == "--paper"),
+            trials,
+        }
+    }
+}
+
+/// `target/experiments/`, created on demand.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Write a CSV artifact and echo its path.
+pub fn write_artifact(name: &str, content: &str) {
+    let path = out_dir().join(name);
+    std::fs::write(&path, content).expect("write artifact");
+    println!("wrote {}", path.display());
+}
+
+/// Format a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    let mut s = String::from("|");
+    for c in cells {
+        s.push_str(&format!(" {c} |"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dir_exists_after_call() {
+        let d = out_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn row_formatting() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+}

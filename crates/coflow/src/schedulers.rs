@@ -1,0 +1,282 @@
+#![allow(clippy::needless_range_loop)] // parallel-array index loops are clearer here
+//! Round-based co-flow schedulers.
+//!
+//! All three schedulers share the same round loop — release, prioritize
+//! co-flows, pack member flows greedily under the port capacities — and
+//! differ only in the priority order:
+//!
+//! * [`CoflowOrdering::Sebf`] — *smallest effective bottleneck first*: the
+//!   co-flow whose **remaining** bottleneck Γ is smallest goes first (the
+//!   Varys heuristic; favors average co-flow response);
+//! * [`CoflowOrdering::Fifo`] — arrival order (favors maximum response);
+//! * [`CoflowOrdering::Fair`] — round-robin rotation of the priority list
+//!   (approximates per-coflow fair sharing).
+
+use fss_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::instance::CoflowInstance;
+
+/// Priority rule used by [`schedule_coflows`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoflowOrdering {
+    /// Smallest remaining bottleneck first (Varys-style SEBF).
+    Sebf,
+    /// First released, first served.
+    Fifo,
+    /// Round-robin rotation among active co-flows.
+    Fair,
+}
+
+impl CoflowOrdering {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoflowOrdering::Sebf => "SEBF",
+            CoflowOrdering::Fifo => "FIFO",
+            CoflowOrdering::Fair => "Fair",
+        }
+    }
+}
+
+/// Schedule all flows of `ci` with the given co-flow priority rule.
+/// Returns a feasible flow-level schedule (general demands and capacities
+/// supported).
+pub fn schedule_coflows(ci: &CoflowInstance, ordering: CoflowOrdering) -> Schedule {
+    let inst = &ci.inst;
+    let n = inst.n();
+    let mut rounds = vec![0u64; n];
+    if n == 0 {
+        return Schedule::from_rounds(rounds);
+    }
+
+    let mut scheduled = vec![false; n];
+    let mut remaining = n;
+    let mut t = inst.flows.iter().map(|f| f.release).min().unwrap_or(0);
+    let m_in = inst.switch.num_inputs();
+    let m_out = inst.switch.num_outputs();
+
+    // Remaining per-port load of each co-flow (for SEBF's *effective*
+    // bottleneck): updated as members finish.
+    while remaining > 0 {
+        // Active co-flows: released, with unscheduled members.
+        let mut active: Vec<u32> = Vec::new();
+        let mut seen = vec![false; ci.num_coflows];
+        for i in 0..n {
+            if !scheduled[i] && inst.flows[i].release <= t {
+                let c = ci.membership[i].idx();
+                if !seen[c] {
+                    seen[c] = true;
+                    active.push(c as u32);
+                }
+            }
+        }
+        if active.is_empty() {
+            // Jump to the next release among unscheduled flows.
+            t = inst
+                .flows
+                .iter()
+                .zip(&scheduled)
+                .filter(|&(_, &s)| !s)
+                .map(|(f, _)| f.release)
+                .min()
+                .expect("remaining > 0 implies an unscheduled flow");
+            continue;
+        }
+
+        // Priority order.
+        match ordering {
+            CoflowOrdering::Sebf => {
+                let gamma = remaining_bottlenecks(ci, &scheduled, t);
+                active.sort_by_key(|&c| (gamma[c as usize], c));
+            }
+            CoflowOrdering::Fifo => {
+                active.sort_by_key(|&c| (ci.release(crate::CoflowId(c)), c));
+            }
+            CoflowOrdering::Fair => {
+                active.sort_unstable();
+                let len = active.len();
+                active.rotate_left((t as usize) % len);
+            }
+        }
+
+        // Pack flows: priority coflows first, flows within a coflow in id
+        // order; a flow fits if both ports have residual capacity.
+        let mut in_left: Vec<u32> =
+            (0..m_in as u32).map(|p| inst.switch.in_cap(p)).collect();
+        let mut out_left: Vec<u32> =
+            (0..m_out as u32).map(|q| inst.switch.out_cap(q)).collect();
+        for &c in &active {
+            for i in 0..n {
+                if scheduled[i]
+                    || ci.membership[i].idx() != c as usize
+                    || inst.flows[i].release > t
+                {
+                    continue;
+                }
+                let f = &inst.flows[i];
+                if f.demand <= in_left[f.src as usize] && f.demand <= out_left[f.dst as usize]
+                {
+                    in_left[f.src as usize] -= f.demand;
+                    out_left[f.dst as usize] -= f.demand;
+                    scheduled[i] = true;
+                    rounds[i] = t;
+                    remaining -= 1;
+                }
+            }
+        }
+        t += 1;
+    }
+    let sched = Schedule::from_rounds(rounds);
+    debug_assert!(validate::check(inst, &sched, &inst.switch).is_ok());
+    sched
+}
+
+/// Remaining bottleneck Γ of each co-flow given the already-scheduled set.
+fn remaining_bottlenecks(ci: &CoflowInstance, scheduled: &[bool], now: u64) -> Vec<u64> {
+    let inst = &ci.inst;
+    let mut in_load = vec![vec![0u64; inst.switch.num_inputs()]; ci.num_coflows];
+    let mut out_load = vec![vec![0u64; inst.switch.num_outputs()]; ci.num_coflows];
+    for (i, f) in inst.flows.iter().enumerate() {
+        if scheduled[i] || f.release > now {
+            continue;
+        }
+        let c = ci.membership[i].idx();
+        in_load[c][f.src as usize] += u64::from(f.demand);
+        out_load[c][f.dst as usize] += u64::from(f.demand);
+    }
+    (0..ci.num_coflows)
+        .map(|c| {
+            let mut worst = 0u64;
+            for (p, &l) in in_load[c].iter().enumerate() {
+                worst = worst.max(l.div_ceil(u64::from(inst.switch.in_cap(p as u32))));
+            }
+            for (q, &l) in out_load[c].iter().enumerate() {
+                worst = worst.max(l.div_ceil(u64::from(inst.switch.out_cap(q as u32))));
+            }
+            worst
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::CoflowBuilder;
+    use crate::metrics::evaluate;
+
+    /// One small co-flow and one big one, all contending for input 0.
+    fn small_vs_big() -> CoflowInstance {
+        let mut b = CoflowBuilder::new(Switch::uniform(1, 4, 1));
+        b.coflow(0); // big: 3 flows through input 0
+        b.flow(0, 0, 1);
+        b.flow(0, 1, 1);
+        b.flow(0, 2, 1);
+        b.coflow(0); // small: 1 flow
+        b.flow(0, 3, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_orderings_produce_feasible_schedules() {
+        let ci = small_vs_big();
+        for o in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair] {
+            let s = schedule_coflows(&ci, o);
+            validate::check(&ci.inst, &s, &ci.inst.switch).unwrap();
+            assert_eq!(s.len(), ci.inst.n());
+        }
+    }
+
+    #[test]
+    fn sebf_prioritizes_the_small_coflow() {
+        let ci = small_vs_big();
+        let sebf = evaluate(&ci, &schedule_coflows(&ci, CoflowOrdering::Sebf));
+        let fifo = evaluate(&ci, &schedule_coflows(&ci, CoflowOrdering::Fifo));
+        // SEBF: small coflow finishes round 0 (response 1), big by round 3
+        // (response 4): total 5. FIFO: big first (response 3), small waits
+        // until round 3 (response 4): total 7.
+        assert!(
+            sebf.total_response < fifo.total_response,
+            "SEBF {} !< FIFO {}",
+            sebf.total_response,
+            fifo.total_response
+        );
+    }
+
+    #[test]
+    fn fifo_bounds_max_response() {
+        let ci = small_vs_big();
+        let sebf = evaluate(&ci, &schedule_coflows(&ci, CoflowOrdering::Sebf));
+        let fifo = evaluate(&ci, &schedule_coflows(&ci, CoflowOrdering::Fifo));
+        assert!(fifo.max_response <= sebf.max_response);
+    }
+
+    #[test]
+    fn respects_releases() {
+        let mut b = CoflowBuilder::new(Switch::uniform(1, 1, 1));
+        b.coflow(5);
+        b.flow(0, 0, 1);
+        let ci = b.build().unwrap();
+        let s = schedule_coflows(&ci, CoflowOrdering::Sebf);
+        assert_eq!(s.rounds()[0], 5);
+    }
+
+    #[test]
+    fn general_demands_and_capacities() {
+        let mut b = CoflowBuilder::new(Switch::new(vec![3, 3], vec![3, 3]));
+        b.coflow(0);
+        b.flow(0, 0, 2);
+        b.flow(0, 1, 2); // exceeds input 0 capacity together with the first
+        b.coflow(0);
+        b.flow(1, 0, 1);
+        b.flow(1, 1, 3);
+        let ci = b.build().unwrap();
+        for o in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair] {
+            let s = schedule_coflows(&ci, o);
+            validate::check(&ci.inst, &s, &ci.inst.switch).unwrap();
+        }
+    }
+
+    #[test]
+    fn fair_rotation_serves_everyone() {
+        // Two identical co-flows on one port: fair must interleave.
+        let mut b = CoflowBuilder::new(Switch::uniform(1, 1, 1));
+        b.coflow(0);
+        b.flow(0, 0, 1);
+        b.flow(0, 0, 1);
+        b.coflow(0);
+        b.flow(0, 0, 1);
+        b.flow(0, 0, 1);
+        let ci = b.build().unwrap();
+        let s = schedule_coflows(&ci, CoflowOrdering::Fair);
+        let m = evaluate(&ci, &s);
+        // Both finish by round 3; with rotation, neither gets both early
+        // slots... at minimum the schedule is feasible and complete.
+        validate::check(&ci.inst, &s, &ci.inst.switch).unwrap();
+        assert_eq!(m.k, 2);
+    }
+
+    #[test]
+    fn metrics_never_beat_bottleneck_bound() {
+        use crate::bound::bottleneck_lower_bound;
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(15);
+        for _ in 0..10 {
+            let mut b = CoflowBuilder::new(Switch::uniform(3, 3, 1));
+            let k = rng.gen_range(1..4);
+            for c in 0..k {
+                b.coflow(c as u64);
+                for _ in 0..rng.gen_range(1..5) {
+                    b.flow(rng.gen_range(0..3), rng.gen_range(0..3), 1);
+                }
+            }
+            let ci = b.build().unwrap();
+            let (total_lb, max_lb) = bottleneck_lower_bound(&ci);
+            for o in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair] {
+                let m = evaluate(&ci, &schedule_coflows(&ci, o));
+                assert!(m.total_response >= total_lb);
+                assert!(m.max_response >= max_lb);
+            }
+        }
+    }
+}

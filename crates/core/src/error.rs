@@ -1,0 +1,77 @@
+//! Error types for model construction and schedule validation.
+
+use std::fmt;
+
+/// Errors raised while constructing an [`crate::Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A flow references an input port index `>= m`.
+    BadInputPort { flow: usize, port: u32, m: u32 },
+    /// A flow references an output port index `>= m'`.
+    BadOutputPort { flow: usize, port: u32, m_out: u32 },
+    /// A flow's demand exceeds `kappa_e = min(c_src, c_dst)` (paper §2
+    /// assumes `d_e <= kappa_e` throughout).
+    DemandExceedsKappa { flow: usize, demand: u32, kappa: u32 },
+    /// A flow has zero demand; the model requires positive demands.
+    ZeroDemand { flow: usize },
+    /// A port was declared with zero capacity.
+    ZeroCapacity { side: crate::switch::PortSide, port: u32 },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModelError::BadInputPort { flow, port, m } => {
+                write!(f, "flow {flow}: input port {port} out of range (m = {m})")
+            }
+            ModelError::BadOutputPort { flow, port, m_out } => {
+                write!(f, "flow {flow}: output port {port} out of range (m' = {m_out})")
+            }
+            ModelError::DemandExceedsKappa { flow, demand, kappa } => {
+                write!(f, "flow {flow}: demand {demand} exceeds kappa = {kappa}")
+            }
+            ModelError::ZeroDemand { flow } => write!(f, "flow {flow}: zero demand"),
+            ModelError::ZeroCapacity { side, port } => {
+                write!(f, "{side:?} port {port}: zero capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors raised while validating a [`crate::Schedule`] against an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Schedule length does not match the number of flows.
+    LengthMismatch { flows: usize, assignments: usize },
+    /// A flow is scheduled strictly before its release round.
+    ScheduledBeforeRelease { flow: usize, round: u64, release: u64 },
+    /// A port's capacity is exceeded in some round.
+    CapacityExceeded {
+        side: crate::switch::PortSide,
+        port: u32,
+        round: u64,
+        load: u64,
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidationError::LengthMismatch { flows, assignments } => {
+                write!(f, "schedule covers {assignments} flows, instance has {flows}")
+            }
+            ValidationError::ScheduledBeforeRelease { flow, round, release } => {
+                write!(f, "flow {flow} scheduled at round {round} before release {release}")
+            }
+            ValidationError::CapacityExceeded { side, port, round, load, capacity } => write!(
+                f,
+                "{side:?} port {port} overloaded at round {round}: load {load} > capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}

@@ -1,0 +1,189 @@
+//! Schedule feasibility validation.
+//!
+//! A schedule is feasible against a switch (paper §2) when:
+//! 1. every flow is assigned a round (length match),
+//! 2. no flow runs before its release round,
+//! 3. in every round, the total demand incident on each port is at most the
+//!    port's capacity.
+//!
+//! The capacity check takes an explicit [`Switch`] rather than using
+//! `inst.switch`, because the paper's algorithms intentionally validate
+//! against *augmented* switches (Theorems 1 and 3).
+
+use std::collections::HashMap;
+
+use crate::error::ValidationError;
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::switch::{PortSide, Switch};
+
+/// Check `sched` for feasibility of `inst`'s flows against `caps`.
+///
+/// Returns the first violation found, or `Ok(())`.
+pub fn check(inst: &Instance, sched: &Schedule, caps: &Switch) -> Result<(), ValidationError> {
+    if inst.n() != sched.len() {
+        return Err(ValidationError::LengthMismatch {
+            flows: inst.n(),
+            assignments: sched.len(),
+        });
+    }
+    for (i, (f, &t)) in inst.flows.iter().zip(sched.rounds()).enumerate() {
+        if t < f.release {
+            return Err(ValidationError::ScheduledBeforeRelease {
+                flow: i,
+                round: t,
+                release: f.release,
+            });
+        }
+    }
+    // Per (port, round) loads; sparse map keeps this linear in n.
+    let mut in_load: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut out_load: HashMap<(u32, u64), u64> = HashMap::new();
+    for (f, &t) in inst.flows.iter().zip(sched.rounds()) {
+        *in_load.entry((f.src, t)).or_insert(0) += u64::from(f.demand);
+        *out_load.entry((f.dst, t)).or_insert(0) += u64::from(f.demand);
+    }
+    for (&(p, t), &load) in &in_load {
+        let cap = u64::from(caps.in_cap(p));
+        if load > cap {
+            return Err(ValidationError::CapacityExceeded {
+                side: PortSide::Input,
+                port: p,
+                round: t,
+                load,
+                capacity: cap,
+            });
+        }
+    }
+    for (&(q, t), &load) in &out_load {
+        let cap = u64::from(caps.out_cap(q));
+        if load > cap {
+            return Err(ValidationError::CapacityExceeded {
+                side: PortSide::Output,
+                port: q,
+                round: t,
+                load,
+                capacity: cap,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The smallest additive capacity augmentation `delta` such that `sched`
+/// becomes feasible when every port capacity is raised by `delta`.
+/// Returns 0 for already-feasible schedules. Release-time and length
+/// violations are reported as errors since no augmentation fixes those.
+pub fn required_augmentation(
+    inst: &Instance,
+    sched: &Schedule,
+) -> Result<u64, ValidationError> {
+    if inst.n() != sched.len() {
+        return Err(ValidationError::LengthMismatch {
+            flows: inst.n(),
+            assignments: sched.len(),
+        });
+    }
+    for (i, (f, &t)) in inst.flows.iter().zip(sched.rounds()).enumerate() {
+        if t < f.release {
+            return Err(ValidationError::ScheduledBeforeRelease {
+                flow: i,
+                round: t,
+                release: f.release,
+            });
+        }
+    }
+    let mut in_load: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut out_load: HashMap<(u32, u64), u64> = HashMap::new();
+    for (f, &t) in inst.flows.iter().zip(sched.rounds()) {
+        *in_load.entry((f.src, t)).or_insert(0) += u64::from(f.demand);
+        *out_load.entry((f.dst, t)).or_insert(0) += u64::from(f.demand);
+    }
+    let mut worst = 0u64;
+    for (&(p, _), &load) in &in_load {
+        worst = worst.max(load.saturating_sub(u64::from(inst.switch.in_cap(p))));
+    }
+    for (&(q, _), &load) in &out_load {
+        worst = worst.max(load.saturating_sub(u64::from(inst.switch.out_cap(q))));
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn inst() -> Instance {
+        let mut b = InstanceBuilder::new(Switch::uniform(2, 2, 1));
+        b.unit_flow(0, 0, 0);
+        b.unit_flow(0, 1, 0); // shares input 0 with flow 0
+        b.unit_flow(1, 1, 1); // shares output 1 with flow 1
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn feasible_schedule_passes() {
+        let i = inst();
+        let s = Schedule::from_rounds(vec![0, 1, 2]);
+        assert!(check(&i, &s, &i.switch).is_ok());
+    }
+
+    #[test]
+    fn input_port_conflict_detected() {
+        let i = inst();
+        let s = Schedule::from_rounds(vec![0, 0, 1]);
+        let err = check(&i, &s, &i.switch).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::CapacityExceeded { side: PortSide::Input, port: 0, round: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn output_port_conflict_detected() {
+        let i = inst();
+        let s = Schedule::from_rounds(vec![0, 1, 1]);
+        let err = check(&i, &s, &i.switch).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::CapacityExceeded { side: PortSide::Output, port: 1, round: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn release_violation_detected() {
+        let i = inst();
+        let s = Schedule::from_rounds(vec![0, 1, 0]); // flow 2 released at 1
+        assert!(matches!(
+            check(&i, &s, &i.switch),
+            Err(ValidationError::ScheduledBeforeRelease { flow: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let i = inst();
+        let s = Schedule::from_rounds(vec![0]);
+        assert!(matches!(
+            check(&i, &s, &i.switch),
+            Err(ValidationError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn augmented_switch_accepts_overloaded_schedule() {
+        let i = inst();
+        let s = Schedule::from_rounds(vec![0, 0, 1]); // input 0 double-booked
+        assert!(check(&i, &s, &i.switch).is_err());
+        assert!(check(&i, &s, &i.switch.augmented(1)).is_ok());
+        assert_eq!(required_augmentation(&i, &s).unwrap(), 1);
+    }
+
+    #[test]
+    fn required_augmentation_zero_when_feasible() {
+        let i = inst();
+        let s = Schedule::from_rounds(vec![0, 1, 2]);
+        assert_eq!(required_augmentation(&i, &s).unwrap(), 0);
+    }
+}

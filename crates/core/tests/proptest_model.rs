@@ -1,0 +1,79 @@
+//! Property tests for the model crate: validation/metrics consistency and
+//! transform symmetries.
+
+use fss_core::prelude::*;
+use fss_core::transform;
+use proptest::prelude::*;
+
+fn instance_and_schedule() -> impl Strategy<Value = (Instance, Schedule)> {
+    (2usize..=4, 1usize..=10).prop_flat_map(|(m, n)| {
+        let flow = (0..m as u32, 0..m as u32, 0u64..5);
+        let flows = proptest::collection::vec(flow, n);
+        // Candidate rounds: release + offset in 0..6 (may be infeasible).
+        let offsets = proptest::collection::vec(0u64..6, n);
+        (flows, offsets).prop_map(move |(flows, offsets)| {
+            let mut b = InstanceBuilder::new(Switch::uniform(m, m, 1));
+            for &(s, d, r) in &flows {
+                b.unit_flow(s, d, r);
+            }
+            let inst = b.build().unwrap();
+            let rounds: Vec<u64> = flows
+                .iter()
+                .zip(&offsets)
+                .map(|(&(_, _, r), &o)| r + o)
+                .collect();
+            (inst, Schedule::from_rounds(rounds))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn validity_iff_zero_required_augmentation((inst, sched) in instance_and_schedule()) {
+        let valid = validate::check(&inst, &sched, &inst.switch).is_ok();
+        let needed = validate::required_augmentation(&inst, &sched).unwrap();
+        prop_assert_eq!(valid, needed == 0);
+        // And raising capacities by `needed` always fixes it.
+        prop_assert!(validate::check(
+            &inst, &sched, &inst.switch.augmented(needed as u32)).is_ok());
+    }
+
+    #[test]
+    fn metrics_invariant_under_transpose((inst, sched) in instance_and_schedule()) {
+        let t = transform::transpose(&inst);
+        let m1 = fss_core::metrics::evaluate(&inst, &sched);
+        let m2 = fss_core::metrics::evaluate(&t, &sched);
+        prop_assert_eq!(m1.total_response, m2.total_response);
+        prop_assert_eq!(m1.max_response, m2.max_response);
+        // Feasibility is also invariant.
+        prop_assert_eq!(
+            validate::check(&inst, &sched, &inst.switch).is_ok(),
+            validate::check(&t, &sched, &t.switch).is_ok()
+        );
+    }
+
+    #[test]
+    fn shift_releases_preserves_metrics((inst, sched) in instance_and_schedule()) {
+        let delta = 7u64;
+        let shifted = transform::shift_releases(&inst, delta);
+        let shifted_sched = sched.shifted(delta);
+        let m1 = fss_core::metrics::evaluate(&inst, &sched);
+        let m2 = fss_core::metrics::evaluate(&shifted, &shifted_sched);
+        prop_assert_eq!(m1.total_response, m2.total_response);
+        prop_assert_eq!(m1.max_response, m2.max_response);
+        prop_assert_eq!(
+            validate::check(&inst, &sched, &inst.switch).is_ok(),
+            validate::check(&shifted, &shifted_sched, &shifted.switch).is_ok()
+        );
+    }
+
+    #[test]
+    fn total_response_lower_bound_is_n((inst, sched) in instance_and_schedule()) {
+        let m = fss_core::metrics::evaluate(&inst, &sched);
+        prop_assert!(m.total_response >= inst.n() as u64,
+            "every flow responds in at least one round");
+        prop_assert!(m.max_response as f64 >= m.mean_response);
+    }
+}

@@ -1,0 +1,127 @@
+//! Null-space directions.
+//!
+//! The Beck–Fiala style rounding walk (see `fss-rounding`) repeatedly needs a
+//! nonzero vector `x` with `A x = 0`, where `A` collects the currently
+//! *active* constraint rows restricted to the *floating* variables. Whenever
+//! `A` has more columns than its rank, such a vector exists; this module
+//! computes one from the reduced row echelon form.
+
+use crate::elim::rref;
+use crate::matrix::Matrix;
+
+/// A nonzero vector in the null space of `m`, or `None` when `m` has full
+/// column rank (at tolerance `tol`).
+///
+/// The returned vector sets one free variable to 1 and back-substitutes the
+/// pivot variables, then normalizes to unit ∞-norm.
+pub fn kernel_vector(m: &Matrix, tol: f64) -> Option<Vec<f64>> {
+    let cols = m.cols();
+    if cols == 0 {
+        return None;
+    }
+    if m.rows() == 0 {
+        // Everything is in the kernel; pick the first coordinate axis.
+        let mut x = vec![0.0; cols];
+        x[0] = 1.0;
+        return Some(x);
+    }
+    let mut red = m.clone();
+    let pivots = rref(&mut red, tol);
+    if pivots.len() == cols {
+        return None; // full column rank
+    }
+    // First free (non-pivot) column.
+    let mut is_pivot = vec![false; cols];
+    for &c in &pivots {
+        is_pivot[c] = true;
+    }
+    let free = (0..cols).find(|&c| !is_pivot[c]).expect("rank < cols implies a free column");
+
+    let mut x = vec![0.0; cols];
+    x[free] = 1.0;
+    // Each pivot row reads: x[pivot_col] + sum_{j > pivot, non-pivot} a_j x_j = 0.
+    for (row, &pc) in pivots.iter().enumerate() {
+        x[pc] = -red[(row, free)];
+    }
+    // Normalize to unit infinity norm for numerical stability downstream.
+    let norm = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    debug_assert!(norm > 0.0);
+    for v in &mut x {
+        *v /= norm;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EPS;
+
+    fn assert_in_kernel(m: &Matrix, x: &[f64]) {
+        let r = m.matvec(x);
+        for v in r {
+            assert!(v.abs() < 1e-7, "Ax != 0: residual {v}");
+        }
+        assert!(x.iter().any(|v| v.abs() > 1e-9), "kernel vector is zero");
+    }
+
+    #[test]
+    fn wide_matrix_always_has_kernel() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = kernel_vector(&m, EPS).unwrap();
+        assert_in_kernel(&m, &x);
+    }
+
+    #[test]
+    fn full_rank_square_has_no_kernel() {
+        let m = Matrix::identity(3);
+        assert!(kernel_vector(&m, EPS).is_none());
+    }
+
+    #[test]
+    fn rank_deficient_square_has_kernel() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let x = kernel_vector(&m, EPS).unwrap();
+        assert_in_kernel(&m, &x);
+    }
+
+    #[test]
+    fn zero_rows_returns_axis() {
+        let m = Matrix::zeros(0, 4);
+        let x = kernel_vector(&m, EPS).unwrap();
+        assert_eq!(x, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_cols_returns_none() {
+        let m = Matrix::zeros(3, 0);
+        assert!(kernel_vector(&m, EPS).is_none());
+    }
+
+    #[test]
+    fn normalized_to_unit_inf_norm() {
+        let m = Matrix::from_rows(&[&[1.0, -1.0, 0.0]]);
+        let x = kernel_vector(&m, EPS).unwrap();
+        let norm = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!((norm - 1.0).abs() < 1e-12);
+        assert_in_kernel(&m, &x);
+    }
+
+    #[test]
+    fn random_wide_matrices_proptestish() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let rows = rng.gen_range(0..6);
+            let cols = rng.gen_range(rows + 1..rows + 6);
+            let mut m = Matrix::zeros(rows, cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    m[(i, j)] = rng.gen_range(-3.0..3.0);
+                }
+            }
+            let x = kernel_vector(&m, EPS).expect("wide matrix must have kernel");
+            assert_in_kernel(&m, &x);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Failure-path tests: pivot budgets, empty models, pathological inputs.
+
+use fss_lp::{Cmp, LpBuilder, LpError, LpStatus, SimplexOptions};
+
+#[test]
+fn tiny_pivot_budget_reports_iteration_limit() {
+    // A problem guaranteed to need more than one pivot.
+    let mut lp = LpBuilder::minimize();
+    let vars: Vec<_> = (0..10).map(|_| lp.var(-1.0)).collect();
+    for w in vars.windows(2) {
+        lp.constraint(&[(w[0], 1.0), (w[1], 1.0)], Cmp::Le, 1.0);
+    }
+    let opts = SimplexOptions { max_pivots: Some(1), ..Default::default() };
+    let err = lp.solve_with(&opts).unwrap_err();
+    assert!(matches!(err, LpError::IterationLimit { .. }));
+    assert!(err.to_string().contains("pivot"));
+}
+
+#[test]
+fn generous_budget_succeeds_on_same_problem() {
+    let mut lp = LpBuilder::minimize();
+    let vars: Vec<_> = (0..10).map(|_| lp.var(-1.0)).collect();
+    for w in vars.windows(2) {
+        lp.constraint(&[(w[0], 1.0), (w[1], 1.0)], Cmp::Le, 1.0);
+    }
+    let sol = lp.solve().unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    // Alternate 1, 0, 1, ...: five ones.
+    assert!((sol.objective + 5.0).abs() < 1e-6);
+}
+
+#[test]
+fn empty_model_solves_trivially() {
+    let lp = LpBuilder::minimize();
+    let sol = lp.solve().unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_eq!(sol.objective, 0.0);
+    assert!(sol.x.is_empty());
+}
+
+#[test]
+fn constraint_on_nothing_is_checked() {
+    // A row with no terms: "0 <= -1" is infeasible, "0 <= 1" is vacuous.
+    let mut lp = LpBuilder::minimize();
+    let _x = lp.var(1.0);
+    lp.constraint(&[], Cmp::Le, 1.0);
+    let sol = lp.solve().unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+
+    let mut lp2 = LpBuilder::minimize();
+    let _x = lp2.var(1.0);
+    lp2.constraint(&[], Cmp::Ge, 1.0);
+    let sol2 = lp2.solve().unwrap();
+    assert_eq!(sol2.status, LpStatus::Infeasible);
+}
+
+#[test]
+fn zero_rhs_equalities() {
+    // x - y = 0, x + y >= 4, min x: optimum (2, 2).
+    let mut lp = LpBuilder::minimize();
+    let x = lp.var(1.0);
+    let y = lp.var(0.0);
+    lp.constraint(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 0.0);
+    lp.constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+    let sol = lp.solve().unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.x[x.idx()] - 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn many_redundant_rows_stay_stable() {
+    let mut lp = LpBuilder::minimize();
+    let x = lp.var(1.0);
+    for k in 1..=50 {
+        lp.constraint(&[(x, 1.0)], Cmp::Ge, f64::from(k) / 50.0);
+    }
+    let sol = lp.solve().unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.objective - 1.0).abs() < 1e-6, "tightest row wins");
+}
+
+#[test]
+fn pivots_counter_is_reported() {
+    let mut lp = LpBuilder::minimize();
+    let x = lp.var(-1.0);
+    lp.upper_bound(x, 1.0);
+    let sol = lp.solve().unwrap();
+    assert!(sol.pivots >= 1, "at least one pivot to move off the origin");
+}

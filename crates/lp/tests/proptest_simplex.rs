@@ -1,0 +1,161 @@
+//! Property tests: the simplex result must agree with brute-force vertex
+//! enumeration on small random LPs.
+//!
+//! For an LP `min c x, rows, x >= 0` whose feasible region is nonempty and
+//! pointed (guaranteed by `x >= 0`), the optimum — when bounded — is
+//! attained at a vertex defined by `n` linearly independent tight
+//! constraints drawn from the rows and the axes. Enumerating all such
+//! candidate vertices gives an oracle for both feasibility and optimality.
+
+use fss_linalg::Matrix;
+use fss_lp::{Cmp, LpBuilder, LpStatus};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawLp {
+    nvars: usize,
+    obj: Vec<f64>,
+    rows: Vec<(Vec<f64>, Cmp, f64)>,
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    prop_oneof![Just(Cmp::Le), Just(Cmp::Ge), Just(Cmp::Eq)]
+}
+
+fn raw_lp() -> impl Strategy<Value = RawLp> {
+    (1usize..=3, 1usize..=4).prop_flat_map(|(nvars, nrows)| {
+        let coef = proptest::collection::vec(-3i32..=3, nvars);
+        let row = (coef, cmp_strategy(), -4i32..=6).prop_map(|(c, cmp, rhs)| {
+            (c.into_iter().map(f64::from).collect::<Vec<f64>>(), cmp, f64::from(rhs))
+        });
+        let rows = proptest::collection::vec(row, nrows);
+        let obj = proptest::collection::vec(0i32..=4, nvars)
+            .prop_map(|o| o.into_iter().map(f64::from).collect::<Vec<f64>>());
+        (Just(nvars), obj, rows).prop_map(|(nvars, obj, rows)| RawLp { nvars, obj, rows })
+    })
+}
+
+fn build(raw: &RawLp) -> LpBuilder {
+    let mut lp = LpBuilder::minimize();
+    let vars: Vec<_> = raw.obj.iter().map(|&c| lp.var(c)).collect();
+    for (coefs, cmp, rhs) in &raw.rows {
+        let terms: Vec<_> = vars.iter().copied().zip(coefs.iter().copied()).collect();
+        lp.constraint(&terms, *cmp, *rhs);
+    }
+    lp
+}
+
+/// All candidate vertices: solutions of n tight constraints chosen among
+/// rows (as equalities) and axes (`x_i = 0`), filtered for feasibility.
+fn enumerate_vertices(raw: &RawLp) -> Vec<Vec<f64>> {
+    let n = raw.nvars;
+    // Constraint pool: (normal vector, rhs).
+    let mut pool: Vec<(Vec<f64>, f64)> = Vec::new();
+    for (coefs, _, rhs) in &raw.rows {
+        pool.push((coefs.clone(), *rhs));
+    }
+    for i in 0..n {
+        let mut axis = vec![0.0; n];
+        axis[i] = 1.0;
+        pool.push((axis, 0.0));
+    }
+    let lp = build(raw);
+    let mut verts = Vec::new();
+    let k = pool.len();
+    let mut choose = vec![0usize; n];
+    // Iterate over all n-subsets of the pool (k is tiny).
+    fn rec(
+        pool: &[(Vec<f64>, f64)],
+        lp: &LpBuilder,
+        n: usize,
+        start: usize,
+        choose: &mut Vec<usize>,
+        depth: usize,
+        verts: &mut Vec<Vec<f64>>,
+    ) {
+        if depth == n {
+            let mut a = Matrix::zeros(n, n);
+            let mut b = vec![0.0; n];
+            for (r, &ci) in choose.iter().enumerate() {
+                for j in 0..n {
+                    a[(r, j)] = pool[ci].0[j];
+                }
+                b[r] = pool[ci].1;
+            }
+            if let Some(x) = fss_linalg::solve(&a, &b, 1e-9) {
+                if lp.is_feasible(&x, 1e-6) {
+                    verts.push(x);
+                }
+            }
+            return;
+        }
+        for i in start..pool.len() {
+            choose[depth] = i;
+            rec(pool, lp, n, i + 1, choose, depth + 1, verts);
+        }
+    }
+    rec(&pool, &lp, n, 0, &mut choose, 0, &mut verts);
+    let _ = k;
+    verts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration(raw in raw_lp()) {
+        let lp = build(&raw);
+        let sol = lp.solve().expect("pivot budget must suffice on tiny LPs");
+        let verts = enumerate_vertices(&raw);
+        match sol.status {
+            LpStatus::Optimal => {
+                prop_assert!(lp.is_feasible(&sol.x, 1e-6),
+                    "optimal point must be feasible: {:?}", sol.x);
+                // Objective must match the best vertex (the region is
+                // pointed, so a bounded optimum sits on a vertex).
+                let best = verts.iter()
+                    .map(|v| lp.objective_value(v))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(best.is_finite(),
+                    "simplex found an optimum but no vertex is feasible");
+                prop_assert!((sol.objective - best).abs() < 1e-5,
+                    "objective {} != best vertex {}", sol.objective, best);
+            }
+            LpStatus::Infeasible => {
+                prop_assert!(verts.is_empty(),
+                    "simplex says infeasible but a feasible vertex exists: {:?}", verts);
+            }
+            LpStatus::Unbounded => {
+                // Unboundedness requires at least one feasible point.
+                prop_assert!(!verts.is_empty() || feasible_by_sampling(&lp),
+                    "unbounded claim with no feasible evidence");
+            }
+        }
+    }
+}
+
+/// Cheap feasibility evidence for the unbounded case: scan a coarse grid.
+fn feasible_by_sampling(lp: &LpBuilder) -> bool {
+    let n = lp.num_vars();
+    let vals = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+    let mut idx = vec![0usize; n];
+    loop {
+        let x: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
+        if lp.is_feasible(&x, 1e-6) {
+            return true;
+        }
+        // Odometer increment.
+        let mut d = 0;
+        loop {
+            if d == n {
+                return false;
+            }
+            idx[d] += 1;
+            if idx[d] < vals.len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}

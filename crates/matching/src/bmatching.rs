@@ -1,0 +1,173 @@
+//! b-matching via port replication (Theorem 1, general-capacity case).
+//!
+//! A *b-matching* allows each vertex `p` up to `b(p)` incident edges. The
+//! standard transform (paper's reference \[24\]) replicates each port `p`
+//! into `b(p)` unit copies and distributes `p`'s incident edges round-robin
+//! among the copies. A proper edge coloring of the replicated graph then
+//! yields color classes that are b-matchings of the original graph, with
+//!
+//! `colors <= max_p ceil(deg(p) / b(p))`
+//!
+//! since round-robin distribution bounds every replica's degree by that
+//! quantity.
+
+use crate::graph::BipartiteGraph;
+use crate::koenig::{color_classes, edge_coloring};
+
+/// Decompose the edges of `g` into b-matchings, where left vertex `u` may
+/// host up to `b_left[u]` edges per class and right vertex `v` up to
+/// `b_right[v]`. Returns the classes as vectors of edge ids; every edge
+/// appears in exactly one class.
+pub fn decompose_into_b_matchings(
+    g: &BipartiteGraph,
+    b_left: &[u32],
+    b_right: &[u32],
+) -> Vec<Vec<usize>> {
+    assert_eq!(b_left.len(), g.nl(), "one bound per left vertex");
+    assert_eq!(b_right.len(), g.nr(), "one bound per right vertex");
+    assert!(
+        b_left.iter().chain(b_right).all(|&b| b > 0),
+        "b-matching bounds must be positive"
+    );
+    if g.num_edges() == 0 {
+        return Vec::new();
+    }
+
+    // Replica id ranges per original vertex.
+    let mut l_start = vec![0u32; g.nl() + 1];
+    for u in 0..g.nl() {
+        l_start[u + 1] = l_start[u] + b_left[u];
+    }
+    let mut r_start = vec![0u32; g.nr() + 1];
+    for v in 0..g.nr() {
+        r_start[v + 1] = r_start[v] + b_right[v];
+    }
+
+    // Round-robin distribution of each vertex's edges among its replicas.
+    let mut next_l = vec![0u32; g.nl()];
+    let mut next_r = vec![0u32; g.nr()];
+    let mut expanded = BipartiteGraph::new(
+        l_start[g.nl()] as usize,
+        r_start[g.nr()] as usize,
+    );
+    for &(u, v) in g.edges() {
+        let (u, v) = (u as usize, v as usize);
+        let lu = l_start[u] + next_l[u];
+        next_l[u] = (next_l[u] + 1) % b_left[u];
+        let rv = r_start[v] + next_r[v];
+        next_r[v] = (next_r[v] + 1) % b_right[v];
+        expanded.add_edge(lu, rv);
+    }
+
+    // Edge ids are preserved by construction (same insertion order).
+    let colors = edge_coloring(&expanded);
+    color_classes(&expanded, &colors)
+        .into_iter()
+        .filter(|class| !class.is_empty())
+        .collect()
+}
+
+/// Check that `class` respects the per-vertex bounds in `g`.
+pub fn is_b_matching(
+    g: &BipartiteGraph,
+    class: &[usize],
+    b_left: &[u32],
+    b_right: &[u32],
+) -> bool {
+    let mut deg_l = vec![0u32; g.nl()];
+    let mut deg_r = vec![0u32; g.nr()];
+    for &e in class {
+        let (u, v) = g.endpoints(e);
+        deg_l[u as usize] += 1;
+        deg_r[v as usize] += 1;
+    }
+    deg_l.iter().zip(b_left).all(|(d, b)| d <= b)
+        && deg_r.iter().zip(b_right).all(|(d, b)| d <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(
+        g: &BipartiteGraph,
+        classes: &[Vec<usize>],
+        b_left: &[u32],
+        b_right: &[u32],
+    ) {
+        // Partition of all edges.
+        let mut seen = vec![false; g.num_edges()];
+        for class in classes {
+            for &e in class {
+                assert!(!seen[e], "edge {e} in two classes");
+                seen[e] = true;
+            }
+            assert!(is_b_matching(g, class, b_left, b_right));
+        }
+        assert!(seen.iter().all(|&s| s), "some edge missing from all classes");
+    }
+
+    #[test]
+    fn unit_bounds_reduce_to_plain_matchings() {
+        let g = BipartiteGraph::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let b = vec![1, 1];
+        let classes = decompose_into_b_matchings(&g, &b, &b);
+        check_decomposition(&g, &classes, &b, &b);
+        assert_eq!(classes.len(), 2); // 2-regular graph, 2 colors
+        for class in &classes {
+            assert!(g.is_matching(class));
+        }
+    }
+
+    #[test]
+    fn capacity_two_halves_the_classes() {
+        // 4 parallel edges on a single pair: with b = 2 both sides, two
+        // classes of two edges suffice.
+        let g = BipartiteGraph::from_edges(1, 1, vec![(0, 0); 4]);
+        let classes = decompose_into_b_matchings(&g, &[2], &[2]);
+        check_decomposition(&g, &classes, &[2], &[2]);
+        assert_eq!(classes.len(), 2);
+    }
+
+    #[test]
+    fn class_count_respects_ceiling_bound() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let nl = rng.gen_range(1..6);
+            let nr = rng.gen_range(1..6);
+            let b_left: Vec<u32> = (0..nl).map(|_| rng.gen_range(1..4)).collect();
+            let b_right: Vec<u32> = (0..nr).map(|_| rng.gen_range(1..4)).collect();
+            let mut g = BipartiteGraph::new(nl, nr);
+            for _ in 0..rng.gen_range(0..30) {
+                g.add_edge(rng.gen_range(0..nl as u32), rng.gen_range(0..nr as u32));
+            }
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let classes = decompose_into_b_matchings(&g, &b_left, &b_right);
+            check_decomposition(&g, &classes, &b_left, &b_right);
+            // Bound: ceil(deg / b) maximized over vertices.
+            let dl = g.left_degrees();
+            let dr = g.right_degrees();
+            let bound = dl
+                .iter()
+                .zip(&b_left)
+                .map(|(&d, &b)| (d as u32).div_ceil(b))
+                .chain(dr.iter().zip(&b_right).map(|(&d, &b)| (d as u32).div_ceil(b)))
+                .max()
+                .unwrap_or(0);
+            assert!(
+                classes.len() as u32 <= bound,
+                "classes {} exceed ceiling bound {bound}",
+                classes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_no_classes() {
+        let g = BipartiteGraph::new(2, 2);
+        assert!(decompose_into_b_matchings(&g, &[1, 1], &[1, 1]).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching, `O(E sqrt(V))`.
+//!
+//! Drives the **MaxCard** heuristic of §5.2: extract a maximum matching
+//! from the waiting graph each round, keeping as many ports busy as
+//! possible.
+
+use crate::graph::BipartiteGraph;
+
+const NIL: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Maximum-cardinality matching. Returns the matched edge ids (one per
+/// matched pair; for parallel edges an arbitrary representative).
+pub fn max_cardinality_matching(g: &BipartiteGraph) -> Vec<usize> {
+    let nl = g.nl();
+    let adj = g.left_adjacency();
+    // match_l[u] = right partner of u (NIL if free); similarly match_r.
+    let mut match_l = vec![NIL; nl];
+    let mut match_r = vec![NIL; g.nr()];
+    // Which edge id realizes the match of left u.
+    let mut match_edge = vec![usize::MAX; nl];
+    let mut dist = vec![INF; nl];
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // BFS: layers from free left vertices.
+        queue.clear();
+        for u in 0..nl {
+            if match_l[u] == NIL {
+                dist[u] = 0;
+                queue.push_back(u as u32);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &adj[u as usize] {
+                let w = match_r[v as usize];
+                if w == NIL {
+                    found_augmenting = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: augment along shortest alternating paths.
+        for u in 0..nl as u32 {
+            if match_l[u as usize] == NIL {
+                dfs(u, &adj, &mut match_l, &mut match_r, &mut match_edge, &mut dist);
+            }
+        }
+    }
+
+    (0..nl).filter(|&u| match_l[u] != NIL).map(|u| match_edge[u]).collect()
+}
+
+fn dfs(
+    u: u32,
+    adj: &[Vec<(u32, usize)>],
+    match_l: &mut [u32],
+    match_r: &mut [u32],
+    match_edge: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    for &(v, e) in &adj[u as usize] {
+        let w = match_r[v as usize];
+        let ok = w == NIL
+            || (dist[w as usize] == dist[u as usize] + 1
+                && dfs(w, adj, match_l, match_r, match_edge, dist));
+        if ok {
+            match_l[u as usize] = v;
+            match_r[v as usize] = u;
+            match_edge[u as usize] = e;
+            return true;
+        }
+    }
+    dist[u as usize] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_complete_graph() {
+        let mut g = BipartiteGraph::new(3, 3);
+        for u in 0..3 {
+            for v in 0..3 {
+                g.add_edge(u, v);
+            }
+        }
+        let m = max_cardinality_matching(&g);
+        assert_eq!(m.len(), 3);
+        assert!(g.is_matching(&m));
+    }
+
+    #[test]
+    fn path_graph_matches_two() {
+        // L0-R0, L1-R0, L1-R1: maximum matching has size 2.
+        let g = BipartiteGraph::from_edges(2, 2, vec![(0, 0), (1, 0), (1, 1)]);
+        let m = max_cardinality_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert!(g.is_matching(&m));
+    }
+
+    #[test]
+    fn star_matches_one() {
+        let g = BipartiteGraph::from_edges(1, 4, vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let m = max_cardinality_matching(&g);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 3);
+        assert!(max_cardinality_matching(&g).is_empty());
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Greedy L0->R0 would block L1; HK must find the augmenting path.
+        let g = BipartiteGraph::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0)]);
+        let m = max_cardinality_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert!(g.is_matching(&m));
+    }
+
+    #[test]
+    fn matches_koenig_bound_on_random_graphs() {
+        // Sanity on random graphs: matching size equals n minus the number
+        // of exposed vertices found by a brute-force check on small cases.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let nl = rng.gen_range(1..6);
+            let nr = rng.gen_range(1..6);
+            let mut g = BipartiteGraph::new(nl, nr);
+            for u in 0..nl as u32 {
+                for v in 0..nr as u32 {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let m = max_cardinality_matching(&g);
+            assert!(g.is_matching(&m));
+            assert_eq!(m.len(), brute_force_max_matching(&g));
+        }
+    }
+
+    /// Exponential-time exact matcher for cross-checking (small graphs only).
+    fn brute_force_max_matching(g: &BipartiteGraph) -> usize {
+        fn rec(g: &BipartiteGraph, e: usize, used_l: u64, used_r: u64) -> usize {
+            if e == g.num_edges() {
+                return 0;
+            }
+            let (u, v) = g.endpoints(e);
+            let skip = rec(g, e + 1, used_l, used_r);
+            if used_l & (1 << u) == 0 && used_r & (1 << v) == 0 {
+                let take = 1 + rec(g, e + 1, used_l | (1 << u), used_r | (1 << v));
+                skip.max(take)
+            } else {
+                skip
+            }
+        }
+        rec(g, 0, 0, 0)
+    }
+}

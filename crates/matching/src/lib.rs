@@ -1,0 +1,34 @@
+//! # fss-matching — bipartite matching substrate
+//!
+//! The paper's simulator leans on LEMON 1.3.1 for "various graph algorithms
+//! such as traversals and matchings" (§5.2.2), and the offline algorithm for
+//! average response time needs Birkhoff–von Neumann-style decompositions and
+//! the b-matching ↔ matching replication transform (Theorem 1). This crate
+//! provides all of it from scratch:
+//!
+//! * [`BipartiteGraph`] — a bipartite multigraph with edge identities;
+//! * [`hopcroft_karp`] — maximum-cardinality matching in `O(E sqrt(V))`
+//!   (the **MaxCard** heuristic);
+//! * [`hungarian`] — maximum-weight matching in `O(V^3)` via the
+//!   Jonker–Volgenant shortest-augmenting-path form of the Hungarian
+//!   algorithm (the **MinRTime** and **MaxWeight** heuristics);
+//! * [`greedy`] — ordered maximal matching (FIFO baseline);
+//! * [`koenig`] — König edge coloring: every bipartite multigraph is
+//!   Δ-edge-colorable; each color class is a matching (this is the
+//!   constructive Birkhoff–von Neumann step of Theorem 1);
+//! * [`bmatching`] — port-replication transform turning capacity-`c` ports
+//!   into `c` unit replicas so a coloring yields b-matchings.
+
+pub mod bmatching;
+pub mod graph;
+pub mod greedy;
+pub mod hopcroft_karp;
+pub mod hungarian;
+pub mod koenig;
+
+pub use bmatching::decompose_into_b_matchings;
+pub use graph::BipartiteGraph;
+pub use greedy::greedy_matching;
+pub use hopcroft_karp::max_cardinality_matching;
+pub use hungarian::max_weight_matching;
+pub use koenig::edge_coloring;

@@ -1,0 +1,146 @@
+//! Property tests for the matching substrate: optimality against brute
+//! force, coloring validity, b-matching decomposition invariants.
+
+use fss_matching::{
+    bmatching, decompose_into_b_matchings, edge_coloring, greedy_matching,
+    max_cardinality_matching, max_weight_matching, BipartiteGraph,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawGraph {
+    nl: usize,
+    nr: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+fn raw_graph(max_side: usize, max_edges: usize) -> impl Strategy<Value = RawGraph> {
+    (1..=max_side, 1..=max_side).prop_flat_map(move |(nl, nr)| {
+        let edge = (0..nl as u32, 0..nr as u32);
+        proptest::collection::vec(edge, 0..=max_edges)
+            .prop_map(move |edges| RawGraph { nl, nr, edges })
+    })
+}
+
+fn build(raw: &RawGraph) -> BipartiteGraph {
+    BipartiteGraph::from_edges(raw.nl, raw.nr, raw.edges.clone())
+}
+
+fn brute_max_cardinality(g: &BipartiteGraph) -> usize {
+    fn rec(g: &BipartiteGraph, e: usize, ul: u64, ur: u64) -> usize {
+        if e == g.num_edges() {
+            return 0;
+        }
+        let (u, v) = g.endpoints(e);
+        let skip = rec(g, e + 1, ul, ur);
+        if ul & (1 << u) == 0 && ur & (1 << v) == 0 {
+            skip.max(1 + rec(g, e + 1, ul | (1 << u), ur | (1 << v)))
+        } else {
+            skip
+        }
+    }
+    rec(g, 0, 0, 0)
+}
+
+fn brute_max_weight(g: &BipartiteGraph, w: &[f64]) -> f64 {
+    fn rec(g: &BipartiteGraph, w: &[f64], e: usize, ul: u64, ur: u64) -> f64 {
+        if e == g.num_edges() {
+            return 0.0;
+        }
+        let (u, v) = g.endpoints(e);
+        let skip = rec(g, w, e + 1, ul, ur);
+        if ul & (1 << u) == 0 && ur & (1 << v) == 0 {
+            skip.max(w[e] + rec(g, w, e + 1, ul | (1 << u), ur | (1 << v)))
+        } else {
+            skip
+        }
+    }
+    rec(g, w, 0, 0, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn hopcroft_karp_is_optimal(raw in raw_graph(5, 14)) {
+        let g = build(&raw);
+        let m = max_cardinality_matching(&g);
+        prop_assert!(g.is_matching(&m));
+        prop_assert_eq!(m.len(), brute_max_cardinality(&g));
+    }
+
+    #[test]
+    fn hungarian_is_optimal(
+        raw in raw_graph(4, 10),
+        weights_raw in proptest::collection::vec(0u32..12, 10),
+    ) {
+        let g = build(&raw);
+        let weights: Vec<f64> =
+            (0..g.num_edges()).map(|e| f64::from(weights_raw[e % weights_raw.len()])).collect();
+        let m = max_weight_matching(&g, &weights);
+        prop_assert!(g.is_matching(&m));
+        let got: f64 = m.iter().map(|&e| weights[e]).sum();
+        let want = brute_max_weight(&g, &weights);
+        prop_assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn koenig_coloring_is_proper_and_tight(raw in raw_graph(6, 20)) {
+        let g = build(&raw);
+        let colors = edge_coloring(&g);
+        let delta = g.max_degree();
+        for &c in &colors {
+            prop_assert!(c < delta);
+        }
+        // Proper: group by color, check matchings.
+        let mut classes = vec![Vec::new(); delta];
+        for (e, &c) in colors.iter().enumerate() {
+            classes[c].push(e);
+        }
+        for class in &classes {
+            prop_assert!(g.is_matching(class));
+        }
+    }
+
+    #[test]
+    fn b_matching_decomposition_partitions(
+        raw in raw_graph(4, 16),
+        bl in proptest::collection::vec(1u32..4, 4),
+        br in proptest::collection::vec(1u32..4, 4),
+    ) {
+        let g = build(&raw);
+        let b_left = &bl[..g.nl()];
+        let b_right = &br[..g.nr()];
+        let classes = decompose_into_b_matchings(&g, b_left, b_right);
+        let mut seen = vec![false; g.num_edges()];
+        for class in &classes {
+            prop_assert!(bmatching::is_b_matching(&g, class, b_left, b_right));
+            for &e in class {
+                prop_assert!(!seen[e]);
+                seen[e] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn greedy_is_maximal(raw in raw_graph(5, 14)) {
+        let g = build(&raw);
+        let order: Vec<usize> = (0..g.num_edges()).collect();
+        let m = greedy_matching(&g, &order);
+        prop_assert!(g.is_matching(&m));
+        let mut used_l = vec![false; g.nl()];
+        let mut used_r = vec![false; g.nr()];
+        for &e in &m {
+            let (u, v) = g.endpoints(e);
+            used_l[u as usize] = true;
+            used_r[v as usize] = true;
+        }
+        for e in 0..g.num_edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert!(used_l[u as usize] || used_r[v as usize]);
+        }
+        // Greedy is a 2-approximation.
+        prop_assert!(2 * m.len() >= brute_max_cardinality(&g));
+    }
+}

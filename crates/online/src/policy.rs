@@ -1,0 +1,222 @@
+//! Online policies: the paper's heuristics (§5.2) behind a common trait.
+
+use fss_core::FlowId;
+use fss_matching::{greedy_matching, max_cardinality_matching, max_weight_matching, BipartiteGraph};
+
+/// A flow currently waiting in the open queue `E(G_t)`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitingFlow {
+    /// Identity within the instance.
+    pub id: FlowId,
+    /// Input port.
+    pub src: u32,
+    /// Output port.
+    pub dst: u32,
+    /// Release round (for age-based weights).
+    pub release: u64,
+}
+
+/// What a policy sees each round: the waiting graph `G_t` (paper §5.2.1).
+#[derive(Debug)]
+pub struct QueueState<'a> {
+    /// Current round `t`.
+    pub round: u64,
+    /// All released, unscheduled flows.
+    pub waiting: &'a [WaitingFlow],
+    /// Number of input ports.
+    pub m_in: usize,
+    /// Number of output ports.
+    pub m_out: usize,
+}
+
+impl QueueState<'_> {
+    /// Build the bipartite waiting graph; edge `k` is `waiting[k]`.
+    pub fn graph(&self) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(self.m_in, self.m_out);
+        for w in self.waiting {
+            g.add_edge(w.src, w.dst);
+        }
+        g
+    }
+
+    /// Queue length per input port (released-but-unscheduled flows).
+    pub fn in_queue_sizes(&self) -> Vec<u32> {
+        let mut q = vec![0u32; self.m_in];
+        for w in self.waiting {
+            q[w.src as usize] += 1;
+        }
+        q
+    }
+
+    /// Queue length per output port.
+    pub fn out_queue_sizes(&self) -> Vec<u32> {
+        let mut q = vec![0u32; self.m_out];
+        for w in self.waiting {
+            q[w.dst as usize] += 1;
+        }
+        q
+    }
+}
+
+/// An online scheduling policy: each round, pick indices into
+/// `state.waiting` that form a matching (unit capacities — the paper's
+/// experimental setting). The runner validates the selection.
+pub trait OnlinePolicy {
+    /// Short display name (used in experiment tables).
+    fn name(&self) -> &'static str;
+    /// Select the flows to run this round.
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize>;
+}
+
+/// **MaxCard**: a maximum-cardinality matching of `G_t` — keeps the most
+/// ports busy; the paper expects it to do well on average response time
+/// but poorly on maximum response time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaxCard;
+
+impl OnlinePolicy for MaxCard {
+    fn name(&self) -> &'static str {
+        "MaxCard"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        max_cardinality_matching(&state.graph())
+    }
+}
+
+/// **MinRTime**: maximum-weight matching with weight `t − r_e` (the time
+/// the flow has waited) — prioritizes old flows, good for maximum response
+/// time. Among equal-weight matchings, a uniform `+1` bonus per edge makes
+/// the policy prefer higher cardinality (the paper leaves the tie-break
+/// unspecified).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MinRTime;
+
+impl OnlinePolicy for MinRTime {
+    fn name(&self) -> &'static str {
+        "MinRTime"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let g = state.graph();
+        let scale = (state.waiting.len() + 1) as f64;
+        let weights: Vec<f64> = state
+            .waiting
+            .iter()
+            .map(|w| (state.round - w.release) as f64 * scale + 1.0)
+            .collect();
+        max_weight_matching(&g, &weights)
+    }
+}
+
+/// **MaxWeight**: maximum-weight matching with weight = sum of queue sizes
+/// at the edge's endpoints — drains the most congested ports; the paper's
+/// compromise pick for keeping both objectives low.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaxWeight;
+
+impl OnlinePolicy for MaxWeight {
+    fn name(&self) -> &'static str {
+        "MaxWeight"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let g = state.graph();
+        let in_q = state.in_queue_sizes();
+        let out_q = state.out_queue_sizes();
+        let weights: Vec<f64> = state
+            .waiting
+            .iter()
+            .map(|w| f64::from(in_q[w.src as usize] + out_q[w.dst as usize]))
+            .collect();
+        max_weight_matching(&g, &weights)
+    }
+}
+
+/// FIFO-greedy baseline: scan waiting flows oldest first and take each one
+/// whose ports are still free. Not one of the paper's trio; serves as a
+/// cheap sanity floor in the experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoGreedy;
+
+impl OnlinePolicy for FifoGreedy {
+    fn name(&self) -> &'static str {
+        "FifoGreedy"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let g = state.graph();
+        let mut order: Vec<usize> = (0..state.waiting.len()).collect();
+        order.sort_by_key(|&k| (state.waiting[k].release, state.waiting[k].id));
+        greedy_matching(&g, &order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(waiting: &[WaitingFlow], round: u64) -> QueueState<'_> {
+        QueueState { round, waiting, m_in: 3, m_out: 3 }
+    }
+
+    fn wf(id: u32, src: u32, dst: u32, release: u64) -> WaitingFlow {
+        WaitingFlow { id: FlowId(id), src, dst, release }
+    }
+
+    #[test]
+    fn maxcard_takes_maximum_matching() {
+        let w = [wf(0, 0, 0, 0), wf(1, 0, 1, 0), wf(2, 1, 0, 0)];
+        let sel = MaxCard.choose(&state(&w, 0));
+        assert_eq!(sel.len(), 2); // (0,1)+(1,0) or equivalent
+    }
+
+    #[test]
+    fn minrtime_prefers_older_flows() {
+        // Two conflicting flows; the older one must win.
+        let w = [wf(0, 0, 0, 5), wf(1, 0, 0, 1)];
+        let sel = MinRTime.choose(&state(&w, 6));
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn minrtime_cardinality_tiebreak() {
+        // All flows same age: the +1 bonus must still produce a maximum
+        // matching rather than an empty one (all weights zero otherwise).
+        let w = [wf(0, 0, 0, 3), wf(1, 1, 1, 3), wf(2, 2, 2, 3)];
+        let sel = MinRTime.choose(&state(&w, 3));
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn maxweight_targets_congested_ports() {
+        // Input 0 has three queued flows; an edge touching it carries more
+        // weight than the isolated pair (1,1).
+        let w = [
+            wf(0, 0, 0, 0),
+            wf(1, 0, 1, 0),
+            wf(2, 0, 2, 0),
+            wf(3, 1, 1, 0),
+        ];
+        let sel = MaxWeight.choose(&state(&w, 0));
+        // Some edge at input 0 must be selected.
+        assert!(sel.iter().any(|&k| w[k].src == 0));
+        // And the matching is maximal enough to include (1,1) too.
+        assert!(sel.iter().any(|&k| w[k].src == 1));
+    }
+
+    #[test]
+    fn fifo_scans_by_release() {
+        let w = [wf(0, 0, 0, 4), wf(1, 0, 0, 2)];
+        let sel = FifoGreedy.choose(&state(&w, 5));
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn queue_sizes_count_incident_flows() {
+        let w = [wf(0, 0, 1, 0), wf(1, 0, 2, 0), wf(2, 1, 1, 0)];
+        let s = state(&w, 0);
+        assert_eq!(s.in_queue_sizes(), vec![2, 1, 0]);
+        assert_eq!(s.out_queue_sizes(), vec![0, 2, 1]);
+    }
+}

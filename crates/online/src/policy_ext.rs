@@ -1,0 +1,154 @@
+//! Extension policies beyond the paper's trio.
+//!
+//! The paper (§6) calls for a more thorough investigation of online
+//! algorithms; these are natural candidates used in the extended
+//! experiments and ablations:
+//!
+//! * [`RandomMatching`] — a uniformly-ordered greedy maximal matching:
+//!   the no-intelligence baseline separating "any maximal matching" from
+//!   the optimized heuristics;
+//! * [`AgedMaxWeight`] — MaxWeight with an age term,
+//!   `weight = queue(src) + queue(dst) + γ·(t − r_e)`: interpolates between
+//!   MaxWeight (γ = 0) and MinRTime-like aging (γ large), a knob for the
+//!   avg-vs-max trade-off the paper's conclusion discusses.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fss_matching::{greedy_matching, max_weight_matching};
+
+use crate::policy::{OnlinePolicy, QueueState};
+
+/// Greedy maximal matching over a uniformly shuffled edge order.
+/// Deterministic per (seed, round): reproducible experiments.
+#[derive(Debug, Clone)]
+pub struct RandomMatching {
+    seed: u64,
+}
+
+impl RandomMatching {
+    /// Create with an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        RandomMatching { seed }
+    }
+}
+
+impl Default for RandomMatching {
+    fn default() -> Self {
+        RandomMatching::new(0x5eed)
+    }
+}
+
+impl OnlinePolicy for RandomMatching {
+    fn name(&self) -> &'static str {
+        "RandomMatching"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let g = state.graph();
+        let mut order: Vec<usize> = (0..state.waiting.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ state.round.rotate_left(13));
+        order.shuffle(&mut rng);
+        greedy_matching(&g, &order)
+    }
+}
+
+/// MaxWeight with linear aging: `weight = queues + gamma * age + 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct AgedMaxWeight {
+    /// Aging coefficient γ (0 recovers MaxWeight behavior, with the +1
+    /// cardinality bonus).
+    pub gamma: f64,
+}
+
+impl AgedMaxWeight {
+    /// Create with an aging coefficient.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma >= 0.0, "aging coefficient must be nonnegative");
+        AgedMaxWeight { gamma }
+    }
+}
+
+impl Default for AgedMaxWeight {
+    fn default() -> Self {
+        AgedMaxWeight::new(1.0)
+    }
+}
+
+impl OnlinePolicy for AgedMaxWeight {
+    fn name(&self) -> &'static str {
+        "AgedMaxWeight"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let g = state.graph();
+        let in_q = state.in_queue_sizes();
+        let out_q = state.out_queue_sizes();
+        let weights: Vec<f64> = state
+            .waiting
+            .iter()
+            .map(|w| {
+                f64::from(in_q[w.src as usize] + out_q[w.dst as usize])
+                    + self.gamma * (state.round - w.release) as f64
+                    + 1.0
+            })
+            .collect();
+        max_weight_matching(&g, &weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::WaitingFlow;
+    use crate::runner::run_policy;
+    use fss_core::gen::{random_instance, GenParams};
+    use fss_core::prelude::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn random_matching_is_reproducible() {
+        let w = [
+            WaitingFlow { id: FlowId(0), src: 0, dst: 0, release: 0 },
+            WaitingFlow { id: FlowId(1), src: 0, dst: 1, release: 0 },
+            WaitingFlow { id: FlowId(2), src: 1, dst: 0, release: 0 },
+        ];
+        let state = QueueState { round: 3, waiting: &w, m_in: 2, m_out: 2 };
+        let a = RandomMatching::new(1).choose(&state);
+        let b = RandomMatching::new(1).choose(&state);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn both_extensions_produce_feasible_schedules() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let inst = random_instance(&mut rng, &GenParams::unit(4, 25, 6));
+        for sched in [
+            run_policy(&inst, &mut RandomMatching::default()),
+            run_policy(&inst, &mut AgedMaxWeight::default()),
+            run_policy(&inst, &mut AgedMaxWeight::new(0.0)),
+            run_policy(&inst, &mut AgedMaxWeight::new(100.0)),
+        ] {
+            validate::check(&inst, &sched, &inst.switch).unwrap();
+        }
+    }
+
+    #[test]
+    fn high_gamma_mimics_minrtime_priority() {
+        // Old conflicting flow must win under strong aging.
+        let w = [
+            WaitingFlow { id: FlowId(0), src: 0, dst: 0, release: 9 },
+            WaitingFlow { id: FlowId(1), src: 0, dst: 0, release: 1 },
+        ];
+        let state = QueueState { round: 10, waiting: &w, m_in: 1, m_out: 1 };
+        let sel = AgedMaxWeight::new(1000.0).choose(&state);
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_gamma_rejected() {
+        let _ = AgedMaxWeight::new(-1.0);
+    }
+}

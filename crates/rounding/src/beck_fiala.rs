@@ -1,0 +1,253 @@
+//! Beck–Fiala style floating-variable kernel walk.
+//!
+//! Given a fractional point `x` that satisfies every group row exactly
+//! (`sum over group = 1`), repeatedly:
+//!
+//! 1. collect the *floating* variables `F = {j : tol < x_j < 1 - tol}`;
+//! 2. mark *active* rows — every group row containing a floating variable
+//!    (such a row always contains at least two of them, since the group sum
+//!    is integral) and every capacity row whose floating coefficient mass
+//!    exceeds the threshold `Δ = 2 · max_col`;
+//! 3. find a nonzero kernel direction of the active rows restricted to `F`
+//!    and walk until a variable hits 0 or 1.
+//!
+//! Counting argument for step 3: each active group row has ≥ 2 floating
+//! variables and the groups are disjoint, so there are at most `|F|/2`
+//! active group rows; the active capacity rows each carry > `Δ = 2·max_col`
+//! floating mass while the total available mass is at most `|F| · max_col`,
+//! so there are strictly fewer than `|F|/2` of them. Total active rows
+//! `< |F|`, hence the kernel is nonempty and the walk always progresses.
+//!
+//! Guarantees on termination: groups exact; every capacity row exceeded by
+//! less than `Δ` (once a row goes inactive its remaining floating mass is
+//! `≤ Δ` and each remaining variable moves by `< 1`).
+
+use fss_linalg::{kernel_vector, Matrix};
+
+use crate::problem::{RoundingOutcome, RoundingProblem};
+
+const TOL: f64 = 1e-9;
+
+/// Run the kernel walk from the fractional point `x0` (must satisfy all
+/// group rows exactly; capacity feasibility of `x0` is what the final
+/// violation bound is measured against). Panics on structural violations.
+pub fn beck_fiala(problem: &RoundingProblem, x0: &[f64]) -> RoundingOutcome {
+    problem.assert_valid();
+    assert_eq!(x0.len(), problem.num_vars, "one value per variable");
+    let mut x: Vec<f64> = x0.iter().map(|&v| v.clamp(0.0, 1.0)).collect();
+    for (gi, group) in problem.groups.iter().enumerate() {
+        let s: f64 = group.iter().map(|&v| x[v]).sum();
+        assert!(
+            (s - 1.0).abs() < 1e-6,
+            "group {gi} sums to {s}, expected 1 (supply an LP solution)"
+        );
+    }
+
+    let delta = 2.0 * problem.max_column_mass();
+
+    loop {
+        // Floating variables.
+        let floating: Vec<usize> = (0..problem.num_vars)
+            .filter(|&j| x[j] > TOL && x[j] < 1.0 - TOL)
+            .collect();
+        if floating.is_empty() {
+            break;
+        }
+        let col_of: std::collections::HashMap<usize, usize> =
+            floating.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+
+        // Active rows.
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        for group in &problem.groups {
+            let terms: Vec<(usize, f64)> = group
+                .iter()
+                .filter_map(|&v| col_of.get(&v).map(|&c| (c, 1.0)))
+                .collect();
+            if !terms.is_empty() {
+                debug_assert!(
+                    terms.len() >= 2,
+                    "group with a single floating var contradicts integral sum"
+                );
+                rows.push(terms);
+            }
+        }
+        for (terms, _) in &problem.capacities {
+            let mut mass = 0.0;
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            for &(v, c) in terms {
+                if let Some(&col) = col_of.get(&v) {
+                    mass += c;
+                    row.push((col, c));
+                }
+            }
+            if mass > delta {
+                rows.push(row);
+            }
+        }
+        debug_assert!(
+            rows.len() < floating.len(),
+            "counting argument violated: {} active rows, {} floating vars",
+            rows.len(),
+            floating.len()
+        );
+
+        // Kernel direction restricted to floating columns.
+        let mut a = Matrix::zeros(rows.len(), floating.len());
+        for (r, terms) in rows.iter().enumerate() {
+            for &(c, coef) in terms {
+                a[(r, c)] += coef;
+            }
+        }
+        let d = kernel_vector(&a, 1e-10)
+            .expect("kernel must exist: active rows < floating vars");
+
+        // Walk distance: first floating variable to hit a bound, in the +d
+        // direction (d is nonzero, so some step is finite and positive).
+        let mut t = f64::INFINITY;
+        for (i, &j) in floating.iter().enumerate() {
+            if d[i] > TOL {
+                t = t.min((1.0 - x[j]) / d[i]);
+            } else if d[i] < -TOL {
+                t = t.min(x[j] / (-d[i]));
+            }
+        }
+        assert!(t.is_finite() && t >= 0.0, "kernel direction admits no step");
+        for (i, &j) in floating.iter().enumerate() {
+            x[j] = (x[j] + t * d[i]).clamp(0.0, 1.0);
+            // Snap near-integral values so progress is guaranteed.
+            if x[j] < TOL {
+                x[j] = 0.0;
+            } else if x[j] > 1.0 - TOL {
+                x[j] = 1.0;
+            }
+        }
+    }
+
+    extract(problem, &x)
+}
+
+/// Read off the chosen variable per group from an integral point.
+pub(crate) fn extract(problem: &RoundingProblem, x: &[f64]) -> RoundingOutcome {
+    let chosen: Vec<usize> = problem
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, group)| {
+            let ones: Vec<usize> =
+                group.iter().copied().filter(|&v| x[v] > 0.5).collect();
+            assert_eq!(
+                ones.len(),
+                1,
+                "group {gi} rounded to {} ones, expected exactly 1",
+                ones.len()
+            );
+            ones[0]
+        })
+        .collect();
+    let max_violation = problem.max_violation(&chosen);
+    RoundingOutcome { chosen, max_violation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_integral_input_is_passthrough() {
+        let p = RoundingProblem {
+            num_vars: 4,
+            groups: vec![vec![0, 1], vec![2, 3]],
+            capacities: vec![(vec![(0, 1.0), (2, 1.0)], 1.0)],
+        };
+        let out = beck_fiala(&p, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(out.chosen, vec![0, 3]);
+        assert_eq!(out.max_violation, 0.0);
+    }
+
+    #[test]
+    fn half_half_groups_round_consistently() {
+        // Two flows, two rounds, each capacity 1 per round: the fractional
+        // point x = 1/2 everywhere is feasible; rounding must keep groups
+        // exact and violation < delta = 2 * max_col = 2 * 2 = 4.
+        let p = RoundingProblem {
+            num_vars: 4,
+            groups: vec![vec![0, 1], vec![2, 3]],
+            capacities: vec![
+                (vec![(0, 1.0), (2, 1.0)], 1.0), // round 0
+                (vec![(1, 1.0), (3, 1.0)], 1.0), // round 1
+            ],
+        };
+        let out = beck_fiala(&p, &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(out.chosen.len(), 2);
+        assert!(out.max_violation < 4.0);
+    }
+
+    #[test]
+    fn violation_strictly_below_delta_on_random_problems() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let groups_n = rng.gen_range(1..8);
+            let opts = rng.gen_range(2..5);
+            let mut groups = Vec::new();
+            let mut num_vars = 0;
+            for _ in 0..groups_n {
+                let g: Vec<usize> = (num_vars..num_vars + opts).collect();
+                num_vars += opts;
+                groups.push(g);
+            }
+            // Random capacity rows with integer coefficients <= 3.
+            let rows_n = rng.gen_range(1..6);
+            let mut capacities = Vec::new();
+            for _ in 0..rows_n {
+                let mut terms = Vec::new();
+                for v in 0..num_vars {
+                    if rng.gen_bool(0.4) {
+                        terms.push((v, f64::from(rng.gen_range(1..=3))));
+                    }
+                }
+                if terms.is_empty() {
+                    continue;
+                }
+                // rhs = fractional load of the uniform point, so x0 is
+                // feasible and the bound is meaningful.
+                let rhs: f64 =
+                    terms.iter().map(|&(_, c)| c).sum::<f64>() / opts as f64;
+                capacities.push((terms, rhs));
+            }
+            let p = RoundingProblem { num_vars, groups, capacities };
+            let x0 = vec![1.0 / opts as f64; num_vars];
+            let delta = 2.0 * p.max_column_mass();
+            let out = beck_fiala(&p, &x0);
+            assert_eq!(out.chosen.len(), groups_n);
+            assert!(
+                out.max_violation < delta + 1e-6,
+                "violation {} >= delta {delta}",
+                out.max_violation
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1")]
+    fn group_sum_must_be_one() {
+        let p = RoundingProblem {
+            num_vars: 2,
+            groups: vec![vec![0, 1]],
+            capacities: vec![],
+        };
+        let _ = beck_fiala(&p, &[0.2, 0.2]);
+    }
+
+    #[test]
+    fn no_capacities_still_rounds_groups() {
+        let p = RoundingProblem {
+            num_vars: 3,
+            groups: vec![vec![0, 1, 2]],
+            capacities: vec![],
+        };
+        let out = beck_fiala(&p, &[0.3, 0.3, 0.4]);
+        assert_eq!(out.chosen.len(), 1);
+        assert_eq!(out.max_violation, 0.0);
+    }
+}

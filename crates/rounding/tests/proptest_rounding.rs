@@ -1,0 +1,97 @@
+//! Property tests for the rounding engines.
+
+use fss_rounding::{
+    beck_fiala, iterative_relaxation, IterativeOptions, RoundingProblem,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawProblem {
+    groups_n: usize,
+    opts: usize,
+    rows: Vec<Vec<(usize, u32)>>, // (var, coefficient)
+}
+
+fn raw_problem() -> impl Strategy<Value = RawProblem> {
+    (1usize..=6, 2usize..=4).prop_flat_map(|(groups_n, opts)| {
+        let num_vars = groups_n * opts;
+        let term = (0..num_vars, 1u32..=3);
+        let row = proptest::collection::vec(term, 1..=num_vars.min(8));
+        let rows = proptest::collection::vec(row, 0..=5);
+        rows.prop_map(move |rows| RawProblem { groups_n, opts, rows })
+    })
+}
+
+/// Build a problem whose uniform fractional point `x = 1/opts` is feasible
+/// (rhs = the uniform point's load), so the bounds are meaningful.
+fn build(raw: &RawProblem) -> (RoundingProblem, Vec<f64>) {
+    let num_vars = raw.groups_n * raw.opts;
+    let groups: Vec<Vec<usize>> = (0..raw.groups_n)
+        .map(|g| (g * raw.opts..(g + 1) * raw.opts).collect())
+        .collect();
+    let mut capacities = Vec::new();
+    for row in &raw.rows {
+        // Deduplicate variables, summing coefficients.
+        let mut acc = std::collections::BTreeMap::<usize, f64>::new();
+        for &(v, c) in row {
+            *acc.entry(v).or_insert(0.0) += f64::from(c);
+        }
+        let terms: Vec<(usize, f64)> = acc.into_iter().collect();
+        let rhs: f64 =
+            terms.iter().map(|&(_, c)| c).sum::<f64>() / raw.opts as f64;
+        capacities.push((terms, rhs));
+    }
+    let p = RoundingProblem { num_vars, groups, capacities };
+    let x0 = vec![1.0 / raw.opts as f64; num_vars];
+    (p, x0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn beck_fiala_respects_delta(raw in raw_problem()) {
+        let (p, x0) = build(&raw);
+        let delta = 2.0 * p.max_column_mass();
+        let out = beck_fiala(&p, &x0);
+        prop_assert_eq!(out.chosen.len(), p.groups.len());
+        // Guarantee: violation < delta (strict), with float slack.
+        prop_assert!(out.max_violation < delta + 1e-6,
+            "violation {} vs delta {delta}", out.max_violation);
+        // Consistency: reported violation matches recomputation.
+        prop_assert!((out.max_violation - p.max_violation(&out.chosen)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterative_relaxation_solves_feasible_problems(raw in raw_problem()) {
+        let (p, _) = build(&raw);
+        // Budget equal to the largest coefficient's 2x-1 (dmax analog).
+        let dmax = p.capacities.iter()
+            .flat_map(|(t, _)| t.iter().map(|&(_, c)| c))
+            .fold(1.0f64, f64::max);
+        let opts = IterativeOptions { budget: 2.0 * dmax - 1.0, tol: 1e-7 };
+        // The uniform point is feasible, so the LP is feasible.
+        let out = iterative_relaxation(&p, &opts).expect("feasible by construction");
+        prop_assert_eq!(out.chosen.len(), p.groups.len());
+        // The Beck-Fiala-style global bound still caps the outcome even
+        // when stall-drops fire.
+        let delta = 2.0 * p.max_column_mass();
+        prop_assert!(out.max_violation <= delta + 1e-6,
+            "violation {} vs global cap {delta}", out.max_violation);
+    }
+
+    #[test]
+    fn engines_agree_on_chosen_count_and_group_membership(raw in raw_problem()) {
+        let (p, x0) = build(&raw);
+        let a = beck_fiala(&p, &x0);
+        let dmax = p.capacities.iter()
+            .flat_map(|(t, _)| t.iter().map(|&(_, c)| c))
+            .fold(1.0f64, f64::max);
+        let b = iterative_relaxation(&p, &IterativeOptions { budget: 2.0 * dmax - 1.0, tol: 1e-7 })
+            .expect("feasible");
+        for (gi, group) in p.groups.iter().enumerate() {
+            prop_assert!(group.contains(&a.chosen[gi]));
+            prop_assert!(group.contains(&b.chosen[gi]));
+        }
+    }
+}

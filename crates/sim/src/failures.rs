@@ -1,0 +1,239 @@
+//! Failure injection: port outages during online execution.
+//!
+//! Datacenter ports fail and recover; a scheduler built on per-round
+//! matchings adapts naturally by excluding dead ports from the waiting
+//! graph. [`run_policy_with_failures`] executes any
+//! [`fss_online::OnlinePolicy`] under an outage plan and the test-suite
+//! asserts both safety (nothing scheduled across a dead port) and
+//! liveness (everything completes once ports recover).
+
+use fss_core::prelude::*;
+use fss_online::{OnlinePolicy, QueueState, WaitingFlow};
+
+/// One port outage: the port is unusable during `[from, to)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Which side of the switch.
+    pub side: PortSide,
+    /// Port index.
+    pub port: u32,
+    /// First dead round.
+    pub from: u64,
+    /// First live round again.
+    pub to: u64,
+}
+
+/// A set of outages.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// The outages (may overlap).
+    pub outages: Vec<Outage>,
+}
+
+impl FailurePlan {
+    /// Is the given port usable at round `t`?
+    pub fn is_up(&self, side: PortSide, port: u32, t: u64) -> bool {
+        !self
+            .outages
+            .iter()
+            .any(|o| o.side == side && o.port == port && t >= o.from && t < o.to)
+    }
+
+    /// Latest recovery round over all outages (0 when none).
+    pub fn last_recovery(&self) -> u64 {
+        self.outages.iter().map(|o| o.to).max().unwrap_or(0)
+    }
+}
+
+/// Run `policy` online while injecting the outage plan. Flows incident on
+/// a dead port are hidden from the policy for the affected rounds; all
+/// flows still complete (every outage ends). Unit capacities and demands,
+/// like the base runner.
+pub fn run_policy_with_failures<P: OnlinePolicy>(
+    inst: &Instance,
+    policy: &mut P,
+    plan: &FailurePlan,
+) -> Schedule {
+    assert!(inst.switch.is_unit_capacity(), "failure runner requires unit capacities");
+    assert!(inst.is_unit_demand(), "failure runner requires unit demands");
+    let n = inst.n();
+    let mut rounds = vec![0u64; n];
+    if n == 0 {
+        return Schedule::from_rounds(rounds);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (inst.flows[i].release, i));
+    let mut next = 0usize;
+    let mut waiting: Vec<WaitingFlow> = Vec::new();
+    let mut t = inst.flows[order[0]].release;
+    let mut remaining = n;
+
+    while remaining > 0 {
+        while next < n && inst.flows[order[next]].release <= t {
+            let i = order[next];
+            let f = &inst.flows[i];
+            waiting.push(WaitingFlow {
+                id: FlowId(i as u32),
+                src: f.src,
+                dst: f.dst,
+                release: f.release,
+            });
+            next += 1;
+        }
+        if waiting.is_empty() {
+            t = inst.flows[order[next]].release;
+            continue;
+        }
+        // Only flows whose both ports are up are offered to the policy.
+        let usable: Vec<usize> = (0..waiting.len())
+            .filter(|&k| {
+                let w = &waiting[k];
+                plan.is_up(PortSide::Input, w.src, t) && plan.is_up(PortSide::Output, w.dst, t)
+            })
+            .collect();
+        if usable.is_empty() {
+            t += 1;
+            continue;
+        }
+        let visible: Vec<WaitingFlow> = usable.iter().map(|&k| waiting[k]).collect();
+        let state = QueueState {
+            round: t,
+            waiting: &visible,
+            m_in: inst.switch.num_inputs(),
+            m_out: inst.switch.num_outputs(),
+        };
+        let mut selection = policy.choose(&state);
+        selection.sort_unstable();
+        selection.dedup();
+        let mut used_in = vec![false; inst.switch.num_inputs()];
+        let mut used_out = vec![false; inst.switch.num_outputs()];
+        let mut picked: Vec<usize> = Vec::with_capacity(selection.len());
+        for &k in &selection {
+            let w = &visible[k];
+            assert!(
+                !used_in[w.src as usize] && !used_out[w.dst as usize],
+                "policy {} returned a non-matching",
+                policy.name()
+            );
+            used_in[w.src as usize] = true;
+            used_out[w.dst as usize] = true;
+            rounds[w.id.idx()] = t;
+            picked.push(usable[k]);
+        }
+        remaining -= picked.len();
+        picked.sort_unstable();
+        for &k in picked.iter().rev() {
+            waiting.swap_remove(k);
+        }
+        t += 1;
+    }
+    Schedule::from_rounds(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fss_core::gen::{random_instance, GenParams};
+    use fss_online::{MaxCard, MinRTime};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn outage(side: PortSide, port: u32, from: u64, to: u64) -> Outage {
+        Outage { side, port, from, to }
+    }
+
+    #[test]
+    fn no_failures_matches_plain_runner() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        let inst = random_instance(&mut rng, &GenParams::unit(4, 20, 5));
+        let plain = fss_online::run_policy(&inst, &mut MaxCard);
+        let with = run_policy_with_failures(&inst, &mut MaxCard, &FailurePlan::default());
+        assert_eq!(plain, with);
+    }
+
+    #[test]
+    fn nothing_scheduled_across_a_dead_port() {
+        let mut rng = SmallRng::seed_from_u64(62);
+        let inst = random_instance(&mut rng, &GenParams::unit(3, 15, 2));
+        let plan = FailurePlan { outages: vec![outage(PortSide::Input, 0, 0, 6)] };
+        let sched = run_policy_with_failures(&inst, &mut MinRTime, &plan);
+        for (i, f) in inst.flows.iter().enumerate() {
+            let t = sched.rounds()[i];
+            assert!(
+                plan.is_up(PortSide::Input, f.src, t)
+                    && plan.is_up(PortSide::Output, f.dst, t),
+                "flow {i} crossed a dead port at round {t}"
+            );
+        }
+        validate::check(&inst, &sched, &inst.switch).unwrap();
+    }
+
+    #[test]
+    fn all_flows_complete_after_recovery() {
+        // Input 0 down for a long window; its flows complete afterwards.
+        let mut b = InstanceBuilder::new(Switch::uniform(2, 2, 1));
+        b.unit_flow(0, 0, 0);
+        b.unit_flow(0, 1, 0);
+        b.unit_flow(1, 1, 0);
+        let inst = b.build().unwrap();
+        let plan = FailurePlan { outages: vec![outage(PortSide::Input, 0, 0, 10)] };
+        let sched = run_policy_with_failures(&inst, &mut MaxCard, &plan);
+        assert!(sched.rounds()[0] >= 10);
+        assert!(sched.rounds()[1] >= 10);
+        assert_eq!(sched.rounds()[2], 0, "unaffected flow proceeds normally");
+    }
+
+    #[test]
+    fn overlapping_outages_compose() {
+        let plan = FailurePlan {
+            outages: vec![
+                outage(PortSide::Output, 1, 2, 5),
+                outage(PortSide::Output, 1, 4, 8),
+            ],
+        };
+        assert!(plan.is_up(PortSide::Output, 1, 1));
+        assert!(!plan.is_up(PortSide::Output, 1, 4));
+        assert!(!plan.is_up(PortSide::Output, 1, 7));
+        assert!(plan.is_up(PortSide::Output, 1, 8));
+        assert_eq!(plan.last_recovery(), 8);
+    }
+
+    #[test]
+    fn total_outage_still_terminates() {
+        // Every port down for the first 4 rounds.
+        let mut b = InstanceBuilder::new(Switch::uniform(2, 2, 1));
+        b.unit_flow(0, 0, 0);
+        b.unit_flow(1, 1, 0);
+        let inst = b.build().unwrap();
+        let outages = (0..2)
+            .flat_map(|p| {
+                [
+                    outage(PortSide::Input, p, 0, 4),
+                    outage(PortSide::Output, p, 0, 4),
+                ]
+            })
+            .collect();
+        let plan = FailurePlan { outages };
+        let sched = run_policy_with_failures(&inst, &mut MaxCard, &plan);
+        assert!(sched.rounds().iter().all(|&t| t >= 4));
+        validate::check(&inst, &sched, &inst.switch).unwrap();
+    }
+
+    #[test]
+    fn failures_increase_response_times() {
+        let mut rng = SmallRng::seed_from_u64(63);
+        let inst = random_instance(&mut rng, &GenParams::unit(3, 18, 3));
+        let base =
+            fss_core::metrics::evaluate(&inst, &fss_online::run_policy(&inst, &mut MaxCard));
+        let plan = FailurePlan {
+            outages: vec![
+                outage(PortSide::Input, 0, 0, 8),
+                outage(PortSide::Output, 2, 2, 9),
+            ],
+        };
+        let degraded = fss_core::metrics::evaluate(
+            &inst,
+            &run_policy_with_failures(&inst, &mut MaxCard, &plan),
+        );
+        assert!(degraded.total_response >= base.total_response);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fss-sim — the flow-level simulator and experiment runner
+//!
+//! A from-scratch replacement for the paper's in-house C++/LEMON simulator
+//! (§5.2): Poisson workloads on a unit-capacity switch, round-based online
+//! execution of pluggable heuristics, multi-trial experiment grids (run in
+//! parallel with rayon), and the LP reference bounds the paper compares
+//! against in Figures 6 and 7.
+//!
+//! The paper's headline configuration is a `150 x 150` switch with
+//! `M ∈ {50, 100, 150, 300, 600}` mean arrivals per round for `T ∈ {10,
+//! 12, ..., 20, 40, 60, 80, 100}` rounds, 10 trials per point. All of that
+//! is expressible here; the figure binaries in `fss-bench` scale the
+//! LP-bound series down (see DESIGN.md §3.4 — the paper needed >3 h of
+//! Gurobi time per large cell).
+
+pub mod experiment;
+pub mod failures;
+pub mod report;
+pub mod saturation;
+pub mod stats;
+pub mod trace;
+pub mod workload;
+
+pub use experiment::{
+    lp_bounds_grid, lp_bounds_grid_parts, run_grid, CellResult, ExperimentConfig,
+    LpBoundParts, LpBoundResult, PolicyKind,
+};
+pub use failures::{run_policy_with_failures, FailurePlan, Outage};
+pub use saturation::{saturation_sweep, stable_intensity, SaturationPoint};
+pub use stats::{response_histogram, response_percentiles, ResponsePercentiles};
+pub use trace::{run_policy_traced, Trace, TraceRound};
+pub use workload::{poisson, poisson_workload, WorkloadParams};

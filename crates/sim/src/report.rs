@@ -1,0 +1,170 @@
+//! CSV and ASCII rendering of experiment results.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{CellResult, LpBoundResult};
+
+/// CSV for the heuristic grid: one row per `(policy, M, T)`.
+pub fn cells_to_csv(cells: &[CellResult]) -> String {
+    let mut out = String::from("policy,M,T,trials,mean_flows,avg_response,max_response\n");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.2},{:.4},{:.4}",
+            c.policy.name(),
+            c.mean_arrivals,
+            c.rounds,
+            c.trials,
+            c.mean_flows,
+            c.avg_response,
+            c.max_response
+        );
+    }
+    out
+}
+
+/// CSV for the LP bound grid.
+pub fn bounds_to_csv(bounds: &[LpBoundResult]) -> String {
+    let mut out = String::from("M,T,trials,avg_response_bound,max_response_bound\n");
+    for b in bounds {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{:.4}",
+            b.mean_arrivals, b.rounds, b.trials, b.avg_response_bound, b.max_response_bound
+        );
+    }
+    out
+}
+
+/// Render one figure-style series table: rows = T values, columns =
+/// policies (plus the LP bound when provided), values chosen by `metric`
+/// (`avg` or `max`). One table per `M` value, like the panels of
+/// Figures 6 and 7.
+pub fn figure_table(
+    cells: &[CellResult],
+    bounds: &[LpBoundResult],
+    mean_arrivals: f64,
+    use_max: bool,
+) -> String {
+    let mut policies: Vec<&'static str> = Vec::new();
+    for c in cells {
+        if c.mean_arrivals == mean_arrivals && !policies.contains(&c.policy.name()) {
+            policies.push(c.policy.name());
+        }
+    }
+    let mut t_values: Vec<u64> = cells
+        .iter()
+        .filter(|c| c.mean_arrivals == mean_arrivals)
+        .map(|c| c.rounds)
+        .collect();
+    t_values.sort_unstable();
+    t_values.dedup();
+
+    let metric_name = if use_max { "max response" } else { "avg response" };
+    let mut out = format!("M = {mean_arrivals} ({metric_name})\n");
+    let _ = write!(out, "{:>6}", "T");
+    for p in &policies {
+        let _ = write!(out, "{p:>12}");
+    }
+    if !bounds.is_empty() {
+        let _ = write!(out, "{:>12}", "LP bound");
+    }
+    out.push('\n');
+    for &t in &t_values {
+        let _ = write!(out, "{t:>6}");
+        for p in &policies {
+            let v = cells
+                .iter()
+                .find(|c| {
+                    c.mean_arrivals == mean_arrivals && c.rounds == t && c.policy.name() == *p
+                })
+                .map(|c| if use_max { c.max_response } else { c.avg_response });
+            match v {
+                Some(v) => {
+                    let _ = write!(out, "{v:>12.3}");
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        if !bounds.is_empty() {
+            let v = bounds
+                .iter()
+                .find(|b| b.mean_arrivals == mean_arrivals && b.rounds == t)
+                .map(|b| if use_max { b.max_response_bound } else { b.avg_response_bound });
+            match v {
+                Some(v) => {
+                    let _ = write!(out, "{v:>12.3}");
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PolicyKind;
+
+    fn cell(policy: PolicyKind, m: f64, t: u64, avg: f64, max: f64) -> CellResult {
+        CellResult {
+            policy,
+            mean_arrivals: m,
+            rounds: t,
+            trials: 2,
+            avg_response: avg,
+            max_response: max,
+            mean_flows: 10.0,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cells = vec![cell(PolicyKind::MaxCard, 50.0, 10, 1.5, 3.0)];
+        let csv = cells_to_csv(&cells);
+        assert!(csv.starts_with("policy,M,T"));
+        assert!(csv.contains("MaxCard,50,10,2,10.00,1.5000,3.0000"));
+    }
+
+    #[test]
+    fn bounds_csv() {
+        let b = vec![LpBoundResult {
+            mean_arrivals: 50.0,
+            rounds: 10,
+            trials: 2,
+            avg_response_bound: 1.25,
+            max_response_bound: 2.0,
+        }];
+        let csv = bounds_to_csv(&b);
+        assert!(csv.contains("50,10,2,1.2500,2.0000"));
+    }
+
+    #[test]
+    fn figure_table_lays_out_series() {
+        let cells = vec![
+            cell(PolicyKind::MaxCard, 50.0, 10, 1.5, 3.0),
+            cell(PolicyKind::MinRTime, 50.0, 10, 1.8, 2.0),
+            cell(PolicyKind::MaxCard, 50.0, 12, 1.6, 3.5),
+            cell(PolicyKind::MinRTime, 50.0, 12, 1.9, 2.2),
+        ];
+        let bounds = vec![LpBoundResult {
+            mean_arrivals: 50.0,
+            rounds: 10,
+            trials: 2,
+            avg_response_bound: 1.0,
+            max_response_bound: 2.0,
+        }];
+        let table = figure_table(&cells, &bounds, 50.0, false);
+        assert!(table.contains("MaxCard"));
+        assert!(table.contains("LP bound"));
+        assert!(table.contains("1.500"));
+        // T=12 has no bound: dash.
+        assert!(table.lines().last().unwrap().trim_end().ends_with('-'));
+    }
+}

@@ -1,0 +1,116 @@
+//! Saturation analysis: how much load can a policy sustain?
+//!
+//! A step toward the paper's §6 "beyond worst-case analysis" direction:
+//! for Poisson arrivals with per-port intensity `λ = M/m`, a policy is
+//! *stable* when queues stay bounded as `T` grows. A perfect scheduler on
+//! a uniform random workload is stable for `λ < 1`; real heuristics peel
+//! off earlier. [`saturation_sweep`] measures mean response versus `λ` and
+//! [`stable_intensity`] estimates the knee by bisection.
+
+use rand::{rngs::SmallRng, SeedableRng};
+
+use crate::experiment::PolicyKind;
+use crate::workload::{poisson_workload, WorkloadParams};
+
+/// One sweep point: intensity vs observed responses.
+#[derive(Debug, Clone)]
+pub struct SaturationPoint {
+    /// Per-port arrival intensity `λ = M/m`.
+    pub intensity: f64,
+    /// Mean response time over the trials.
+    pub mean_response: f64,
+    /// Mean maximum response time.
+    pub max_response: f64,
+}
+
+/// Measure mean/max response across a grid of intensities.
+pub fn saturation_sweep(
+    policy: PolicyKind,
+    m: usize,
+    rounds: u64,
+    intensities: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<SaturationPoint> {
+    intensities
+        .iter()
+        .map(|&lambda| {
+            let mut avg = 0.0;
+            let mut max = 0.0;
+            for k in 0..trials {
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (lambda.to_bits().rotate_left(17)) ^ k,
+                );
+                let params = WorkloadParams {
+                    m,
+                    mean_arrivals: lambda * m as f64,
+                    rounds,
+                };
+                let inst = poisson_workload(&mut rng, &params);
+                if inst.n() == 0 {
+                    continue;
+                }
+                let sched = policy.run(&inst);
+                let met = fss_core::metrics::evaluate(&inst, &sched);
+                avg += met.mean_response;
+                max += met.max_response as f64;
+            }
+            SaturationPoint {
+                intensity: lambda,
+                mean_response: avg / trials as f64,
+                max_response: max / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Estimate the largest intensity at which the policy keeps the mean
+/// response under `threshold` (bisection over `[lo, hi]`, `iters` steps).
+pub fn stable_intensity(
+    policy: PolicyKind,
+    m: usize,
+    rounds: u64,
+    threshold: f64,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let (mut lo, mut hi) = (0.05f64, 1.5f64);
+    for _ in 0..8 {
+        let mid = 0.5 * (lo + hi);
+        let pt = &saturation_sweep(policy, m, rounds, &[mid], trials, seed)[0];
+        if pt.mean_response <= threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_grows_with_intensity() {
+        let pts = saturation_sweep(PolicyKind::MaxCard, 6, 12, &[0.3, 1.2], 2, 11);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].mean_response > pts[0].mean_response,
+            "4x the load must cost response time: {:?}",
+            pts
+        );
+    }
+
+    #[test]
+    fn light_load_is_fast() {
+        let pts = saturation_sweep(PolicyKind::MinRTime, 6, 12, &[0.15], 2, 13);
+        assert!(pts[0].mean_response < 2.5, "near-idle switch must respond fast");
+    }
+
+    #[test]
+    fn stable_intensity_is_in_range() {
+        let s = stable_intensity(PolicyKind::MaxCard, 5, 10, 3.0, 1, 17);
+        assert!(s > 0.05 && s < 1.5);
+    }
+}

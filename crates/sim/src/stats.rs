@@ -1,0 +1,164 @@
+//! Response-time statistics beyond the paper's two point metrics.
+//!
+//! The paper reports mean and maximum response times; production operators
+//! care about tail latency too. This module adds percentile summaries and
+//! distribution histograms over per-flow response times — used by the
+//! extended experiment reports and the saturation probe.
+
+use fss_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Percentile summary of per-flow response times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponsePercentiles {
+    /// Number of flows.
+    pub n: usize,
+    /// Mean response.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+/// Compute percentiles of the response-time distribution.
+///
+/// Uses the nearest-rank method: `p`-th percentile = the value at index
+/// `ceil(p/100 * n) - 1` of the sorted responses.
+pub fn response_percentiles(inst: &Instance, sched: &Schedule) -> ResponsePercentiles {
+    let mut rho: Vec<u64> = inst
+        .flows
+        .iter()
+        .zip(sched.rounds())
+        .map(|(f, &t)| t + 1 - f.release)
+        .collect();
+    rho.sort_unstable();
+    let n = rho.len();
+    let rank = |p: f64| -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+        rho[idx]
+    };
+    ResponsePercentiles {
+        n,
+        mean: if n == 0 { 0.0 } else { rho.iter().sum::<u64>() as f64 / n as f64 },
+        p50: rank(50.0),
+        p95: rank(95.0),
+        p99: rank(99.0),
+        max: rho.last().copied().unwrap_or(0),
+    }
+}
+
+/// Histogram of response times with unit-width buckets `1..=max`
+/// (`histogram[r - 1]` counts flows with response exactly `r`).
+pub fn response_histogram(inst: &Instance, sched: &Schedule) -> Vec<u64> {
+    let mut max = 0u64;
+    let rho: Vec<u64> = inst
+        .flows
+        .iter()
+        .zip(sched.rounds())
+        .map(|(f, &t)| {
+            let r = t + 1 - f.release;
+            max = max.max(r);
+            r
+        })
+        .collect();
+    let mut hist = vec![0u64; max as usize];
+    for r in rho {
+        hist[(r - 1) as usize] += 1;
+    }
+    hist
+}
+
+/// Per-round queue lengths while executing `sched` online: entry `t` is
+/// the number of released-but-not-yet-scheduled flows at the start of
+/// round `t`. Useful for stability analysis (queues that grow linearly in
+/// `t` indicate an overloaded switch).
+pub fn queue_length_trace(inst: &Instance, sched: &Schedule) -> Vec<u64> {
+    let horizon = sched.makespan();
+    let mut released_by = vec![0u64; horizon as usize + 1];
+    let mut served_by = vec![0u64; horizon as usize + 1];
+    for (f, &t) in inst.flows.iter().zip(sched.rounds()) {
+        let r = f.release.min(horizon) as usize;
+        released_by[r] += 1;
+        served_by[t as usize] += 1;
+    }
+    let mut trace = Vec::with_capacity(horizon as usize);
+    let mut queue = 0i64;
+    for t in 0..horizon as usize {
+        queue += released_by[t] as i64;
+        trace.push(queue.max(0) as u64);
+        queue -= served_by[t] as i64;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst_and_sched() -> (Instance, Schedule) {
+        let mut b = InstanceBuilder::new(Switch::uniform(1, 1, 1));
+        for _ in 0..4 {
+            b.unit_flow(0, 0, 0);
+        }
+        let inst = b.build().unwrap();
+        // Serialized: responses 1, 2, 3, 4.
+        let sched = Schedule::from_rounds(vec![0, 1, 2, 3]);
+        (inst, sched)
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ladder() {
+        let (inst, sched) = inst_and_sched();
+        let p = response_percentiles(&inst, &sched);
+        assert_eq!(p.n, 4);
+        assert!((p.mean - 2.5).abs() < 1e-12);
+        assert_eq!(p.p50, 2);
+        assert_eq!(p.p95, 4);
+        assert_eq!(p.p99, 4);
+        assert_eq!(p.max, 4);
+    }
+
+    #[test]
+    fn empty_instance_percentiles() {
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let p = response_percentiles(&inst, &Schedule::from_rounds(vec![]));
+        assert_eq!(p.n, 0);
+        assert_eq!(p.max, 0);
+    }
+
+    #[test]
+    fn histogram_counts_each_response() {
+        let (inst, sched) = inst_and_sched();
+        let h = response_histogram(&inst, &sched);
+        assert_eq!(h, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn queue_trace_rises_then_drains() {
+        let (inst, sched) = inst_and_sched();
+        let q = queue_length_trace(&inst, &sched);
+        // All 4 released at round 0; one served per round.
+        assert_eq!(q, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn percentiles_match_metrics() {
+        use fss_core::gen::{random_instance, GenParams};
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2);
+        let inst = random_instance(&mut rng, &GenParams::unit(4, 25, 5));
+        let sched = fss_offline::greedy_schedule(&inst);
+        let m = fss_core::metrics::evaluate(&inst, &sched);
+        let p = response_percentiles(&inst, &sched);
+        assert_eq!(p.max, m.max_response);
+        assert!((p.mean - m.mean_response).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,204 @@
+//! Execution traces: per-round records of what a policy scheduled.
+//!
+//! A [`Trace`] captures, round by round, the set of flows dispatched and
+//! the queue length left behind — enough to replay and re-validate a run,
+//! feed external plotting, or diff two policies on the same workload.
+//! Serialized as JSON lines (one [`TraceRound`] per line) so long traces
+//! stream without loading whole files.
+
+use fss_core::prelude::*;
+use fss_online::{OnlinePolicy, QueueState, WaitingFlow};
+use serde::{Deserialize, Serialize};
+
+/// One round of execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRound {
+    /// Round index.
+    pub round: u64,
+    /// Flow ids dispatched this round.
+    pub dispatched: Vec<u32>,
+    /// Flows still waiting after dispatch.
+    pub queue_after: u32,
+}
+
+/// A complete run: the per-round records plus the resulting schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Policy name that produced the trace.
+    pub policy: String,
+    /// Per-round records (rounds with an empty queue are omitted).
+    pub rounds: Vec<TraceRound>,
+}
+
+impl Trace {
+    /// Reconstruct the flow-level schedule encoded by the trace. Panics if
+    /// a flow is dispatched twice or never (diagnostic tool — a malformed
+    /// trace is a bug, not an input error).
+    pub fn to_schedule(&self, n: usize) -> Schedule {
+        let mut rounds = vec![u64::MAX; n];
+        for r in &self.rounds {
+            for &f in &r.dispatched {
+                assert_eq!(rounds[f as usize], u64::MAX, "flow {f} dispatched twice");
+                rounds[f as usize] = r.round;
+            }
+        }
+        assert!(
+            rounds.iter().all(|&t| t != u64::MAX),
+            "trace does not cover every flow"
+        );
+        Schedule::from_rounds(rounds)
+    }
+
+    /// Encode as JSON lines (header line with the policy, then one line
+    /// per round).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!("{{\"policy\":{:?}}}\n", self.policy);
+        for r in &self.rounds {
+            out.push_str(&serde_json::to_string(r).expect("serializable"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decode from the JSON-lines form.
+    pub fn from_jsonl(text: &str) -> Result<Trace, serde_json::Error> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        #[derive(Deserialize)]
+        struct Header {
+            policy: String,
+        }
+        let header: Header = serde_json::from_str(lines.next().unwrap_or("{}"))?;
+        let mut rounds = Vec::new();
+        for line in lines {
+            rounds.push(serde_json::from_str(line)?);
+        }
+        Ok(Trace { policy: header.policy, rounds })
+    }
+}
+
+/// Run `policy` over `inst` exactly like [`fss_online::run_policy`], but
+/// record a [`Trace`] alongside the schedule.
+pub fn run_policy_traced<P: OnlinePolicy>(
+    inst: &Instance,
+    policy: &mut P,
+) -> (Schedule, Trace) {
+    assert!(inst.switch.is_unit_capacity(), "traced runner requires unit capacities");
+    assert!(inst.is_unit_demand(), "traced runner requires unit demands");
+    let n = inst.n();
+    let mut rounds = vec![0u64; n];
+    let mut trace = Trace { policy: policy.name().to_string(), rounds: Vec::new() };
+    if n == 0 {
+        return (Schedule::from_rounds(rounds), trace);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (inst.flows[i].release, i));
+    let mut next = 0usize;
+    let mut waiting: Vec<WaitingFlow> = Vec::new();
+    let mut t = inst.flows[order[0]].release;
+    let mut remaining = n;
+
+    while remaining > 0 {
+        while next < n && inst.flows[order[next]].release <= t {
+            let i = order[next];
+            let f = &inst.flows[i];
+            waiting.push(WaitingFlow {
+                id: FlowId(i as u32),
+                src: f.src,
+                dst: f.dst,
+                release: f.release,
+            });
+            next += 1;
+        }
+        if waiting.is_empty() {
+            t = inst.flows[order[next]].release;
+            continue;
+        }
+        let state = QueueState {
+            round: t,
+            waiting: &waiting,
+            m_in: inst.switch.num_inputs(),
+            m_out: inst.switch.num_outputs(),
+        };
+        let mut selection = policy.choose(&state);
+        selection.sort_unstable();
+        selection.dedup();
+        let mut dispatched = Vec::with_capacity(selection.len());
+        for &k in &selection {
+            let w = &waiting[k];
+            rounds[w.id.idx()] = t;
+            dispatched.push(w.id.0);
+        }
+        remaining -= selection.len();
+        for &k in selection.iter().rev() {
+            waiting.swap_remove(k);
+        }
+        trace.rounds.push(TraceRound {
+            round: t,
+            dispatched,
+            queue_after: waiting.len() as u32,
+        });
+        t += 1;
+    }
+    (Schedule::from_rounds(rounds), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fss_core::gen::{random_instance, GenParams};
+    use fss_online::{MaxCard, MinRTime};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn inst() -> Instance {
+        let mut rng = SmallRng::seed_from_u64(12);
+        random_instance(&mut rng, &GenParams::unit(4, 20, 5))
+    }
+
+    #[test]
+    fn trace_matches_untraced_run() {
+        let inst = inst();
+        let (sched, trace) = run_policy_traced(&inst, &mut MaxCard);
+        let plain = fss_online::run_policy(&inst, &mut MaxCard);
+        assert_eq!(sched, plain, "tracing must not change decisions");
+        assert_eq!(trace.policy, "MaxCard");
+        assert_eq!(trace.to_schedule(inst.n()), sched);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let inst = inst();
+        let (_, trace) = run_policy_traced(&inst, &mut MinRTime);
+        let text = trace.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn queue_after_decreases_to_zero() {
+        let inst = inst();
+        let (_, trace) = run_policy_traced(&inst, &mut MaxCard);
+        assert_eq!(trace.rounds.last().unwrap().queue_after, 0);
+    }
+
+    #[test]
+    fn replayed_schedule_is_feasible() {
+        let inst = inst();
+        let (sched, trace) = run_policy_traced(&inst, &mut MaxCard);
+        let replayed = trace.to_schedule(inst.n());
+        validate::check(&inst, &replayed, &inst.switch).unwrap();
+        assert_eq!(replayed, sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatched twice")]
+    fn duplicate_dispatch_detected() {
+        let trace = Trace {
+            policy: "bogus".into(),
+            rounds: vec![
+                TraceRound { round: 0, dispatched: vec![0], queue_after: 0 },
+                TraceRound { round: 1, dispatched: vec![0], queue_after: 0 },
+            ],
+        };
+        let _ = trace.to_schedule(1);
+    }
+}

@@ -1,0 +1,84 @@
+//! The online lower-bound constructions of §5.1, executed.
+//!
+//! * Figure 4(a) / Lemma 5.1: a stream that makes every online algorithm's
+//!   *average* response time unboundedly worse than the offline optimum;
+//! * Figure 4(b) / Lemma 5.2: a six-flow gadget where the offline optimum
+//!   has maximum response 2 but any online algorithm is forced to 3.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_lower_bounds
+//! ```
+
+use flow_switch::offline::exact::min_max_response;
+use flow_switch::offline::hardness::{figure_4a, figure_4b};
+use flow_switch::online::{run_policy, MaxCard, MaxWeight, MinRTime};
+use flow_switch::prelude::*;
+
+fn main() {
+    // ---- Figure 4(b): the 3/2 gadget ---------------------------------
+    let inst = figure_4b();
+    let (opt, _) = min_max_response(&inst);
+    println!("Figure 4(b): offline optimal max response = {opt} (Lemma 5.2 says 2)");
+    for (name, sched) in [
+        ("MaxCard", run_policy(&inst, &mut MaxCard)),
+        ("MinRTime", run_policy(&inst, &mut MinRTime)),
+        ("MaxWeight", run_policy(&inst, &mut MaxWeight)),
+    ] {
+        let m = metrics::evaluate(&inst, &sched);
+        println!("  {name:<10} online max response = {}", m.max_response);
+    }
+    println!("  (any online algorithm can be forced to 3; the offline bound is 2)\n");
+
+    // ---- Figure 4(a): unbounded average-response ratio ----------------
+    for (t, m_rounds) in [(10u64, 60u64), (20, 200)] {
+        let inst = figure_4a(t, m_rounds);
+        println!(
+            "Figure 4(a) with T = {t}, M = {m_rounds}: {} flows",
+            inst.n()
+        );
+        for (name, sched) in [
+            ("MaxCard", run_policy(&inst, &mut MaxCard)),
+            ("MinRTime", run_policy(&inst, &mut MinRTime)),
+            ("MaxWeight", run_policy(&inst, &mut MaxWeight)),
+        ] {
+            let m = metrics::evaluate(&inst, &sched);
+            println!(
+                "  {name:<10} total response = {:>5}  avg = {:.2}",
+                m.total_response, m.mean_response
+            );
+        }
+        // The offline strategy of Lemma 5.1: all (1,3) flows first, then
+        // (1,2) backlog in parallel with the dashed (4,3) stream.
+        let offline = lemma_5_1_offline(&inst, t);
+        validate::check(&inst, &offline, &inst.switch).expect("offline schedule feasible");
+        let m = metrics::evaluate(&inst, &offline);
+        println!(
+            "  {:<10} total response = {:>5}  avg = {:.2}  (offline strategy)",
+            "Offline", m.total_response, m.mean_response
+        );
+        println!();
+    }
+    println!("As M grows with T fixed, the online/offline ratio grows without bound.");
+}
+
+/// The offline schedule from the Lemma 5.1 proof. Flow layout of
+/// `figure_4a(t, m)`: for each round `r < t` a (0,0)-flow then a
+/// (0,1)-flow; afterwards one (1,1)-flow per round.
+fn lemma_5_1_offline(inst: &Instance, t_rounds: u64) -> Schedule {
+    let mut rounds = vec![0u64; inst.n()];
+    let mut k = 0usize;
+    for r in 0..t_rounds {
+        // (0,0) flow: delayed until after the solid phase.
+        rounds[k] = t_rounds + r;
+        k += 1;
+        // (0,1) flow: run immediately.
+        rounds[k] = r;
+        k += 1;
+    }
+    // Dashed (1,1) flows: run on arrival (parallel with the (0,0) backlog).
+    while k < inst.n() {
+        rounds[k] = inst.flows[k].release;
+        k += 1;
+    }
+    Schedule::from_rounds(rounds)
+}

@@ -1,0 +1,62 @@
+//! Datacenter-scale online scheduling: the paper's §5.2 experiment in
+//! miniature. Generates Poisson workloads on a unit-capacity switch,
+//! races the three heuristics, and prints a Figure 6/7-style table.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_online            # 30x30 demo
+//! cargo run --release --example datacenter_online -- 150 10  # paper scale
+//! ```
+//!
+//! Args: `[switch_size] [trials]`.
+
+use flow_switch::sim::{run_grid, ExperimentConfig, PolicyKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let m: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let trials: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    // Arrival rates proportional to the paper's M in {50,...,600} at 150
+    // ports: M = m/3, 2m/3, m, 2m, 4m.
+    let f = m as f64;
+    let cfg = ExperimentConfig {
+        m,
+        m_values: vec![f / 3.0, 2.0 * f / 3.0, f, 2.0 * f, 4.0 * f],
+        t_values: vec![10, 20, 40],
+        trials,
+        seed: 0xda7a,
+        policies: vec![
+            PolicyKind::MaxCard,
+            PolicyKind::MinRTime,
+            PolicyKind::MaxWeight,
+            PolicyKind::FifoGreedy,
+        ],
+    };
+    println!(
+        "switch {m}x{m}, arrival rates {:?}, {} trials/cell\n",
+        cfg.m_values, trials
+    );
+    let cells = run_grid(&cfg);
+
+    for &ma in &cfg.m_values {
+        println!("{}", flow_switch::sim::report::figure_table(&cells, &[], ma, false));
+        println!("{}", flow_switch::sim::report::figure_table(&cells, &[], ma, true));
+    }
+
+    // The paper's qualitative conclusions, restated from the data:
+    let pick = |p: PolicyKind, use_max: bool| -> f64 {
+        cells
+            .iter()
+            .filter(|c| c.policy == p)
+            .map(|c| if use_max { c.max_response } else { c.avg_response })
+            .sum::<f64>()
+    };
+    println!("aggregate avg-response: MaxCard {:.1}  MinRTime {:.1}  MaxWeight {:.1}",
+        pick(PolicyKind::MaxCard, false),
+        pick(PolicyKind::MinRTime, false),
+        pick(PolicyKind::MaxWeight, false));
+    println!("aggregate max-response: MaxCard {:.1}  MinRTime {:.1}  MaxWeight {:.1}",
+        pick(PolicyKind::MaxCard, true),
+        pick(PolicyKind::MinRTime, true),
+        pick(PolicyKind::MaxWeight, true));
+}

@@ -1,0 +1,216 @@
+//! `flowsched` — command-line front end for the flow-switch toolkit.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! flowsched gen      --m 8 --flows 40 --max-release 10 --seed 7 -o inst.json
+//! flowsched validate -i inst.json -s sched.json [--augment D]
+//! flowsched solve    -i inst.json --objective art --c 2      -o sched.json
+//! flowsched solve    -i inst.json --objective mrt            -o sched.json
+//! flowsched online   -i inst.json --policy maxweight         -o sched.json
+//! flowsched stats    -i inst.json -s sched.json
+//! ```
+//!
+//! Instances and schedules are the serde JSON forms of
+//! [`fss_core::Instance`] and [`fss_core::Schedule`].
+
+use std::process::ExitCode;
+
+use flow_switch::offline::art::solve_art;
+use flow_switch::offline::mrt::{solve_mrt, RoundingEngine};
+use flow_switch::online::{run_policy, FifoGreedy, MaxCard, MaxWeight, MinRTime};
+use flow_switch::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("flowsched: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  flowsched gen      --m M [--flows N] [--max-release R] [--seed S] [--cap C] [--max-demand D] -o FILE
+  flowsched validate -i INSTANCE -s SCHEDULE [--augment D]
+  flowsched solve    -i INSTANCE --objective art|mrt [--c C] [-o FILE]
+  flowsched online   -i INSTANCE --policy maxcard|minrtime|maxweight|fifo [-o FILE]
+  flowsched stats    -i INSTANCE -s SCHEDULE";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    let opts = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "gen" => gen(&opts),
+        "validate" => validate_cmd(&opts),
+        "solve" => solve(&opts),
+        "online" => online(&opts),
+        "stats" => stats(&opts),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .or_else(|| a.strip_prefix('-'))
+            .ok_or_else(|| format!("expected a flag, found '{a}'"))?;
+        let val = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.push((key.to_string(), val.clone()));
+    }
+    Ok(Flags(flags))
+}
+
+fn read_instance(flags: &Flags) -> Result<Instance, String> {
+    let path = flags.required("i")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn read_schedule(flags: &Flags) -> Result<Schedule, String> {
+    let path = flags.required("s")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(flags: &Flags, value: &T) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| format!("serialize: {e}"))?;
+    match flags.get("o") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn gen(flags: &Flags) -> Result<(), String> {
+    let m: usize = flags.parsed("m", 8)?;
+    let n: usize = flags.parsed("flows", 4 * m)?;
+    let max_release: u64 = flags.parsed("max-release", 10)?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let cap: u32 = flags.parsed("cap", 1)?;
+    let max_demand: u32 = flags.parsed("max-demand", 1)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let inst = fss_core::gen::random_instance(
+        &mut rng,
+        &fss_core::gen::GenParams { m, m_out: m, cap, n, max_demand, max_release },
+    );
+    write_json(flags, &inst)
+}
+
+fn validate_cmd(flags: &Flags) -> Result<(), String> {
+    let inst = read_instance(flags)?;
+    let sched = read_schedule(flags)?;
+    let delta: u32 = flags.parsed("augment", 0)?;
+    let caps = inst.switch.augmented(delta);
+    match validate::check(&inst, &sched, &caps) {
+        Ok(()) => {
+            println!("valid (augmentation +{delta})");
+            Ok(())
+        }
+        Err(e) => Err(format!("invalid schedule: {e}")),
+    }
+}
+
+fn solve(flags: &Flags) -> Result<(), String> {
+    let inst = read_instance(flags)?;
+    match flags.required("objective")? {
+        "art" => {
+            let c: u32 = flags.parsed("c", 1)?;
+            if !inst.is_unit_demand() {
+                return Err("FS-ART (Theorem 1) requires unit demands".into());
+            }
+            let res = solve_art(&inst, c);
+            eprintln!(
+                "FS-ART: total response {} (avg {:.2}) on a {}x capacity switch, window h = {}",
+                res.metrics.total_response,
+                res.metrics.mean_response,
+                res.capacity_factor,
+                res.window
+            );
+            write_json(flags, &res.schedule)
+        }
+        "mrt" => {
+            let res = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "FS-MRT: rho* = {} with +{} port capacity (2*dmax-1 = {})",
+                res.rho_star,
+                res.augmentation,
+                2 * inst.dmax().max(1) - 1
+            );
+            write_json(flags, &res.schedule)
+        }
+        other => Err(format!("unknown objective '{other}' (use art|mrt)")),
+    }
+}
+
+fn online(flags: &Flags) -> Result<(), String> {
+    let inst = read_instance(flags)?;
+    let sched = match flags.required("policy")? {
+        "maxcard" => run_policy(&inst, &mut MaxCard),
+        "minrtime" => run_policy(&inst, &mut MinRTime),
+        "maxweight" => run_policy(&inst, &mut MaxWeight),
+        "fifo" => run_policy(&inst, &mut FifoGreedy),
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+    let m = metrics::evaluate(&inst, &sched);
+    eprintln!(
+        "online: total {} (avg {:.2}), max {}",
+        m.total_response, m.mean_response, m.max_response
+    );
+    write_json(flags, &sched)
+}
+
+fn stats(flags: &Flags) -> Result<(), String> {
+    let inst = read_instance(flags)?;
+    let sched = read_schedule(flags)?;
+    if inst.n() != sched.len() {
+        return Err(format!(
+            "schedule covers {} flows, instance has {}",
+            sched.len(),
+            inst.n()
+        ));
+    }
+    let m = metrics::evaluate(&inst, &sched);
+    let p = fss_sim::response_percentiles(&inst, &sched);
+    println!("flows            : {}", m.n);
+    println!("makespan         : {}", m.makespan);
+    println!("total response   : {}", m.total_response);
+    println!("mean response    : {:.3}", m.mean_response);
+    println!("p50 / p95 / p99  : {} / {} / {}", p.p50, p.p95, p.p99);
+    println!("max response     : {}", m.max_response);
+    let needed = validate::required_augmentation(&inst, &sched)
+        .map_err(|e| format!("{e}"))?;
+    println!("needed augment   : +{needed}");
+    Ok(())
+}

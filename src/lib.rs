@@ -1,0 +1,34 @@
+//! # flow-switch — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *Scheduling Flows on a Switch to
+//! Optimize Response Times* (Jahanjou, Rajaraman, Stalfa — SPAA 2020).
+//!
+//! This crate re-exports the workspace's public surface:
+//!
+//! * [`core`] — the switch / flow / schedule model and metrics;
+//! * [`lp`] — the linear-programming substrate (two-phase simplex);
+//! * [`matching`] — bipartite matching, edge coloring, BvN decomposition;
+//! * [`rounding`] — dependent rounding engines;
+//! * [`offline`] — the paper's offline approximation algorithms
+//!   (FS-ART iterative rounding, FS-MRT LP rounding);
+//! * [`online`] — online heuristics (MaxCard / MinRTime / MaxWeight) and
+//!   the AMRT algorithm;
+//! * [`sim`] — the flow-level simulator and the paper's experiment runner;
+//! * [`coflow`] — the co-flow generalization (§6 future work): grouped
+//!   flows, CCT-style metrics, SEBF / FIFO / fair schedulers.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use fss_coflow as coflow;
+pub use fss_core as core;
+pub use fss_lp as lp;
+pub use fss_matching as matching;
+pub use fss_offline as offline;
+pub use fss_online as online;
+pub use fss_rounding as rounding;
+pub use fss_sim as sim;
+
+/// One-stop import for examples and integration tests.
+pub mod prelude {
+    pub use fss_core::prelude::*;
+}

@@ -1,0 +1,93 @@
+//! End-to-end tests of the `flowsched` CLI binary.
+
+use std::process::Command;
+
+fn flowsched(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_flowsched"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("flowsched-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn gen_solve_validate_round_trip() {
+    let inst = tmp("inst.json");
+    let sched = tmp("sched.json");
+
+    let out = flowsched(&["gen", "--m", "4", "--flows", "10", "--seed", "9", "-o", &inst]);
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = flowsched(&["solve", "-i", &inst, "--objective", "mrt", "-o", &sched]);
+    assert!(out.status.success(), "solve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("rho*"), "missing rho* report: {log}");
+
+    // The MRT schedule may need augmentation up to 2*dmax-1 = 1.
+    let out = flowsched(&["validate", "-i", &inst, "-s", &sched, "--augment", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn online_policies_and_stats() {
+    let inst = tmp("inst2.json");
+    let sched = tmp("sched2.json");
+    flowsched(&["gen", "--m", "3", "--flows", "8", "--seed", "4", "-o", &inst]);
+    for policy in ["maxcard", "minrtime", "maxweight", "fifo"] {
+        let out = flowsched(&["online", "-i", &inst, "--policy", policy, "-o", &sched]);
+        assert!(out.status.success(), "policy {policy} failed");
+        let out = flowsched(&["validate", "-i", &inst, "-s", &sched]);
+        assert!(out.status.success(), "policy {policy} schedule invalid");
+    }
+    let out = flowsched(&["stats", "-i", &inst, "-s", &sched]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean response"));
+    assert!(text.contains("p50 / p95 / p99"));
+}
+
+#[test]
+fn art_solver_reports_capacity_factor() {
+    let inst = tmp("inst3.json");
+    let sched = tmp("sched3.json");
+    flowsched(&["gen", "--m", "3", "--flows", "6", "--seed", "5", "-o", &inst]);
+    let out = flowsched(&["solve", "-i", &inst, "--objective", "art", "--c", "2", "-o", &sched]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("3x capacity"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown subcommand.
+    let out = flowsched(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Missing required flag.
+    let out = flowsched(&["validate"]);
+    assert!(!out.status.success());
+
+    // Unknown policy.
+    let inst = tmp("inst4.json");
+    flowsched(&["gen", "--m", "2", "--flows", "2", "-o", &inst]);
+    let out = flowsched(&["online", "-i", &inst, "--policy", "psychic"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn mismatched_schedule_rejected() {
+    let inst = tmp("inst5.json");
+    let other = tmp("inst6.json");
+    let sched = tmp("sched5.json");
+    flowsched(&["gen", "--m", "3", "--flows", "6", "--seed", "1", "-o", &inst]);
+    flowsched(&["gen", "--m", "3", "--flows", "9", "--seed", "2", "-o", &other]);
+    flowsched(&["online", "-i", &inst, "--policy", "fifo", "-o", &sched]);
+    // Validate against the wrong instance: length mismatch.
+    let out = flowsched(&["validate", "-i", &other, "-s", &sched]);
+    assert!(!out.status.success());
+}

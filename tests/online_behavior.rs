@@ -1,0 +1,121 @@
+//! Integration tests for the online layer: heuristics vs LP bounds on
+//! simulated workloads, AMRT's competitive guarantees, and the adversarial
+//! constructions.
+
+use flow_switch::offline::art::art_lp_lower_bound;
+use flow_switch::offline::exact::min_max_response;
+use flow_switch::offline::hardness::{figure_4a, figure_4b};
+use flow_switch::offline::mrt::min_feasible_rho;
+use flow_switch::online::{amrt_schedule, run_policy, MaxCard, MaxWeight, MinRTime};
+use flow_switch::prelude::*;
+use flow_switch::sim::{poisson_workload, WorkloadParams};
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn heuristics_within_small_factor_of_lp_on_poisson_workloads() {
+    // The paper observes every heuristic within ~2x of the LP average
+    // bound and ~2.5x of the LP max bound. Allow generous slack on tiny
+    // switches where variance is higher.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let params = WorkloadParams { m: 6, mean_arrivals: 4.0, rounds: 8 };
+    for _ in 0..3 {
+        let inst = poisson_workload(&mut rng, &params);
+        if inst.n() == 0 {
+            continue;
+        }
+        let lp_avg = art_lp_lower_bound(&inst, None).unwrap() / inst.n() as f64;
+        let lp_max = min_feasible_rho(&inst, None).unwrap() as f64;
+        for (name, sched) in [
+            ("MaxCard", run_policy(&inst, &mut MaxCard)),
+            ("MinRTime", run_policy(&inst, &mut MinRTime)),
+            ("MaxWeight", run_policy(&inst, &mut MaxWeight)),
+        ] {
+            let m = metrics::evaluate(&inst, &sched);
+            assert!(
+                m.mean_response <= 4.0 * lp_avg.max(1.0),
+                "{name}: avg {} vs LP {lp_avg}",
+                m.mean_response
+            );
+            assert!(
+                (m.max_response as f64) <= 5.0 * lp_max.max(1.0),
+                "{name}: max {} vs LP {lp_max}",
+                m.max_response
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_4b_no_policy_beats_offline_bound() {
+    // Online policies cannot beat the offline optimum; Lemma 5.2 says some
+    // adversarial tie-break forces 3, and no algorithm does better than 2.
+    let inst = figure_4b();
+    let (opt, _) = min_max_response(&inst);
+    assert_eq!(opt, 2);
+    for sched in [
+        run_policy(&inst, &mut MaxCard),
+        run_policy(&inst, &mut MinRTime),
+        run_policy(&inst, &mut MaxWeight),
+    ] {
+        let m = metrics::evaluate(&inst, &sched);
+        assert!(m.max_response >= 2);
+        assert!(m.max_response <= 3, "nothing forces worse than 3 here");
+    }
+}
+
+#[test]
+fn figure_4a_ratio_grows_with_stream_length() {
+    // Lemma 5.1's mechanism: with T fixed, growing M widens the gap
+    // between MinRTime/MaxWeight (which interleave the two port-1 queues)
+    // and the offline strategy.
+    let t = 8u64;
+    let short = figure_4a(t, 24);
+    let long = figure_4a(t, 96);
+    let ratio = |inst: &Instance| {
+        let online =
+            metrics::evaluate(inst, &run_policy(inst, &mut MinRTime)).total_response as f64;
+        // Offline cost of the Lemma 5.1 strategy: (0,1) flows respond in
+        // 1, (0,0) flows wait ~T, dashed flows respond in 1.
+        let offline: f64 = (2 * t + (t * t) / 2 + (inst.n() as u64 - 2 * t)) as f64;
+        online / offline
+    };
+    assert!(
+        ratio(&long) > ratio(&short),
+        "gap must widen with M: {} vs {}",
+        ratio(&long),
+        ratio(&short)
+    );
+}
+
+#[test]
+fn amrt_on_poisson_workload() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let params = WorkloadParams { m: 4, mean_arrivals: 2.0, rounds: 6 };
+    let inst = poisson_workload(&mut rng, &params);
+    let r = amrt_schedule(&inst);
+    let m = metrics::evaluate(&inst, &r.schedule);
+    assert!(m.max_response <= 2 * r.final_rho.max(1));
+    // Lemma 5.3 capacity: 2 * (c_p + 2 dmax - 1) = 4 for unit everything.
+    assert!(r.max_port_load <= 4);
+}
+
+#[test]
+fn online_policies_are_work_conserving_under_load() {
+    // On a saturated switch no policy should leave the queue idle: total
+    // scheduled per round equals a maximal matching's worth of flows.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let params = WorkloadParams { m: 5, mean_arrivals: 10.0, rounds: 4 };
+    let inst = poisson_workload(&mut rng, &params);
+    let sched = run_policy(&inst, &mut MaxCard);
+    // With m=5 ports, at most 5 flows per round; heavy load should fill
+    // most rounds to near capacity until the queue drains.
+    let mut per_round = std::collections::HashMap::new();
+    for &t in sched.rounds() {
+        *per_round.entry(t).or_insert(0u32) += 1;
+    }
+    let makespan = sched.makespan();
+    for t in 0..makespan.saturating_sub(1) {
+        let count = per_round.get(&t).copied().unwrap_or(0);
+        assert!(count >= 1, "round {t} idle while flows were pending");
+    }
+}

@@ -1,0 +1,106 @@
+//! Workspace-wide property tests: every pipeline must uphold its paper
+//! guarantee on arbitrary generated instances.
+
+use flow_switch::offline::art::{art_lp_lower_bound, iterative_rounding, solve_art};
+use flow_switch::offline::greedy_schedule;
+use flow_switch::offline::mrt::{solve_mrt, RoundingEngine};
+use flow_switch::online::{run_policy, MaxCard, MaxWeight, MinRTime};
+use flow_switch::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small unit-demand instance on an `m x m` unit switch.
+fn unit_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=4, 1usize..=14).prop_flat_map(|(m, n)| {
+        let flow = (0..m as u32, 0..m as u32, 0u64..6);
+        proptest::collection::vec(flow, n).prop_map(move |flows| {
+            let mut b = InstanceBuilder::new(Switch::uniform(m, m, 1));
+            for (s, d, r) in flows {
+                b.unit_flow(s, d, r);
+            }
+            b.build().expect("generated instance is valid")
+        })
+    })
+}
+
+/// Strategy: mixed demands and capacities.
+fn general_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=3, 1usize..=8, 2u32..=4).prop_flat_map(|(m, n, cap)| {
+        let flow = (0..m as u32, 0..m as u32, 1..=cap, 0u64..4);
+        proptest::collection::vec(flow, n).prop_map(move |flows| {
+            let mut b = InstanceBuilder::new(Switch::uniform(m, m, cap));
+            for (s, d, dem, r) in flows {
+                b.flow(s, d, dem, r);
+            }
+            b.build().expect("generated instance is valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn greedy_always_feasible(inst in unit_instance()) {
+        let s = greedy_schedule(&inst);
+        prop_assert!(validate::check(&inst, &s, &inst.switch).is_ok());
+    }
+
+    #[test]
+    fn lp_bound_below_greedy(inst in unit_instance()) {
+        let lp = art_lp_lower_bound(&inst, None).unwrap();
+        let greedy = fss_core::metrics::evaluate(&inst, &greedy_schedule(&inst));
+        prop_assert!(lp <= greedy.total_response as f64 + 1e-6);
+    }
+
+    #[test]
+    fn pseudo_schedule_respects_releases_and_logs_overload(inst in unit_instance()) {
+        let r = iterative_rounding(&inst);
+        for (i, f) in inst.flows.iter().enumerate() {
+            prop_assert!(r.pseudo.round_of(FlowId(i as u32)) >= f.release);
+        }
+        let n = inst.n().max(2);
+        let bound = 10 * ((n as f64).log2().ceil() as i64 + 1) + 4;
+        prop_assert!(r.pseudo.max_window_overload(&inst) <= bound);
+    }
+
+    #[test]
+    fn art_schedule_valid_on_scaled_switch(inst in unit_instance()) {
+        let res = solve_art(&inst, 1);
+        prop_assert!(validate::check(&inst, &res.schedule, &inst.switch.scaled(2)).is_ok());
+    }
+
+    #[test]
+    fn mrt_schedule_meets_paper_augmentation(inst in general_instance()) {
+        let dmax = inst.dmax();
+        let r = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
+        prop_assert!(r.augmentation < 2 * dmax,
+            "augmentation {} > 2*dmax-1 = {}", r.augmentation, 2 * dmax - 1);
+        let m = fss_core::metrics::evaluate(&inst, &r.schedule);
+        prop_assert!(m.max_response <= r.rho_star);
+        prop_assert!(validate::check(
+            &inst, &r.schedule, &inst.switch.augmented(r.augmentation)).is_ok());
+    }
+
+    #[test]
+    fn online_policies_feasible_and_complete(inst in unit_instance()) {
+        for sched in [
+            run_policy(&inst, &mut MaxCard),
+            run_policy(&inst, &mut MinRTime),
+            run_policy(&inst, &mut MaxWeight),
+        ] {
+            prop_assert!(validate::check(&inst, &sched, &inst.switch).is_ok());
+            prop_assert_eq!(sched.len(), inst.n());
+        }
+    }
+
+    #[test]
+    fn serde_round_trips(inst in general_instance()) {
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&inst, &back);
+        let sched = greedy_schedule(&inst);
+        let sj = serde_json::to_string(&sched).unwrap();
+        let sback: Schedule = serde_json::from_str(&sj).unwrap();
+        prop_assert_eq!(sched, sback);
+    }
+}
