@@ -1,0 +1,72 @@
+//! Engine vs legacy runner on the paper's stress cells: `m = 150`,
+//! `M ∈ {m, 2m, 4m}` mean arrivals per round, `T = 40` arrival rounds
+//! (§5.2.1). Three executions per cell:
+//!
+//! * `legacy` — `fss_online::run_policy` (round-by-round, cold
+//!   Hopcroft–Karp over the full waiting multigraph);
+//! * `engine` — `fss_engine::run_builtin` exact mode (identical
+//!   schedule, dedup-compressed HK + reused scratch);
+//! * `incremental` — `fss_engine::run_incremental` (support-graph
+//!   matching maintained across rounds).
+//!
+//! A `MinRTime` pair at `M = 4m` shows the policy-routed path (engine and
+//! legacy run the same Hungarian solve; the engine must not regress it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fss_core::Instance;
+use fss_engine::{run_builtin, run_incremental, BuiltinPolicy};
+use fss_online::{run_policy, MaxCard, MinRTime};
+use fss_sim::{poisson_workload, WorkloadParams};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+const M_SWITCH: usize = 150;
+const T_ROUNDS: u64 = 40;
+
+fn cell(mean_arrivals: f64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(0x004e_9112);
+    poisson_workload(
+        &mut rng,
+        &WorkloadParams {
+            m: M_SWITCH,
+            mean_arrivals,
+            rounds: T_ROUNDS,
+        },
+    )
+}
+
+fn bench_maxcard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxcard_m150_T40");
+    group.sample_size(10);
+    for mult in [1u32, 2, 4] {
+        let inst = cell(mult as f64 * M_SWITCH as f64);
+        let label = format!("M={}m_n={}", mult, inst.n());
+        group.bench_with_input(BenchmarkId::new("legacy", &label), &inst, |b, inst| {
+            b.iter(|| black_box(run_policy(inst, &mut MaxCard)))
+        });
+        group.bench_with_input(BenchmarkId::new("engine", &label), &inst, |b, inst| {
+            b.iter(|| black_box(run_builtin(inst, BuiltinPolicy::MaxCard)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", &label), &inst, |b, inst| {
+            b.iter(|| black_box(run_incremental(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_minrtime_heaviest_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minrtime_m150_T40");
+    group.sample_size(10);
+    let inst = cell(4.0 * M_SWITCH as f64);
+    let label = format!("M=4m_n={}", inst.n());
+    group.bench_with_input(BenchmarkId::new("legacy", &label), &inst, |b, inst| {
+        b.iter(|| black_box(run_policy(inst, &mut MinRTime)))
+    });
+    group.bench_with_input(BenchmarkId::new("engine", &label), &inst, |b, inst| {
+        b.iter(|| black_box(run_builtin(inst, BuiltinPolicy::MinRTime)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxcard, bench_minrtime_heaviest_cell);
+criterion_main!(benches);

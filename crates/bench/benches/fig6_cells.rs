@@ -25,7 +25,10 @@ fn bench_heuristic_cell(c: &mut Criterion) {
 }
 
 fn bench_lp_cell(c: &mut Criterion) {
-    let cfg = ExperimentConfig { trials: 1, ..cell_cfg() };
+    let cfg = ExperimentConfig {
+        trials: 1,
+        ..cell_cfg()
+    };
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
     group.bench_function("lp_bound_cell_10x10_T8", |b| {

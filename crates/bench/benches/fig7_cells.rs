@@ -14,7 +14,11 @@ fn workload(per_port: f64) -> Instance {
     let mut rng = SmallRng::seed_from_u64(0xf17);
     poisson_workload(
         &mut rng,
-        &WorkloadParams { m: 10, mean_arrivals: per_port * 10.0, rounds: 8 },
+        &WorkloadParams {
+            m: 10,
+            mean_arrivals: per_port * 10.0,
+            rounds: 8,
+        },
     )
 }
 

@@ -12,7 +12,11 @@ fn workload(m: usize, per_port: f64, rounds: u64) -> Instance {
     let mut rng = SmallRng::seed_from_u64(0xbe9c);
     poisson_workload(
         &mut rng,
-        &WorkloadParams { m, mean_arrivals: per_port * m as f64, rounds },
+        &WorkloadParams {
+            m,
+            mean_arrivals: per_port * m as f64,
+            rounds,
+        },
     )
 }
 

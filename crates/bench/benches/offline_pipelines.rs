@@ -12,7 +12,10 @@ use std::hint::black_box;
 
 fn unit_inst(n: usize, seed: u64) -> Instance {
     let mut rng = SmallRng::seed_from_u64(seed);
-    random_instance(&mut rng, &GenParams::unit((n / 5).clamp(3, 10), n, (n / 4) as u64))
+    random_instance(
+        &mut rng,
+        &GenParams::unit((n / 5).clamp(3, 10), n, (n / 4) as u64),
+    )
 }
 
 fn bench_art(c: &mut Criterion) {
@@ -37,9 +40,7 @@ fn bench_mrt(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    black_box(
-                        solve_mrt(inst, None, RoundingEngine::IterativeRelaxation).unwrap(),
-                    )
+                    black_box(solve_mrt(inst, None, RoundingEngine::IterativeRelaxation).unwrap())
                 })
             },
         );
@@ -47,9 +48,7 @@ fn bench_mrt(c: &mut Criterion) {
             BenchmarkId::new("solve_mrt_beck_fiala", n),
             &inst,
             |b, inst| {
-                b.iter(|| {
-                    black_box(solve_mrt(inst, None, RoundingEngine::BeckFiala).unwrap())
-                })
+                b.iter(|| black_box(solve_mrt(inst, None, RoundingEngine::BeckFiala).unwrap()))
             },
         );
     }

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fss_lp::{Cmp, LpBuilder};
-use fss_matching::{
-    edge_coloring, max_cardinality_matching, max_weight_matching, BipartiteGraph,
-};
+use fss_matching::{edge_coloring, max_cardinality_matching, max_weight_matching, BipartiteGraph};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::hint::black_box;
 
@@ -29,13 +27,11 @@ fn bench_simplex(c: &mut Criterion) {
                 let mut lp = LpBuilder::minimize();
                 let vars: Vec<_> = costs.iter().map(|&c| lp.var(c)).collect();
                 for i in 0..n {
-                    let row: Vec<_> =
-                        (0..n).map(|j| (vars[i * n + j], 1.0)).collect();
+                    let row: Vec<_> = (0..n).map(|j| (vars[i * n + j], 1.0)).collect();
                     lp.constraint(&row, Cmp::Eq, 1.0);
                 }
                 for j in 0..n {
-                    let col: Vec<_> =
-                        (0..n).map(|i| (vars[i * n + j], 1.0)).collect();
+                    let col: Vec<_> = (0..n).map(|i| (vars[i * n + j], 1.0)).collect();
                     lp.constraint(&col, Cmp::Le, 1.0);
                 }
                 black_box(lp.solve().unwrap())
@@ -54,7 +50,9 @@ fn bench_matching(c: &mut Criterion) {
         });
         let weights: Vec<f64> = {
             let mut rng = SmallRng::seed_from_u64(13);
-            (0..g.num_edges()).map(|_| rng.gen_range(0.0..20.0)).collect()
+            (0..g.num_edges())
+                .map(|_| rng.gen_range(0.0..20.0))
+                .collect()
         };
         group.bench_with_input(BenchmarkId::new("hungarian", m), &g, |b, g| {
             b.iter(|| black_box(max_weight_matching(g, &weights)));
@@ -82,8 +80,9 @@ fn bench_rounding(c: &mut Criterion) {
         // Each group picks one of 3 slots; capacity rows couple them.
         let opts_n = 3usize;
         let num_vars = groups_n * opts_n;
-        let groups: Vec<Vec<usize>> =
-            (0..groups_n).map(|g| (g * opts_n..(g + 1) * opts_n).collect()).collect();
+        let groups: Vec<Vec<usize>> = (0..groups_n)
+            .map(|g| (g * opts_n..(g + 1) * opts_n).collect())
+            .collect();
         let mut rng = SmallRng::seed_from_u64(31);
         let mut capacities = Vec::new();
         for _ in 0..groups_n {
@@ -99,7 +98,11 @@ fn bench_rounding(c: &mut Criterion) {
             let rhs = terms.len() as f64 / opts_n as f64;
             capacities.push((terms, rhs.ceil()));
         }
-        let p = RoundingProblem { num_vars, groups, capacities };
+        let p = RoundingProblem {
+            num_vars,
+            groups,
+            capacities,
+        };
         let x0 = vec![1.0 / opts_n as f64; num_vars];
         group.bench_with_input(BenchmarkId::new("beck_fiala", groups_n), &p, |b, p| {
             b.iter(|| black_box(beck_fiala(p, &x0)));
@@ -109,9 +112,7 @@ fn bench_rounding(c: &mut Criterion) {
             &p,
             |b, p| {
                 b.iter(|| {
-                    black_box(
-                        iterative_relaxation(p, &IterativeOptions::for_dmax(1)).unwrap(),
-                    )
+                    black_box(iterative_relaxation(p, &IterativeOptions::for_dmax(1)).unwrap())
                 });
             },
         );

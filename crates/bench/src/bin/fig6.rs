@@ -22,9 +22,21 @@ fn main() {
     let (m, heur_t, lp_t, trials, lp_trials) = if opts.quick {
         (8usize, vec![6u64, 8], vec![6u64], 2u64, 1u64)
     } else if opts.paper_scale {
-        (150, vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100], vec![], 10, 0)
+        (
+            150,
+            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
+            vec![],
+            10,
+            0,
+        )
     } else {
-        (6, vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100], vec![10, 12], 5, 2)
+        (
+            6,
+            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
+            vec![10, 12],
+            5,
+            2,
+        )
     };
     let trials = opts.trials.unwrap_or(trials);
 
@@ -55,7 +67,11 @@ fn main() {
                 ..cfg.clone()
             };
             println!("LP bound series: M = {ma}, T = {lp_t:?}, window = {window}");
-            b.extend(lp_bounds_grid_parts(&lp_cfg, Some(window), LpBoundParts::AVG));
+            b.extend(lp_bounds_grid_parts(
+                &lp_cfg,
+                Some(window),
+                LpBoundParts::AVG,
+            ));
         }
         write_artifact("fig6_lp_bounds.csv", &bounds_to_csv(&b));
         b

@@ -18,9 +18,21 @@ fn main() {
     let (m, heur_t, lp_t, trials, lp_trials) = if opts.quick {
         (8usize, vec![6u64, 8], vec![6u64], 2u64, 1u64)
     } else if opts.paper_scale {
-        (150, vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100], vec![], 10, 0)
+        (
+            150,
+            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
+            vec![],
+            10,
+            0,
+        )
     } else {
-        (6, vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100], vec![10, 12], 5, 2)
+        (
+            6,
+            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
+            vec![10, 12],
+            5,
+            2,
+        )
     };
     let trials = opts.trials.unwrap_or(trials);
 
@@ -33,7 +45,11 @@ fn main() {
     write_artifact("fig7_heuristics.csv", &cells_to_csv(&cells));
 
     let bounds = if lp_trials > 0 && !lp_t.is_empty() {
-        let lp_cfg = ExperimentConfig { t_values: lp_t, trials: lp_trials, ..cfg.clone() };
+        let lp_cfg = ExperimentConfig {
+            t_values: lp_t,
+            trials: lp_trials,
+            ..cfg.clone()
+        };
         println!("LP bound series: T = {:?}", lp_cfg.t_values);
         // Only the MRT bound matters here (the ART half is skipped).
         let b = lp_bounds_grid_parts(&lp_cfg, None, LpBoundParts::MAX);

@@ -90,7 +90,11 @@ fn check_degree_condition(inst: &Instance, m: usize, rounds: u64) -> bool {
 
 fn main() {
     let opts = RunOptions::from_args();
-    let (trials, m, rounds) = if opts.quick { (5u64, 3usize, 4u64) } else { (60, 3, 5) };
+    let (trials, m, rounds) = if opts.quick {
+        (5u64, 3usize, 4u64)
+    } else {
+        (60, 3, 5)
+    };
 
     let mut worst_exact = 0u64;
     let mut worst_lp = 0u64;
@@ -105,7 +109,10 @@ fn main() {
         if inst.n() == 0 || inst.n() > 14 {
             continue; // keep the exact solver honest
         }
-        assert!(check_degree_condition(&inst, m, rounds), "generator invariant broken");
+        assert!(
+            check_degree_condition(&inst, m, rounds),
+            "generator invariant broken"
+        );
         let lp = min_feasible_rho(&inst, None).expect("LP search");
         let (exact, _) = min_max_response(&inst);
         worst_exact = worst_exact.max(exact);

@@ -12,7 +12,11 @@ use std::fmt::Write as _;
 
 fn main() {
     let opts = RunOptions::from_args();
-    let (m, rounds, trials) = if opts.quick { (6usize, 10u64, 2u64) } else { (20, 40, 4) };
+    let (m, rounds, trials) = if opts.quick {
+        (6usize, 10u64, 2u64)
+    } else {
+        (20, 40, 4)
+    };
     let trials = opts.trials.unwrap_or(trials);
     let intensities = [0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5];
 
@@ -47,7 +51,10 @@ fn main() {
             );
         }
         let knee = stable_intensity(policy, m, rounds, 4.0, trials.min(2), 0x5a8);
-        println!("{:>12} stability knee (mean <= 4): lambda ~ {knee:.2}\n", policy.name());
+        println!(
+            "{:>12} stability knee (mean <= 4): lambda ~ {knee:.2}\n",
+            policy.name()
+        );
     }
     write_artifact("saturation.csv", &csv);
 }

@@ -38,8 +38,7 @@ fn main() {
             let p = GenParams::unit(4, n, span);
             let inst = random_instance(&mut rng, &p);
             let online = amrt_schedule(&inst);
-            let offline =
-                solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
+            let offline = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
             online_sum += online.metrics.max_response;
             offline_sum += offline.rho_star;
             load_max = load_max.max(online.max_port_load);

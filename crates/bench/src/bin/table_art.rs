@@ -16,7 +16,11 @@ use std::fmt::Write as _;
 
 fn main() {
     let opts = RunOptions::from_args();
-    let sizes: Vec<usize> = if opts.quick { vec![12, 20] } else { vec![20, 40, 80, 120] };
+    let sizes: Vec<usize> = if opts.quick {
+        vec![12, 20]
+    } else {
+        vec![20, 40, 80, 120]
+    };
     let trials = opts.trials.unwrap_or(if opts.quick { 1 } else { 3 });
 
     let mut csv = String::from(

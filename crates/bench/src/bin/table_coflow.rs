@@ -24,7 +24,7 @@ fn random_coflows(rng: &mut SmallRng, m: usize, k: usize, max_width: usize) -> C
         for _ in 0..width {
             b.flow(rng.gen_range(0..m as u32), rng.gen_range(0..m as u32), 1);
         }
-        release += rng.gen_range(0..3);
+        release += rng.gen_range(0..3u64);
     }
     b.build().expect("generator produces valid instances")
 }
@@ -38,9 +38,8 @@ fn main() {
         vec![(6, 4, 6), (8, 8, 10), (12, 12, 20)]
     };
 
-    let mut csv = String::from(
-        "m,coflows,max_width,trials,order,mean_total,mean_max,total_lb,max_lb\n",
-    );
+    let mut csv =
+        String::from("m,coflows,max_width,trials,order,mean_total,mean_max,total_lb,max_lb\n");
     println!(
         "{:>3} {:>3} {:>6} {:<6} {:>11} {:>9} {:>9} {:>7}",
         "m", "k", "width", "order", "mean total", "mean max", "total LB", "max LB"
@@ -56,9 +55,13 @@ fn main() {
             let (t_lb, m_lb) = bottleneck_lower_bound(&ci);
             lb_total += t_lb as f64;
             lb_max += m_lb as f64;
-            for (oi, o) in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair]
-                .into_iter()
-                .enumerate()
+            for (oi, o) in [
+                CoflowOrdering::Sebf,
+                CoflowOrdering::Fifo,
+                CoflowOrdering::Fair,
+            ]
+            .into_iter()
+            .enumerate()
             {
                 let met = evaluate(&ci, &schedule_coflows(&ci, o));
                 totals[oi] += met.total_response as f64;
@@ -66,9 +69,13 @@ fn main() {
             }
         }
         let t = trials as f64;
-        for (oi, o) in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair]
-            .into_iter()
-            .enumerate()
+        for (oi, o) in [
+            CoflowOrdering::Sebf,
+            CoflowOrdering::Fifo,
+            CoflowOrdering::Fair,
+        ]
+        .into_iter()
+        .enumerate()
         {
             println!(
                 "{m:>3} {k:>3} {w:>6} {:<6} {:>11.1} {:>9.1} {:>9.1} {:>7.1}",

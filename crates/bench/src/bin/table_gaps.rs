@@ -27,12 +27,22 @@ fn main() {
     // Satisfiable RTT.
     let sat = rtt_reduction(&small_satisfiable_rtt());
     let (opt, _) = min_max_response(&sat);
-    println!("satisfiable RTT gadget ({} flows): exact optimal rho = {opt}", sat.n());
+    println!(
+        "satisfiable RTT gadget ({} flows): exact optimal rho = {opt}",
+        sat.n()
+    );
     let _ = writeln!(csv, "rtt_satisfiable,exact_opt_rho,{opt}");
     let solved = solve_mrt(&sat, None, RoundingEngine::IterativeRelaxation).unwrap();
-    println!("  Theorem 3 pipeline: rho* = {}, augmentation +{}", solved.rho_star, solved.augmentation);
+    println!(
+        "  Theorem 3 pipeline: rho* = {}, augmentation +{}",
+        solved.rho_star, solved.augmentation
+    );
     let _ = writeln!(csv, "rtt_satisfiable,pipeline_rho_star,{}", solved.rho_star);
-    let _ = writeln!(csv, "rtt_satisfiable,pipeline_augmentation,{}", solved.augmentation);
+    let _ = writeln!(
+        csv,
+        "rtt_satisfiable,pipeline_augmentation,{}",
+        solved.augmentation
+    );
 
     // Unsatisfiable RTT.
     let unsat = rtt_reduction(&small_unsatisfiable_rtt());

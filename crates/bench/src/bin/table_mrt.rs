@@ -18,11 +18,14 @@ use std::fmt::Write as _;
 fn main() {
     let opts = RunOptions::from_args();
     let trials = opts.trials.unwrap_or(if opts.quick { 2 } else { 5 });
-    let ns: Vec<usize> = if opts.quick { vec![10] } else { vec![15, 30, 60] };
+    let ns: Vec<usize> = if opts.quick {
+        vec![10]
+    } else {
+        vec![15, 30, 60]
+    };
 
-    let mut csv = String::from(
-        "n,dmax,trials,rho_star,greedy_rho,max_augmentation,budget,within_budget\n",
-    );
+    let mut csv =
+        String::from("n,dmax,trials,rho_star,greedy_rho,max_augmentation,budget,within_budget\n");
     println!(
         "{:>4} {:>5} {:>9} {:>11} {:>8} {:>8} {:>7}",
         "n", "dmax", "rho*", "greedy rho", "max aug", "budget", "ok"
@@ -45,8 +48,8 @@ fn main() {
                 };
                 let inst = random_instance(&mut rng, &p);
                 let d_actual = inst.dmax();
-                let r = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation)
-                    .expect("solver");
+                let r =
+                    solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).expect("solver");
                 let g = metrics::evaluate(&inst, &greedy_schedule(&inst)).max_response;
                 rho_sum += r.rho_star;
                 greedy_sum += g;

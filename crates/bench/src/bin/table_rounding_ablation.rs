@@ -22,14 +22,16 @@ fn main() {
         vec![(15, 1), (30, 1), (30, 3), (60, 3)]
     };
 
-    let mut csv =
-        String::from("n,dmax,trials,engine,mean_augmentation,max_augmentation,mean_ms\n");
+    let mut csv = String::from("n,dmax,trials,engine,mean_augmentation,max_augmentation,mean_ms\n");
     println!(
         "{:>4} {:>5} {:<20} {:>9} {:>8} {:>9}",
         "n", "dmax", "engine", "mean aug", "max aug", "mean ms"
     );
     for &(n, dmax) in &configs {
-        for engine in [RoundingEngine::IterativeRelaxation, RoundingEngine::BeckFiala] {
+        for engine in [
+            RoundingEngine::IterativeRelaxation,
+            RoundingEngine::BeckFiala,
+        ] {
             let mut aug_sum = 0u64;
             let mut aug_max = 0u32;
             let mut ms_sum = 0.0;
@@ -61,9 +63,7 @@ fn main() {
             };
             let mean_aug = aug_sum as f64 / solved.max(1) as f64;
             let mean_ms = ms_sum / solved.max(1) as f64;
-            println!(
-                "{n:>4} {dmax:>5} {name:<20} {mean_aug:>9.2} {aug_max:>8} {mean_ms:>9.2}"
-            );
+            println!("{n:>4} {dmax:>5} {name:<20} {mean_aug:>9.2} {aug_max:>8} {mean_ms:>9.2}");
             let _ = writeln!(
                 csv,
                 "{n},{dmax},{trials},{name},{mean_aug:.2},{aug_max},{mean_ms:.2}"

@@ -17,7 +17,11 @@ use std::fmt::Write as _;
 fn main() {
     let opts = RunOptions::from_args();
     let trials = opts.trials.unwrap_or(if opts.quick { 2 } else { 5 });
-    let ns: Vec<usize> = if opts.quick { vec![16] } else { vec![24, 48, 96] };
+    let ns: Vec<usize> = if opts.quick {
+        vec![16]
+    } else {
+        vec![24, 48, 96]
+    };
     let c = 2u32;
 
     let mut csv = String::from("n,c,trials,h,mean_total_response,h_is_adaptive\n");
@@ -47,8 +51,7 @@ fn main() {
             let mut solved = 0u64;
             for k in 0..trials as usize {
                 if let Some(r) = realize_schedule_with_window(&insts[k], &pseudos[k], c, h) {
-                    total +=
-                        fss_core::metrics::evaluate(&insts[k], &r.schedule).total_response;
+                    total += fss_core::metrics::evaluate(&insts[k], &r.schedule).total_response;
                     solved += 1;
                 }
             }

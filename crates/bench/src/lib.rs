@@ -51,8 +51,7 @@ impl RunOptions {
 
 /// `target/experiments/`, created on demand.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn empty_instance_bounds_are_zero() {
-        let ci = CoflowBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let ci = CoflowBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         assert_eq!(bottleneck_lower_bound(&ci), (0, 0));
         assert_eq!(contention_max_bound(&ci), 0);
     }

@@ -56,7 +56,11 @@ impl CoflowInstance {
             release.iter().all(Option::is_some),
             "co-flow ids must be contiguous from 0"
         );
-        CoflowInstance { inst, membership, num_coflows }
+        CoflowInstance {
+            inst,
+            membership,
+            num_coflows,
+        }
     }
 
     /// Member flow indices of co-flow `c`.

@@ -102,21 +102,16 @@ pub fn schedule_coflows(ci: &CoflowInstance, ordering: CoflowOrdering) -> Schedu
 
         // Pack flows: priority coflows first, flows within a coflow in id
         // order; a flow fits if both ports have residual capacity.
-        let mut in_left: Vec<u32> =
-            (0..m_in as u32).map(|p| inst.switch.in_cap(p)).collect();
-        let mut out_left: Vec<u32> =
-            (0..m_out as u32).map(|q| inst.switch.out_cap(q)).collect();
+        let mut in_left: Vec<u32> = (0..m_in as u32).map(|p| inst.switch.in_cap(p)).collect();
+        let mut out_left: Vec<u32> = (0..m_out as u32).map(|q| inst.switch.out_cap(q)).collect();
         for &c in &active {
             for i in 0..n {
-                if scheduled[i]
-                    || ci.membership[i].idx() != c as usize
-                    || inst.flows[i].release > t
+                if scheduled[i] || ci.membership[i].idx() != c as usize || inst.flows[i].release > t
                 {
                     continue;
                 }
                 let f = &inst.flows[i];
-                if f.demand <= in_left[f.src as usize] && f.demand <= out_left[f.dst as usize]
-                {
+                if f.demand <= in_left[f.src as usize] && f.demand <= out_left[f.dst as usize] {
                     in_left[f.src as usize] -= f.demand;
                     out_left[f.dst as usize] -= f.demand;
                     scheduled[i] = true;
@@ -180,7 +175,11 @@ mod tests {
     #[test]
     fn all_orderings_produce_feasible_schedules() {
         let ci = small_vs_big();
-        for o in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair] {
+        for o in [
+            CoflowOrdering::Sebf,
+            CoflowOrdering::Fifo,
+            CoflowOrdering::Fair,
+        ] {
             let s = schedule_coflows(&ci, o);
             validate::check(&ci.inst, &s, &ci.inst.switch).unwrap();
             assert_eq!(s.len(), ci.inst.n());
@@ -231,7 +230,11 @@ mod tests {
         b.flow(1, 0, 1);
         b.flow(1, 1, 3);
         let ci = b.build().unwrap();
-        for o in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair] {
+        for o in [
+            CoflowOrdering::Sebf,
+            CoflowOrdering::Fifo,
+            CoflowOrdering::Fair,
+        ] {
             let s = schedule_coflows(&ci, o);
             validate::check(&ci.inst, &s, &ci.inst.switch).unwrap();
         }
@@ -272,7 +275,11 @@ mod tests {
             }
             let ci = b.build().unwrap();
             let (total_lb, max_lb) = bottleneck_lower_bound(&ci);
-            for o in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair] {
+            for o in [
+                CoflowOrdering::Sebf,
+                CoflowOrdering::Fifo,
+                CoflowOrdering::Fair,
+            ] {
                 let m = evaluate(&ci, &schedule_coflows(&ci, o));
                 assert!(m.total_response >= total_lb);
                 assert!(m.max_response >= max_lb);

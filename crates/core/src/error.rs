@@ -11,11 +11,18 @@ pub enum ModelError {
     BadOutputPort { flow: usize, port: u32, m_out: u32 },
     /// A flow's demand exceeds `kappa_e = min(c_src, c_dst)` (paper §2
     /// assumes `d_e <= kappa_e` throughout).
-    DemandExceedsKappa { flow: usize, demand: u32, kappa: u32 },
+    DemandExceedsKappa {
+        flow: usize,
+        demand: u32,
+        kappa: u32,
+    },
     /// A flow has zero demand; the model requires positive demands.
     ZeroDemand { flow: usize },
     /// A port was declared with zero capacity.
-    ZeroCapacity { side: crate::switch::PortSide, port: u32 },
+    ZeroCapacity {
+        side: crate::switch::PortSide,
+        port: u32,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -25,9 +32,16 @@ impl fmt::Display for ModelError {
                 write!(f, "flow {flow}: input port {port} out of range (m = {m})")
             }
             ModelError::BadOutputPort { flow, port, m_out } => {
-                write!(f, "flow {flow}: output port {port} out of range (m' = {m_out})")
+                write!(
+                    f,
+                    "flow {flow}: output port {port} out of range (m' = {m_out})"
+                )
             }
-            ModelError::DemandExceedsKappa { flow, demand, kappa } => {
+            ModelError::DemandExceedsKappa {
+                flow,
+                demand,
+                kappa,
+            } => {
                 write!(f, "flow {flow}: demand {demand} exceeds kappa = {kappa}")
             }
             ModelError::ZeroDemand { flow } => write!(f, "flow {flow}: zero demand"),
@@ -46,7 +60,11 @@ pub enum ValidationError {
     /// Schedule length does not match the number of flows.
     LengthMismatch { flows: usize, assignments: usize },
     /// A flow is scheduled strictly before its release round.
-    ScheduledBeforeRelease { flow: usize, round: u64, release: u64 },
+    ScheduledBeforeRelease {
+        flow: usize,
+        round: u64,
+        release: u64,
+    },
     /// A port's capacity is exceeded in some round.
     CapacityExceeded {
         side: crate::switch::PortSide,

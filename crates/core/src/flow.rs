@@ -40,12 +40,22 @@ pub struct Flow {
 impl Flow {
     /// A unit-demand flow.
     pub fn unit(src: u32, dst: u32, release: u64) -> Self {
-        Flow { src, dst, demand: 1, release }
+        Flow {
+            src,
+            dst,
+            demand: 1,
+            release,
+        }
     }
 
     /// A flow with explicit demand.
     pub fn new(src: u32, dst: u32, demand: u32, release: u64) -> Self {
-        Flow { src, dst, demand, release }
+        Flow {
+            src,
+            dst,
+            demand,
+            release,
+        }
     }
 }
 

@@ -30,7 +30,14 @@ pub struct GenParams {
 impl GenParams {
     /// Unit-demand, unit-capacity defaults on an `m x m` switch.
     pub fn unit(m: usize, n: usize, max_release: u64) -> Self {
-        GenParams { m, m_out: m, cap: 1, n, max_demand: 1, max_release }
+        GenParams {
+            m,
+            m_out: m,
+            cap: 1,
+            n,
+            max_demand: 1,
+            max_release,
+        }
     }
 }
 
@@ -46,7 +53,8 @@ pub fn random_instance<R: Rng + ?Sized>(rng: &mut R, p: &GenParams) -> Instance 
         let release = rng.gen_range(0..=p.max_release);
         b.flow(src, dst, demand, release);
     }
-    b.build().expect("generator respects invariants by construction")
+    b.build()
+        .expect("generator respects invariants by construction")
 }
 
 /// A dense "all pairs released at 0" instance: one unit flow for every
@@ -71,7 +79,14 @@ mod tests {
     #[test]
     fn random_instance_respects_params() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let p = GenParams { m: 4, m_out: 3, cap: 5, n: 40, max_demand: 4, max_release: 9 };
+        let p = GenParams {
+            m: 4,
+            m_out: 3,
+            cap: 5,
+            n: 40,
+            max_demand: 4,
+            max_release: 9,
+        };
         let inst = random_instance(&mut rng, &p);
         assert_eq!(inst.n(), 40);
         assert!(inst.dmax() <= 4);

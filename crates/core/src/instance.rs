@@ -29,7 +29,10 @@ impl Instance {
 
     /// Iterate over `(FlowId, &Flow)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FlowId, &Flow)> {
-        self.flows.iter().enumerate().map(|(i, f)| (FlowId(i as u32), f))
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FlowId(i as u32), f))
     }
 
     /// Largest demand `dmax` over all flows (0 for an empty instance).
@@ -49,12 +52,20 @@ impl Instance {
 
     /// Sum of demands incident on input port `p`.
     pub fn in_port_load(&self, p: u32) -> u64 {
-        self.flows.iter().filter(|f| f.src == p).map(|f| u64::from(f.demand)).sum()
+        self.flows
+            .iter()
+            .filter(|f| f.src == p)
+            .map(|f| u64::from(f.demand))
+            .sum()
     }
 
     /// Sum of demands incident on output port `q`.
     pub fn out_port_load(&self, q: u32) -> u64 {
-        self.flows.iter().filter(|f| f.dst == q).map(|f| u64::from(f.demand)).sum()
+        self.flows
+            .iter()
+            .filter(|f| f.dst == q)
+            .map(|f| u64::from(f.demand))
+            .sum()
     }
 
     /// A crude but always-sufficient scheduling horizon: every flow can be
@@ -94,7 +105,10 @@ pub struct InstanceBuilder {
 impl InstanceBuilder {
     /// Start building an instance on the given switch.
     pub fn new(switch: Switch) -> Self {
-        InstanceBuilder { switch, flows: Vec::new() }
+        InstanceBuilder {
+            switch,
+            flows: Vec::new(),
+        }
     }
 
     /// Add a flow `src -> dst` with the given demand and release round.
@@ -123,20 +137,35 @@ impl InstanceBuilder {
         let m_out = self.switch.num_outputs() as u32;
         for (i, f) in self.flows.iter().enumerate() {
             if f.src >= m {
-                return Err(ModelError::BadInputPort { flow: i, port: f.src, m });
+                return Err(ModelError::BadInputPort {
+                    flow: i,
+                    port: f.src,
+                    m,
+                });
             }
             if f.dst >= m_out {
-                return Err(ModelError::BadOutputPort { flow: i, port: f.dst, m_out });
+                return Err(ModelError::BadOutputPort {
+                    flow: i,
+                    port: f.dst,
+                    m_out,
+                });
             }
             if f.demand == 0 {
                 return Err(ModelError::ZeroDemand { flow: i });
             }
             let kappa = self.switch.kappa(f.src, f.dst);
             if f.demand > kappa {
-                return Err(ModelError::DemandExceedsKappa { flow: i, demand: f.demand, kappa });
+                return Err(ModelError::DemandExceedsKappa {
+                    flow: i,
+                    demand: f.demand,
+                    kappa,
+                });
             }
         }
-        Ok(Instance { switch: self.switch, flows: self.flows })
+        Ok(Instance {
+            switch: self.switch,
+            flows: self.flows,
+        })
     }
 }
 
@@ -165,11 +194,17 @@ mod tests {
     fn builder_rejects_out_of_range_ports() {
         let mut b = InstanceBuilder::new(Switch::uniform(2, 2, 1));
         b.unit_flow(2, 0, 0);
-        assert!(matches!(b.build(), Err(ModelError::BadInputPort { port: 2, .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::BadInputPort { port: 2, .. })
+        ));
 
         let mut b = InstanceBuilder::new(Switch::uniform(2, 2, 1));
         b.unit_flow(0, 5, 0);
-        assert!(matches!(b.build(), Err(ModelError::BadOutputPort { port: 5, .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::BadOutputPort { port: 5, .. })
+        ));
     }
 
     #[test]
@@ -178,7 +213,11 @@ mod tests {
         b.flow(0, 0, 3, 0); // kappa = min(3,2) = 2
         assert!(matches!(
             b.build(),
-            Err(ModelError::DemandExceedsKappa { demand: 3, kappa: 2, .. })
+            Err(ModelError::DemandExceedsKappa {
+                demand: 3,
+                kappa: 2,
+                ..
+            })
         ));
     }
 

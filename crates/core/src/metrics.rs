@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn empty_instance_metrics() {
-        let i = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let i = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let m = evaluate(&i, &Schedule::from_rounds(vec![]));
         assert_eq!(m.total_response, 0);
         assert_eq!(m.max_response, 0);

@@ -71,7 +71,9 @@ impl Schedule {
 
     /// Shift every flow's round later by `delta`.
     pub fn shifted(&self, delta: u64) -> Schedule {
-        Schedule { rounds: self.rounds.iter().map(|&t| t + delta).collect() }
+        Schedule {
+            rounds: self.rounds.iter().map(|&t| t + delta).collect(),
+        }
     }
 }
 
@@ -155,10 +157,8 @@ impl PseudoSchedule {
     pub fn max_window_overload(&self, inst: &Instance) -> i64 {
         let horizon = self.makespan();
         let mut worst = i64::MIN;
-        let mut per_round_in =
-            vec![vec![0u64; horizon as usize]; inst.switch.num_inputs()];
-        let mut per_round_out =
-            vec![vec![0u64; horizon as usize]; inst.switch.num_outputs()];
+        let mut per_round_in = vec![vec![0u64; horizon as usize]; inst.switch.num_inputs()];
+        let mut per_round_out = vec![vec![0u64; horizon as usize]; inst.switch.num_outputs()];
         for (&t, f) in self.rounds.iter().zip(&inst.flows) {
             per_round_in[f.src as usize][t as usize] += u64::from(f.demand);
             per_round_out[f.dst as usize][t as usize] += u64::from(f.demand);
@@ -188,7 +188,9 @@ impl PseudoSchedule {
 
     /// Reinterpret as a (possibly invalid) schedule; callers must validate.
     pub fn into_schedule_unchecked(self) -> Schedule {
-        Schedule { rounds: self.rounds }
+        Schedule {
+            rounds: self.rounds,
+        }
     }
 }
 

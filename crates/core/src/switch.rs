@@ -108,7 +108,12 @@ impl Switch {
 
     /// Largest capacity over all ports.
     pub fn max_cap(&self) -> u32 {
-        self.in_caps.iter().chain(&self.out_caps).copied().max().unwrap_or(0)
+        self.in_caps
+            .iter()
+            .chain(&self.out_caps)
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Multiplicative resource augmentation: every capacity scaled by

@@ -14,7 +14,10 @@ use crate::switch::Switch;
 pub fn shift_releases(inst: &Instance, delta: u64) -> Instance {
     let mut b = InstanceBuilder::new(inst.switch.clone());
     for f in &inst.flows {
-        b.push(Flow { release: f.release + delta, ..*f });
+        b.push(Flow {
+            release: f.release + delta,
+            ..*f
+        });
     }
     b.build().expect("shifting preserves validity")
 }
@@ -30,7 +33,10 @@ pub fn concat(a: &Instance, b: &Instance, gap: u64) -> Instance {
         out.push(*f);
     }
     for f in &b.flows {
-        out.push(Flow { release: f.release + offset, ..*f });
+        out.push(Flow {
+            release: f.release + offset,
+            ..*f
+        });
     }
     out.build().expect("concatenation preserves validity")
 }
@@ -42,17 +48,27 @@ pub fn project(inst: &Instance, members: &[usize]) -> (Instance, Vec<usize>) {
     for &i in members {
         b.push(inst.flows[i]);
     }
-    (b.build().expect("projection preserves validity"), members.to_vec())
+    (
+        b.build().expect("projection preserves validity"),
+        members.to_vec(),
+    )
 }
 
 /// Swap the roles of input and output ports (reverse every flow).
 /// Response-time metrics are invariant under this symmetry — used by
 /// property tests.
 pub fn transpose(inst: &Instance) -> Instance {
-    let switch = Switch::new(inst.switch.out_caps().to_vec(), inst.switch.in_caps().to_vec());
+    let switch = Switch::new(
+        inst.switch.out_caps().to_vec(),
+        inst.switch.in_caps().to_vec(),
+    );
     let mut b = InstanceBuilder::new(switch);
     for f in &inst.flows {
-        b.push(Flow { src: f.dst, dst: f.src, ..*f });
+        b.push(Flow {
+            src: f.dst,
+            dst: f.src,
+            ..*f
+        });
     }
     b.build().expect("transposition preserves validity")
 }
@@ -88,7 +104,9 @@ mod tests {
 
     #[test]
     fn concat_with_empty_first() {
-        let empty = InstanceBuilder::new(Switch::uniform(2, 3, 1)).build().unwrap();
+        let empty = InstanceBuilder::new(Switch::uniform(2, 3, 1))
+            .build()
+            .unwrap();
         let c = concat(&empty, &base(), 4);
         assert_eq!(c.flows[0].release, 0);
     }
@@ -117,7 +135,9 @@ mod tests {
     #[should_panic(expected = "share a switch")]
     fn concat_rejects_mismatched_switches() {
         let a = base();
-        let other = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let other = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let _ = concat(&a, &other, 0);
     }
 }

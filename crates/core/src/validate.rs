@@ -74,10 +74,7 @@ pub fn check(inst: &Instance, sched: &Schedule, caps: &Switch) -> Result<(), Val
 /// becomes feasible when every port capacity is raised by `delta`.
 /// Returns 0 for already-feasible schedules. Release-time and length
 /// violations are reported as errors since no augmentation fixes those.
-pub fn required_augmentation(
-    inst: &Instance,
-    sched: &Schedule,
-) -> Result<u64, ValidationError> {
+pub fn required_augmentation(inst: &Instance, sched: &Schedule) -> Result<u64, ValidationError> {
     if inst.n() != sched.len() {
         return Err(ValidationError::LengthMismatch {
             flows: inst.n(),
@@ -136,7 +133,12 @@ mod tests {
         let err = check(&i, &s, &i.switch).unwrap_err();
         assert!(matches!(
             err,
-            ValidationError::CapacityExceeded { side: PortSide::Input, port: 0, round: 0, .. }
+            ValidationError::CapacityExceeded {
+                side: PortSide::Input,
+                port: 0,
+                round: 0,
+                ..
+            }
         ));
     }
 
@@ -147,7 +149,12 @@ mod tests {
         let err = check(&i, &s, &i.switch).unwrap_err();
         assert!(matches!(
             err,
-            ValidationError::CapacityExceeded { side: PortSide::Output, port: 1, round: 1, .. }
+            ValidationError::CapacityExceeded {
+                side: PortSide::Output,
+                port: 1,
+                round: 1,
+                ..
+            }
         ));
     }
 

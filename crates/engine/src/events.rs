@@ -1,0 +1,104 @@
+//! The calendar driving the simulation: a small binary-heap event queue.
+//!
+//! Instead of a dense `t += 1` loop, the engine advances to the earliest
+//! pending event — the next arrival batch from the [`crate::FlowSource`]
+//! or a self-scheduled dispatch round while the queue drains. Rounds where
+//! nothing can happen are never visited, so sparse workloads cost time
+//! proportional to their *events*, not their time horizon.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What happens at a scheduled round. The drive loops ingest a round's
+/// arrivals before extracting its matching (§5.2.1 semantics) — that
+/// ordering is enforced by the loop structure itself; the `Arrival <
+/// Dispatch` ordering here only keeps same-round coalescing
+/// deterministic inside the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// New flows are released this round.
+    Arrival,
+    /// A matching is extracted and dispatched this round.
+    Dispatch,
+}
+
+/// Min-heap of `(round, kind)` events with duplicate suppression.
+///
+/// Today's drive loops schedule only two event kinds (next arrival,
+/// next dispatch); the calendar is deliberately more general so future
+/// event kinds — port outages, deadline timers, checkpoint ticks — slot
+/// in without restructuring the loops.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, EventKind)>>,
+}
+
+impl EventQueue {
+    /// An empty calendar.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at `round` (idempotent: duplicates are merged on
+    /// pop, so pushing defensively is fine).
+    pub fn push(&mut self, round: u64, kind: EventKind) {
+        self.heap.push(Reverse((round, kind)));
+    }
+
+    /// Pop the earliest round and drain *all* events scheduled for it.
+    /// Returns the round, or `None` when the calendar is empty.
+    pub fn pop_round(&mut self) -> Option<u64> {
+        let Reverse((round, _)) = self.heap.pop()?;
+        while let Some(&Reverse((r, _))) = self.heap.peek() {
+            if r == round {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        Some(round)
+    }
+
+    /// Earliest scheduled round, if any.
+    pub fn peek_round(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((r, _))| r)
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_and_merges_rounds() {
+        let mut q = EventQueue::new();
+        q.push(7, EventKind::Dispatch);
+        q.push(3, EventKind::Arrival);
+        q.push(3, EventKind::Dispatch);
+        q.push(3, EventKind::Arrival);
+        assert_eq!(q.peek_round(), Some(3));
+        assert_eq!(q.pop_round(), Some(3));
+        assert_eq!(q.pop_round(), Some(7));
+        assert_eq!(q.pop_round(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn arrival_sorts_before_dispatch() {
+        assert!(EventKind::Arrival < EventKind::Dispatch);
+    }
+
+    #[test]
+    fn sparse_rounds_are_skipped() {
+        let mut q = EventQueue::new();
+        q.push(1_000_000_000, EventKind::Arrival);
+        q.push(5, EventKind::Arrival);
+        assert_eq!(q.pop_round(), Some(5));
+        assert_eq!(q.pop_round(), Some(1_000_000_000));
+    }
+}

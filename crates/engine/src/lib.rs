@@ -1,0 +1,329 @@
+//! # fss-engine — event-driven incremental scheduling engine
+//!
+//! The paper's experiments (§5.2.1, Figures 6–7) stress an `m x m` switch
+//! with Poisson arrivals up to `M = 4m`. The reference runner
+//! ([`fss_online::run_policy`]) advances round by round, rebuilds the
+//! waiting graph, and re-solves a matching from a cold start every round —
+//! even though per-round change is sparse (a few arrivals, at most `m`
+//! departures). This crate is the event-driven, incremental replacement on
+//! that hot path:
+//!
+//! * [`events`] — a calendar/event queue: the simulation jumps between
+//!   arrival and dispatch events instead of ticking `t += 1`, so idle
+//!   rounds are never visited;
+//! * [`source`] — the [`FlowSource`] streaming-arrival trait with a batch
+//!   [`Instance`] adapter and an unbounded Poisson generator, so
+//!   workloads no longer need to be materialized up front;
+//! * [`queue`] — per-port sharded queue state (cell-FIFO slab) sized for
+//!   `m = 150`, `M = 4m` and beyond;
+//! * [`matcher`] — an [`IncrementalMatcher`] that maintains a maximum
+//!   matching of the waiting *support graph* across rounds and repairs it
+//!   with augmenting paths rooted only at ports dirtied by
+//!   arrivals/departures;
+//! * [`exact`] — an exact-parity core reproducing the legacy runner's
+//!   decisions round-for-round (differentially tested), with a
+//!   dedup-compressed Hopcroft–Karp fast path for MaxCard.
+//!
+//! ## Entry points
+//!
+//! * [`run_policy`] / [`run_builtin`] — drop-in replacements for the
+//!   legacy loop on a batch [`Instance`]; schedules are round-for-round
+//!   identical to [`fss_online::run_policy`]'s (the legacy loop stays
+//!   available as the reference implementation for differential testing).
+//! * [`run_incremental`] — the incremental matcher on a batch instance:
+//!   every round dispatches a *maximum* matching of its waiting graph
+//!   (the MaxCard equivalence class), chosen oldest-first within a cell.
+//! * [`run_stream`] — drive any [`FlowSource`] (bounded or endless) and
+//!   collect [`StreamStats`] in `O(peak queue)` memory.
+
+pub mod events;
+pub mod exact;
+pub mod matcher;
+pub mod queue;
+pub mod source;
+pub mod stream;
+
+use fss_core::prelude::*;
+use fss_online::{FifoGreedy, MaxWeight, MinRTime, OnlinePolicy};
+
+pub use events::{EventKind, EventQueue};
+pub use matcher::IncrementalMatcher;
+pub use queue::ShardedQueues;
+pub use source::{poisson, Arrival, FlowSource, InstanceSource, PoissonSource};
+pub use stream::StreamStats;
+
+use exact::Selector;
+
+/// The built-in round policies the engine can run with fast paths /
+/// shared policy code (mirrors `fss_sim::PolicyKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinPolicy {
+    /// Maximum-cardinality matching (dedup-compressed Hopcroft–Karp).
+    MaxCard,
+    /// Max-weight matching, weight = waiting time.
+    MinRTime,
+    /// Max-weight matching, weight = endpoint queue sizes.
+    MaxWeight,
+    /// Oldest-first greedy baseline.
+    FifoGreedy,
+}
+
+impl BuiltinPolicy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuiltinPolicy::MaxCard => "MaxCard",
+            BuiltinPolicy::MinRTime => "MinRTime",
+            BuiltinPolicy::MaxWeight => "MaxWeight",
+            BuiltinPolicy::FifoGreedy => "FifoGreedy",
+        }
+    }
+
+    /// Parse a CLI-style name (`maxcard`, `minrtime`, `maxweight`, `fifo`).
+    pub fn parse(s: &str) -> Option<BuiltinPolicy> {
+        match s {
+            "maxcard" => Some(BuiltinPolicy::MaxCard),
+            "minrtime" => Some(BuiltinPolicy::MinRTime),
+            "maxweight" => Some(BuiltinPolicy::MaxWeight),
+            "fifo" | "fifogreedy" => Some(BuiltinPolicy::FifoGreedy),
+            _ => None,
+        }
+    }
+}
+
+/// How [`run_stream`] extracts each round's dispatch set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Exact-parity execution of a built-in policy.
+    Exact(BuiltinPolicy),
+    /// The incremental support-graph matcher (MaxCard-equivalent
+    /// cardinality, fastest mode).
+    Incremental,
+}
+
+fn assert_unit(inst: &Instance) {
+    assert!(
+        inst.switch.is_unit_capacity(),
+        "engine requires unit capacities"
+    );
+    assert!(inst.is_unit_demand(), "engine requires unit demands");
+}
+
+fn run_selector(inst: &Instance, selector: &mut Selector<'_>) -> Schedule {
+    assert_unit(inst);
+    let mut rounds = vec![0u64; inst.n()];
+    stream::drive_exact(
+        InstanceSource::new(inst),
+        selector,
+        |id, _release, round| {
+            rounds[id as usize] = round;
+        },
+    );
+    let sched = Schedule::from_rounds(rounds);
+    debug_assert!(validate::check(inst, &sched, &inst.switch).is_ok());
+    sched
+}
+
+/// Run any [`OnlinePolicy`] over a batch instance through the engine.
+/// The schedule is round-for-round identical to
+/// [`fss_online::run_policy`]'s (same queue discipline, same policy code).
+pub fn run_policy<P: OnlinePolicy>(inst: &Instance, policy: &mut P) -> Schedule {
+    run_selector(inst, &mut Selector::Policy(policy))
+}
+
+/// Run a built-in policy over a batch instance through the engine,
+/// using the MaxCard fast path where it applies.
+pub fn run_builtin(inst: &Instance, policy: BuiltinPolicy) -> Schedule {
+    match policy {
+        BuiltinPolicy::MaxCard => run_selector(inst, &mut Selector::MaxCard),
+        BuiltinPolicy::MinRTime => run_policy(inst, &mut MinRTime),
+        BuiltinPolicy::MaxWeight => run_policy(inst, &mut MaxWeight),
+        BuiltinPolicy::FifoGreedy => run_policy(inst, &mut FifoGreedy),
+    }
+}
+
+/// Run the incremental matcher over a batch instance. Every round
+/// dispatches a maximum matching of that round's waiting graph (the
+/// MaxCard equivalence class; a specific MaxCard run may break ties
+/// differently, after which the two trajectories legitimately diverge).
+/// Within a matched cell the oldest flow is dispatched first.
+pub fn run_incremental(inst: &Instance) -> Schedule {
+    assert_unit(inst);
+    let mut rounds = vec![0u64; inst.n()];
+    stream::drive_incremental(InstanceSource::new(inst), |id, _release, round| {
+        rounds[id as usize] = round;
+    });
+    let sched = Schedule::from_rounds(rounds);
+    debug_assert!(validate::check(inst, &sched, &inst.switch).is_ok());
+    sched
+}
+
+/// Drive an arbitrary [`FlowSource`] (bounded or endless) and return the
+/// aggregate statistics. Memory stays `O(peak queue)` regardless of
+/// stream length.
+pub fn run_stream<S: FlowSource>(source: S, mode: EngineMode) -> StreamStats {
+    let sink = |_: u64, _: u64, _: u64| {};
+    match mode {
+        EngineMode::Incremental => stream::drive_incremental(source, sink),
+        EngineMode::Exact(BuiltinPolicy::MaxCard) => {
+            stream::drive_exact(source, &mut Selector::MaxCard, sink)
+        }
+        EngineMode::Exact(BuiltinPolicy::MinRTime) => {
+            let mut p = MinRTime;
+            stream::drive_exact(source, &mut Selector::Policy(&mut p), sink)
+        }
+        EngineMode::Exact(BuiltinPolicy::MaxWeight) => {
+            let mut p = MaxWeight;
+            stream::drive_exact(source, &mut Selector::Policy(&mut p), sink)
+        }
+        EngineMode::Exact(BuiltinPolicy::FifoGreedy) => {
+            let mut p = FifoGreedy;
+            stream::drive_exact(source, &mut Selector::Policy(&mut p), sink)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fss_core::gen::{random_instance, GenParams};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn random_unit(seed: u64, m: usize, n: usize, rel: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        random_instance(&mut rng, &GenParams::unit(m, n, rel))
+    }
+
+    #[test]
+    fn engine_matches_legacy_for_all_builtins() {
+        for seed in 0..8 {
+            let inst = random_unit(seed, 5, 40, 10);
+            for b in [
+                BuiltinPolicy::MaxCard,
+                BuiltinPolicy::MinRTime,
+                BuiltinPolicy::MaxWeight,
+                BuiltinPolicy::FifoGreedy,
+            ] {
+                let engine = run_builtin(&inst, b);
+                let legacy = match b {
+                    BuiltinPolicy::MaxCard => {
+                        fss_online::run_policy(&inst, &mut fss_online::MaxCard)
+                    }
+                    BuiltinPolicy::MinRTime => fss_online::run_policy(&inst, &mut MinRTime),
+                    BuiltinPolicy::MaxWeight => fss_online::run_policy(&inst, &mut MaxWeight),
+                    BuiltinPolicy::FifoGreedy => fss_online::run_policy(&inst, &mut FifoGreedy),
+                };
+                assert_eq!(engine, legacy, "policy {} seed {seed}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn custom_policies_also_match_legacy() {
+        let inst = random_unit(3, 4, 30, 8);
+        let engine = run_policy(&inst, &mut fss_online::AgedMaxWeight::new(0.7));
+        let legacy = fss_online::run_policy(&inst, &mut fss_online::AgedMaxWeight::new(0.7));
+        assert_eq!(engine, legacy);
+    }
+
+    #[test]
+    fn incremental_dispatches_a_maximum_matching_every_round() {
+        // Replay each incremental schedule round by round and check the
+        // dispatched set has maximum cardinality for *that* round's
+        // waiting graph (the MaxCard equivalence class — the defining
+        // property of the incremental matcher).
+        use fss_matching::{max_cardinality_matching, BipartiteGraph};
+        for seed in 0..8 {
+            let inst = random_unit(100 + seed, 6, 60, 12);
+            let inc = run_incremental(&inst);
+            validate::check(&inst, &inc, &inst.switch).unwrap();
+            let horizon = inc.makespan();
+            for t in 0..horizon {
+                let mut g = BipartiteGraph::new(6, 6);
+                let mut dispatched = 0usize;
+                let mut any_waiting = false;
+                for (i, f) in inst.flows.iter().enumerate() {
+                    let run = inc.rounds()[i];
+                    if f.release <= t && run >= t {
+                        g.add_edge(f.src, f.dst);
+                        any_waiting = true;
+                    }
+                    if run == t {
+                        dispatched += 1;
+                    }
+                }
+                if any_waiting {
+                    assert_eq!(
+                        dispatched,
+                        max_cardinality_matching(&g).len(),
+                        "seed {seed}, round {t}: dispatch not maximum"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = InstanceBuilder::new(Switch::uniform(3, 3, 1))
+            .build()
+            .unwrap();
+        assert!(run_builtin(&inst, BuiltinPolicy::MaxCard).is_empty());
+        assert!(run_incremental(&inst).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unit capacities")]
+    fn non_unit_capacity_rejected() {
+        let inst = InstanceBuilder::new(Switch::uniform(2, 2, 3))
+            .build()
+            .unwrap();
+        let _ = run_builtin(&inst, BuiltinPolicy::MaxCard);
+    }
+
+    #[test]
+    fn stream_mode_agrees_with_batch_metrics() {
+        // Same Poisson workload, once streamed, once materialized and run
+        // through the batch path: identical aggregate response stats.
+        let (m, rate, rounds, seed) = (8usize, 6.0, 25u64, 9u64);
+        let stats = run_stream(
+            PoissonSource::new(m, rate, Some(rounds), seed),
+            EngineMode::Exact(BuiltinPolicy::MaxCard),
+        );
+        let mut src = PoissonSource::new(m, rate, Some(rounds), seed);
+        let mut b = InstanceBuilder::new(Switch::uniform(m, m, 1));
+        while let Some(a) = src.next_arrival() {
+            b.unit_flow(a.src, a.dst, a.release);
+        }
+        let inst = b.build().unwrap();
+        let sched = run_builtin(&inst, BuiltinPolicy::MaxCard);
+        let met = fss_core::metrics::evaluate(&inst, &sched);
+        assert_eq!(stats.dispatched as usize, met.n);
+        assert_eq!(stats.total_response, u128::from(met.total_response));
+        assert_eq!(stats.max_response, met.max_response);
+        assert_eq!(stats.makespan, met.makespan);
+    }
+
+    #[test]
+    fn incremental_stream_matches_incremental_batch() {
+        // Streamed and materialized runs of the same workload execute the
+        // identical algorithm, so their statistics must coincide exactly.
+        let (m, rate, rounds, seed) = (10usize, 12.0, 20u64, 21u64);
+        let streamed = run_stream(
+            PoissonSource::new(m, rate, Some(rounds), seed),
+            EngineMode::Incremental,
+        );
+        let mut src = PoissonSource::new(m, rate, Some(rounds), seed);
+        let mut b = InstanceBuilder::new(Switch::uniform(m, m, 1));
+        while let Some(a) = src.next_arrival() {
+            b.unit_flow(a.src, a.dst, a.release);
+        }
+        let inst = b.build().unwrap();
+        let sched = run_incremental(&inst);
+        let met = fss_core::metrics::evaluate(&inst, &sched);
+        assert_eq!(streamed.dispatched as usize, met.n);
+        assert_eq!(streamed.total_response, u128::from(met.total_response));
+        assert_eq!(streamed.max_response, met.max_response);
+        assert_eq!(streamed.makespan, met.makespan);
+    }
+}

@@ -35,7 +35,9 @@ pub fn kernel_vector(m: &Matrix, tol: f64) -> Option<Vec<f64>> {
     for &c in &pivots {
         is_pivot[c] = true;
     }
-    let free = (0..cols).find(|&c| !is_pivot[c]).expect("rank < cols implies a free column");
+    let free = (0..cols)
+        .find(|&c| !is_pivot[c])
+        .expect("rank < cols implies a free column");
 
     let mut x = vec![0.0; cols];
     x[free] = 1.0;

@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zero `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n x n` identity.

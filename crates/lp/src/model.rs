@@ -97,7 +97,11 @@ impl LpBuilder {
                 _ => merged.push((i, c)),
             }
         }
-        self.rows.push(Row { terms: merged, cmp, rhs });
+        self.rows.push(Row {
+            terms: merged,
+            cmp,
+            rhs,
+        });
         RowId(self.rows.len() - 1)
     }
 

@@ -29,7 +29,11 @@ pub struct SimplexOptions {
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        SimplexOptions { max_pivots: None, stall_threshold: 64, pivot_tol: 1e-9 }
+        SimplexOptions {
+            max_pivots: None,
+            stall_threshold: 64,
+            pivot_tol: 1e-9,
+        }
     }
 }
 
@@ -122,7 +126,9 @@ impl Tableau {
         let mut last_obj = f64::INFINITY;
         loop {
             if self.pivots >= budget {
-                return Err(LpError::IterationLimit { pivots: self.pivots });
+                return Err(LpError::IterationLimit {
+                    pivots: self.pivots,
+                });
             }
             let bland = stall >= opts.stall_threshold;
             // Entering column.
@@ -242,7 +248,13 @@ pub fn solve(lp: &LpBuilder, opts: &SimplexOptions) -> Result<LpSolution, LpErro
         }
     }
 
-    let mut tab = Tableau { t, basis, ncols, art_start, pivots: 0 };
+    let mut tab = Tableau {
+        t,
+        basis,
+        ncols,
+        art_start,
+        pivots: 0,
+    };
     let budget = opts.max_pivots.unwrap_or(50 * (m + ncols) + 10_000);
 
     // Phase 1: minimize the sum of artificials (skippable when none exist).
@@ -297,7 +309,12 @@ pub fn solve(lp: &LpBuilder, opts: &SimplexOptions) -> Result<LpSolution, LpErro
         }
     }
     let objective = lp.objective_value(&x);
-    Ok(LpSolution { status: LpStatus::Optimal, objective, x, pivots: tab.pivots })
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        pivots: tab.pivots,
+    })
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@ fn tiny_pivot_budget_reports_iteration_limit() {
     for w in vars.windows(2) {
         lp.constraint(&[(w[0], 1.0), (w[1], 1.0)], Cmp::Le, 1.0);
     }
-    let opts = SimplexOptions { max_pivots: Some(1), ..Default::default() };
+    let opts = SimplexOptions {
+        max_pivots: Some(1),
+        ..Default::default()
+    };
     let err = lp.solve_with(&opts).unwrap_err();
     assert!(matches!(err, LpError::IterationLimit { .. }));
     assert!(err.to_string().contains("pivot"));

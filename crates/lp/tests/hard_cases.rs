@@ -23,8 +23,16 @@ fn beale_cycling_example_terminates() {
     let x5 = lp.var(150.0);
     let x6 = lp.var(-0.02);
     let x7 = lp.var(6.0);
-    lp.constraint(&[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)], Cmp::Le, 0.0);
-    lp.constraint(&[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)], Cmp::Le, 0.0);
+    lp.constraint(
+        &[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)],
+        Cmp::Le,
+        0.0,
+    );
+    lp.constraint(
+        &[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)],
+        Cmp::Le,
+        0.0,
+    );
     lp.constraint(&[(x6, 1.0)], Cmp::Le, 1.0);
     let sol = lp.solve().expect("must not cycle forever");
     assert_eq!(sol.status, LpStatus::Optimal);
@@ -45,7 +53,11 @@ fn kuhn_degenerate_example() {
     let x2 = lp.var(-3.0);
     let x3 = lp.var(1.0);
     let x4 = lp.var(12.0);
-    lp.constraint(&[(x1, -2.0), (x2, -9.0), (x3, 1.0), (x4, 9.0)], Cmp::Le, 0.0);
+    lp.constraint(
+        &[(x1, -2.0), (x2, -9.0), (x3, 1.0), (x4, 9.0)],
+        Cmp::Le,
+        0.0,
+    );
     lp.constraint(
         &[(x1, 1.0 / 3.0), (x2, 1.0), (x3, -1.0 / 3.0), (x4, -2.0)],
         Cmp::Le,

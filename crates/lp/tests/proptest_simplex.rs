@@ -26,7 +26,11 @@ fn raw_lp() -> impl Strategy<Value = RawLp> {
     (1usize..=3, 1usize..=4).prop_flat_map(|(nvars, nrows)| {
         let coef = proptest::collection::vec(-3i32..=3, nvars);
         let row = (coef, cmp_strategy(), -4i32..=6).prop_map(|(c, cmp, rhs)| {
-            (c.into_iter().map(f64::from).collect::<Vec<f64>>(), cmp, f64::from(rhs))
+            (
+                c.into_iter().map(f64::from).collect::<Vec<f64>>(),
+                cmp,
+                f64::from(rhs),
+            )
         });
         let rows = proptest::collection::vec(row, nrows);
         let obj = proptest::collection::vec(0i32..=4, nvars)

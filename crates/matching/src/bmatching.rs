@@ -46,10 +46,7 @@ pub fn decompose_into_b_matchings(
     // Round-robin distribution of each vertex's edges among its replicas.
     let mut next_l = vec![0u32; g.nl()];
     let mut next_r = vec![0u32; g.nr()];
-    let mut expanded = BipartiteGraph::new(
-        l_start[g.nl()] as usize,
-        r_start[g.nr()] as usize,
-    );
+    let mut expanded = BipartiteGraph::new(l_start[g.nl()] as usize, r_start[g.nr()] as usize);
     for &(u, v) in g.edges() {
         let (u, v) = (u as usize, v as usize);
         let lu = l_start[u] + next_l[u];
@@ -68,12 +65,7 @@ pub fn decompose_into_b_matchings(
 }
 
 /// Check that `class` respects the per-vertex bounds in `g`.
-pub fn is_b_matching(
-    g: &BipartiteGraph,
-    class: &[usize],
-    b_left: &[u32],
-    b_right: &[u32],
-) -> bool {
+pub fn is_b_matching(g: &BipartiteGraph, class: &[usize], b_left: &[u32], b_right: &[u32]) -> bool {
     let mut deg_l = vec![0u32; g.nl()];
     let mut deg_r = vec![0u32; g.nr()];
     for &e in class {
@@ -81,8 +73,7 @@ pub fn is_b_matching(
         deg_l[u as usize] += 1;
         deg_r[v as usize] += 1;
     }
-    deg_l.iter().zip(b_left).all(|(d, b)| d <= b)
-        && deg_r.iter().zip(b_right).all(|(d, b)| d <= b)
+    deg_l.iter().zip(b_left).all(|(d, b)| d <= b) && deg_r.iter().zip(b_right).all(|(d, b)| d <= b)
 }
 
 #[cfg(test)]
@@ -104,7 +95,10 @@ mod tests {
             }
             assert!(is_b_matching(g, class, b_left, b_right));
         }
-        assert!(seen.iter().all(|&s| s), "some edge missing from all classes");
+        assert!(
+            seen.iter().all(|&s| s),
+            "some edge missing from all classes"
+        );
     }
 
     #[test]
@@ -154,7 +148,11 @@ mod tests {
                 .iter()
                 .zip(&b_left)
                 .map(|(&d, &b)| (d as u32).div_ceil(b))
-                .chain(dr.iter().zip(&b_right).map(|(&d, &b)| (d as u32).div_ceil(b)))
+                .chain(
+                    dr.iter()
+                        .zip(&b_right)
+                        .map(|(&d, &b)| (d as u32).div_ceil(b)),
+                )
                 .max()
                 .unwrap_or(0);
             assert!(

@@ -13,7 +13,11 @@ pub struct BipartiteGraph {
 impl BipartiteGraph {
     /// An empty graph with `nl` left and `nr` right vertices.
     pub fn new(nl: usize, nr: usize) -> Self {
-        BipartiteGraph { nl, nr, edges: Vec::new() }
+        BipartiteGraph {
+            nl,
+            nr,
+            edges: Vec::new(),
+        }
     }
 
     /// Build directly from an edge list.
@@ -26,7 +30,10 @@ impl BipartiteGraph {
 
     /// Add an edge, returning its index.
     pub fn add_edge(&mut self, u: u32, v: u32) -> usize {
-        assert!((u as usize) < self.nl && (v as usize) < self.nr, "edge out of range");
+        assert!(
+            (u as usize) < self.nl && (v as usize) < self.nr,
+            "edge out of range"
+        );
         self.edges.push((u, v));
         self.edges.len() - 1
     }

@@ -51,12 +51,22 @@ pub fn max_cardinality_matching(g: &BipartiteGraph) -> Vec<usize> {
         // DFS phase: augment along shortest alternating paths.
         for u in 0..nl as u32 {
             if match_l[u as usize] == NIL {
-                dfs(u, &adj, &mut match_l, &mut match_r, &mut match_edge, &mut dist);
+                dfs(
+                    u,
+                    &adj,
+                    &mut match_l,
+                    &mut match_r,
+                    &mut match_edge,
+                    &mut dist,
+                );
             }
         }
     }
 
-    (0..nl).filter(|&u| match_l[u] != NIL).map(|u| match_edge[u]).collect()
+    (0..nl)
+        .filter(|&u| match_l[u] != NIL)
+        .map(|u| match_edge[u])
+        .collect()
 }
 
 fn dfs(

@@ -21,7 +21,10 @@ use crate::graph::BipartiteGraph;
 /// chosen edge ids.
 pub fn max_weight_matching(g: &BipartiteGraph, weights: &[f64]) -> Vec<usize> {
     assert_eq!(weights.len(), g.num_edges(), "one weight per edge");
-    assert!(weights.iter().all(|&w| w >= 0.0), "weights must be nonnegative");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weights must be nonnegative"
+    );
     let (nl, nr) = (g.nl(), g.nr());
     let k = nl.max(nr);
     if k == 0 || g.num_edges() == 0 {

@@ -148,11 +148,7 @@ mod tests {
     fn path_forcing_kempe_swap() {
         // Edges inserted so that a later edge finds conflicting free colors
         // and must flip an alternating path.
-        let g = BipartiteGraph::from_edges(
-            3,
-            3,
-            vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 0)],
-        );
+        let g = BipartiteGraph::from_edges(3, 3, vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 0)]);
         let colors = edge_coloring(&g);
         check_proper(&g, &colors);
     }

@@ -17,8 +17,11 @@ struct RawGraph {
 fn raw_graph(max_side: usize, max_edges: usize) -> impl Strategy<Value = RawGraph> {
     (1..=max_side, 1..=max_side).prop_flat_map(move |(nl, nr)| {
         let edge = (0..nl as u32, 0..nr as u32);
-        proptest::collection::vec(edge, 0..=max_edges)
-            .prop_map(move |edges| RawGraph { nl, nr, edges })
+        proptest::collection::vec(edge, 0..=max_edges).prop_map(move |edges| RawGraph {
+            nl,
+            nr,
+            edges,
+        })
     })
 }
 

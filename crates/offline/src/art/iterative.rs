@@ -55,12 +55,19 @@ struct SurvivorVar {
 
 /// Run the cascade on a unit-demand instance.
 pub fn iterative_rounding(inst: &Instance) -> PseudoResult {
-    assert!(inst.is_unit_demand(), "the cascade is defined for unit demands");
+    assert!(
+        inst.is_unit_demand(),
+        "the cascade is defined for unit demands"
+    );
     let n = inst.n();
     if n == 0 {
         return PseudoResult {
             pseudo: PseudoSchedule::from_rounds(vec![]),
-            stats: IterativeStats { iterations: 0, lp0_cost: 0.0, forced_fixes: 0 },
+            stats: IterativeStats {
+                iterations: 0,
+                lp0_cost: 0.0,
+                forced_fixes: 0,
+            },
         };
     }
     let horizon = default_horizon(inst);
@@ -100,7 +107,11 @@ pub fn iterative_rounding(inst: &Instance) -> PseudoResult {
         keys.sort_unstable();
         for key in keys {
             let (is_in, p, _) = key;
-            let cap = if is_in { inst.switch.in_cap(p) } else { inst.switch.out_cap(p) };
+            let cap = if is_in {
+                inst.switch.in_cap(p)
+            } else {
+                inst.switch.out_cap(p)
+            };
             lp.constraint(&blocks[&key], Cmp::Le, 4.0 * f64::from(cap));
         }
         let sol = lp
@@ -111,7 +122,11 @@ pub fn iterative_rounding(inst: &Instance) -> PseudoResult {
         for &(i, t, v) in &ids {
             let val = sol.x[v.idx()];
             if val > TOL {
-                survivors.push(SurvivorVar { flow: i, t, value: val });
+                survivors.push(SurvivorVar {
+                    flow: i,
+                    t,
+                    value: val,
+                });
             }
         }
     }
@@ -173,10 +188,17 @@ pub fn iterative_rounding(inst: &Instance) -> PseudoResult {
         survivors.retain(|s| fixed[s.flow].is_none());
     }
 
-    let rounds: Vec<u64> = fixed.into_iter().map(|r| r.expect("all flows fixed")).collect();
+    let rounds: Vec<u64> = fixed
+        .into_iter()
+        .map(|r| r.expect("all flows fixed"))
+        .collect();
     PseudoResult {
         pseudo: PseudoSchedule::from_rounds(rounds),
-        stats: IterativeStats { iterations, lp0_cost, forced_fixes },
+        stats: IterativeStats {
+            iterations,
+            lp0_cost,
+            forced_fixes,
+        },
     }
 }
 
@@ -232,11 +254,19 @@ fn add_interval_constraints(
         inst.switch.num_outputs()
     };
     for p in 0..ports as u32 {
-        let cap = if input_side { inst.switch.in_cap(p) } else { inst.switch.out_cap(p) };
+        let cap = if input_side {
+            inst.switch.in_cap(p)
+        } else {
+            inst.switch.out_cap(p)
+        };
         let mut vars: Vec<usize> = (0..survivors.len())
             .filter(|&k| {
                 let f = &inst.flows[survivors[k].flow];
-                if input_side { f.src == p } else { f.dst == p }
+                if input_side {
+                    f.src == p
+                } else {
+                    f.dst == p
+                }
             })
             .collect();
         if vars.is_empty() {
@@ -269,7 +299,9 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let r = iterative_rounding(&inst);
         assert!(r.pseudo.is_empty());
     }

@@ -104,7 +104,11 @@ fn art_lp_impl(
     keys.sort_unstable();
     for key in keys {
         let (is_in, p, _) = key;
-        let cap = if is_in { inst.switch.in_cap(p) } else { inst.switch.out_cap(p) };
+        let cap = if is_in {
+            inst.switch.in_cap(p)
+        } else {
+            inst.switch.out_cap(p)
+        };
         lp.constraint(&rows[&key], Cmp::Le, f64::from(cap));
     }
 
@@ -114,7 +118,9 @@ fn art_lp_impl(
         // The LP is always feasible at the default horizon (greedy fits);
         // a caller-supplied horizon or window may be too small.
         LpStatus::Infeasible => Err(ArtLpError::WindowInfeasible),
-        status => Err(ArtLpError::Solver(format!("unexpected LP status {status:?}"))),
+        status => Err(ArtLpError::Solver(format!(
+            "unexpected LP status {status:?}"
+        ))),
     }
 }
 
@@ -127,7 +133,9 @@ mod tests {
 
     #[test]
     fn empty_instance_zero_bound() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         assert_eq!(art_lp_lower_bound(&inst, None).unwrap(), 0.0);
     }
 

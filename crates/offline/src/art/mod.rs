@@ -85,8 +85,7 @@ mod tests {
         let res = solve_art(&inst, 2);
         // rho_final <= rho_pseudo + 2h per flow, and pseudo cost is LP-
         // bounded; a generous end-to-end sanity bound:
-        let bound = res.pseudo.pseudo.total_response(&inst)
-            + 2 * res.window * inst.n() as u64;
+        let bound = res.pseudo.pseudo.total_response(&inst) + 2 * res.window * inst.n() as u64;
         assert!(
             res.metrics.total_response <= bound,
             "total {} exceeds pseudo + 2hn = {bound}",

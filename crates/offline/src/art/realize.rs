@@ -34,11 +34,17 @@ pub struct RealizedSchedule {
 /// are automatically respected.
 pub fn realize_schedule(inst: &Instance, pseudo: &PseudoSchedule, c: u32) -> RealizedSchedule {
     assert!(c >= 1, "augmentation parameter c must be >= 1");
-    assert!(inst.is_unit_demand(), "Theorem 1 realization requires unit demands");
+    assert!(
+        inst.is_unit_demand(),
+        "Theorem 1 realization requires unit demands"
+    );
     assert_eq!(pseudo.len(), inst.n(), "pseudo-schedule covers every flow");
     let n = inst.n();
     if n == 0 {
-        return RealizedSchedule { schedule: Schedule::from_rounds(vec![]), window: 1 };
+        return RealizedSchedule {
+            schedule: Schedule::from_rounds(vec![]),
+            window: 1,
+        };
     }
 
     let stack = u64::from(c) + 1; // classes executable per round
@@ -49,7 +55,10 @@ pub fn realize_schedule(inst: &Instance, pseudo: &PseudoSchedule, c: u32) -> Rea
                 validate::check(inst, &schedule, &inst.switch.scaled(1 + c)).is_ok(),
                 "realized schedule must fit the scaled switch"
             );
-            return RealizedSchedule { schedule, window: h };
+            return RealizedSchedule {
+                schedule,
+                window: h,
+            };
         }
         h *= 2;
         assert!(
@@ -70,20 +79,21 @@ pub fn realize_schedule_with_window(
     h: u64,
 ) -> Option<RealizedSchedule> {
     assert!(c >= 1 && h >= 1, "c and h must be positive");
-    assert!(inst.is_unit_demand(), "Theorem 1 realization requires unit demands");
+    assert!(
+        inst.is_unit_demand(),
+        "Theorem 1 realization requires unit demands"
+    );
     let schedule = try_window(inst, pseudo, h, u64::from(c) + 1)?;
     debug_assert!(validate::check(inst, &schedule, &inst.switch.scaled(1 + c)).is_ok());
-    Some(RealizedSchedule { schedule, window: h })
+    Some(RealizedSchedule {
+        schedule,
+        window: h,
+    })
 }
 
 /// Attempt the realization at a fixed window length; `None` when some
 /// window needs more than `h` rounds to execute its color classes.
-fn try_window(
-    inst: &Instance,
-    pseudo: &PseudoSchedule,
-    h: u64,
-    stack: u64,
-) -> Option<Schedule> {
+fn try_window(inst: &Instance, pseudo: &PseudoSchedule, h: u64, stack: u64) -> Option<Schedule> {
     let makespan = pseudo.makespan();
     let windows = makespan.div_ceil(h).max(1);
     let mut rounds = vec![0u64; inst.n()];
@@ -146,7 +156,9 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let r = realize_schedule(&inst, &PseudoSchedule::from_rounds(vec![]), 1);
         assert!(r.schedule.is_empty());
     }

@@ -26,14 +26,21 @@ pub fn min_max_response(inst: &Instance) -> (u64, Schedule) {
 
 fn branch_and_bound(inst: &Instance, minimize_max: bool) -> (u64, Schedule) {
     let n = inst.n();
-    assert!(n <= MAX_EXACT_FLOWS, "exact solver limited to {MAX_EXACT_FLOWS} flows");
+    assert!(
+        n <= MAX_EXACT_FLOWS,
+        "exact solver limited to {MAX_EXACT_FLOWS} flows"
+    );
     if n == 0 {
         return (0, Schedule::from_rounds(vec![]));
     }
     // Incumbent from the greedy baseline.
     let greedy = crate::greedy::greedy_schedule(inst);
     let gm = fss_core::metrics::evaluate(inst, &greedy);
-    let mut best_cost = if minimize_max { gm.max_response } else { gm.total_response };
+    let mut best_cost = if minimize_max {
+        gm.max_response
+    } else {
+        gm.total_response
+    };
     let mut best = greedy.clone();
 
     // Branch on flows in release order; each flow tries rounds
@@ -79,7 +86,9 @@ fn branch_and_bound(inst: &Instance, minimize_max: bool) -> (u64, Schedule) {
         // best.
         let remaining_after = (order.len() - depth - 1) as u64;
         let max_rho = if minimize_max {
-            if *best_cost == 0 { return; }
+            if *best_cost == 0 {
+                return;
+            }
             *best_cost - 1
         } else {
             if *best_cost <= partial_cost + remaining_after {
@@ -109,13 +118,31 @@ fn branch_and_bound(inst: &Instance, minimize_max: bool) -> (u64, Schedule) {
             } else {
                 partial_cost + rho
             };
-            dfs(inst, order, depth + 1, cost, minimize_max, st, best_cost, best);
+            dfs(
+                inst,
+                order,
+                depth + 1,
+                cost,
+                minimize_max,
+                st,
+                best_cost,
+                best,
+            );
             *st.in_load.get_mut(&in_key).unwrap() -= f.demand;
             *st.out_load.get_mut(&out_key).unwrap() -= f.demand;
         }
     }
 
-    dfs(inst, &order, 0, 0, minimize_max, &mut st, &mut best_cost, &mut best);
+    dfs(
+        inst,
+        &order,
+        0,
+        0,
+        minimize_max,
+        &mut st,
+        &mut best_cost,
+        &mut best,
+    );
     debug_assert!(validate::check(inst, &best, &inst.switch).is_ok());
     (best_cost, best)
 }
@@ -126,7 +153,9 @@ mod tests {
 
     #[test]
     fn empty_instance_costs_zero() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         assert_eq!(min_total_response(&inst).0, 0);
         assert_eq!(min_max_response(&inst).0, 0);
     }
@@ -166,8 +195,14 @@ mod tests {
             assert!(opt_max <= gm.max_response);
             validate::check(&inst, &s1, &inst.switch).unwrap();
             validate::check(&inst, &s2, &inst.switch).unwrap();
-            assert_eq!(fss_core::metrics::evaluate(&inst, &s1).total_response, opt_tot);
-            assert_eq!(fss_core::metrics::evaluate(&inst, &s2).max_response, opt_max);
+            assert_eq!(
+                fss_core::metrics::evaluate(&inst, &s1).total_response,
+                opt_tot
+            );
+            assert_eq!(
+                fss_core::metrics::evaluate(&inst, &s2).max_response,
+                opt_max
+            );
         }
     }
 

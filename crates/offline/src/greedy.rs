@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let s = greedy_schedule(&inst);
         assert!(s.is_empty());
     }
@@ -129,7 +131,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(31);
         for seed in 0..25 {
             let _ = seed;
-            let p = GenParams { m: 4, m_out: 4, cap: 2, n: 30, max_demand: 2, max_release: 8 };
+            let p = GenParams {
+                m: 4,
+                m_out: 4,
+                cap: 2,
+                n: 30,
+                max_demand: 2,
+                max_release: 8,
+            };
             let inst = random_instance(&mut rng, &p);
             let s = greedy_schedule(&inst);
             validate::check(&inst, &s, &inst.switch).unwrap();

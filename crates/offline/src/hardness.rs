@@ -32,9 +32,18 @@ impl RttInstance {
     pub fn assert_valid(&self) {
         assert_eq!(self.teachers.len(), self.classes.len());
         for (i, (t, g)) in self.teachers.iter().zip(&self.classes).enumerate() {
-            assert!((2..=3).contains(&t.len()), "teacher {i}: |T_i| must be 2 or 3");
-            assert!(t.windows(2).all(|w| w[0] < w[1]), "teacher {i}: unsorted T_i");
-            assert!(t.iter().all(|&h| (1..=3).contains(&h)), "teacher {i}: hour out of range");
+            assert!(
+                (2..=3).contains(&t.len()),
+                "teacher {i}: |T_i| must be 2 or 3"
+            );
+            assert!(
+                t.windows(2).all(|w| w[0] < w[1]),
+                "teacher {i}: unsorted T_i"
+            );
+            assert!(
+                t.iter().all(|&h| (1..=3).contains(&h)),
+                "teacher {i}: hour out of range"
+            );
             assert_eq!(t.len(), g.len(), "teacher {i}: |g(i)| != |T_i|");
             assert!(g.iter().all(|&j| (j as usize) < self.num_classes));
             let mut gg = g.clone();
@@ -60,10 +69,8 @@ pub fn rtt_reduction(rtt: &RttInstance) -> Instance {
     // new output and three new inputs per teacher with |T_i| = 2 and
     // 1 ∈ T_i (T_i = {1,3} or {1,2}); T_i = {2,3} needs no gadget (the
     // release time excludes hour 1 on its own), |T_i| = 3 none either.
-    let needs_gadget =
-        |t: &Vec<u8>| t.len() == 2 && t[0] == 1; // {1,2} or {1,3}
-    let gadget_teachers: Vec<usize> =
-        (0..m).filter(|&i| needs_gadget(&rtt.teachers[i])).collect();
+    let needs_gadget = |t: &Vec<u8>| t.len() == 2 && t[0] == 1; // {1,2} or {1,3}
+    let gadget_teachers: Vec<usize> = (0..m).filter(|&i| needs_gadget(&rtt.teachers[i])).collect();
 
     let num_inputs = m + 3 * m_prime + 3 * gadget_teachers.len();
     let num_outputs = m_prime + gadget_teachers.len();

@@ -109,10 +109,12 @@ pub fn solve_mrt(
             RoundingError::SolverFailure(m) => MrtError::Solver(m),
         })?
         .expect("LP feasible at rho_star by binary-search invariant");
-    debug_assert!(
-        fss_core::metrics::evaluate(inst, &res.schedule).max_response <= rho_star
-    );
-    Ok(MrtResult { rho_star, schedule: res.schedule, augmentation: res.augmentation })
+    debug_assert!(fss_core::metrics::evaluate(inst, &res.schedule).max_response <= rho_star);
+    Ok(MrtResult {
+        rho_star,
+        schedule: res.schedule,
+        augmentation: res.augmentation,
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +126,9 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let r = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
         assert_eq!(r.rho_star, 0);
     }
@@ -159,8 +163,7 @@ mod tests {
             let m = fss_core::metrics::evaluate(&inst, &r.schedule);
             assert!(m.max_response <= r.rho_star);
             assert!(r.augmentation <= 1, "2*dmax-1 = 1 for unit demands");
-            validate::check(&inst, &r.schedule, &inst.switch.augmented(r.augmentation))
-                .unwrap();
+            validate::check(&inst, &r.schedule, &inst.switch.augmented(r.augmentation)).unwrap();
         }
     }
 
@@ -180,7 +183,14 @@ mod tests {
     fn mixed_demands_respect_paper_bound() {
         let mut rng = SmallRng::seed_from_u64(77);
         for _ in 0..6 {
-            let p = GenParams { m: 3, m_out: 3, cap: 4, n: 10, max_demand: 3, max_release: 4 };
+            let p = GenParams {
+                m: 3,
+                m_out: 3,
+                cap: 4,
+                n: 10,
+                max_demand: 3,
+                max_release: 4,
+            };
             let inst = random_instance(&mut rng, &p);
             let dmax = inst.dmax();
             let r = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
@@ -190,8 +200,7 @@ mod tests {
                 r.augmentation,
                 2 * dmax - 1
             );
-            validate::check(&inst, &r.schedule, &inst.switch.augmented(r.augmentation))
-                .unwrap();
+            validate::check(&inst, &r.schedule, &inst.switch.augmented(r.augmentation)).unwrap();
         }
     }
 }

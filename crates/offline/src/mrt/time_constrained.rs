@@ -51,7 +51,10 @@ impl<'a> TimeConstrained<'a> {
         assert_eq!(active.len(), inst.n(), "one active set per flow");
         for (i, set) in active.iter().enumerate() {
             assert!(!set.is_empty(), "flow {i}: empty active set");
-            assert!(set.windows(2).all(|w| w[0] < w[1]), "flow {i}: unsorted set");
+            assert!(
+                set.windows(2).all(|w| w[0] < w[1]),
+                "flow {i}: unsorted set"
+            );
         }
         TimeConstrained { inst, active }
     }
@@ -103,8 +106,14 @@ pub fn time_constrained_lp(tc: &TimeConstrained<'_>) -> (LpBuilder, Vec<Vec<VarI
     for (i, f) in inst.flows.iter().enumerate() {
         for (k, &t) in tc.active[i].iter().enumerate() {
             let id = vars[i][k];
-            in_rows.entry((f.src, t)).or_default().push((id, f64::from(f.demand)));
-            out_rows.entry((f.dst, t)).or_default().push((id, f64::from(f.demand)));
+            in_rows
+                .entry((f.src, t))
+                .or_default()
+                .push((id, f64::from(f.demand)));
+            out_rows
+                .entry((f.dst, t))
+                .or_default()
+                .push((id, f64::from(f.demand)));
         }
     }
     // Deterministic row order (ports then rounds) for reproducible pivots.
@@ -169,20 +178,34 @@ pub fn round_time_constrained(
     let mut cap_rows: HashMap<(bool, u32, Round), Vec<(usize, f64)>> = HashMap::new();
     for (j, &(i, t)) in flat_vars.iter().enumerate() {
         let f = &inst.flows[i];
-        cap_rows.entry((true, f.src, t)).or_default().push((j, f64::from(f.demand)));
-        cap_rows.entry((false, f.dst, t)).or_default().push((j, f64::from(f.demand)));
+        cap_rows
+            .entry((true, f.src, t))
+            .or_default()
+            .push((j, f64::from(f.demand)));
+        cap_rows
+            .entry((false, f.dst, t))
+            .or_default()
+            .push((j, f64::from(f.demand)));
     }
     let mut keys: Vec<_> = cap_rows.keys().copied().collect();
     keys.sort_unstable();
     let capacities: Vec<(Vec<(usize, f64)>, f64)> = keys
         .iter()
         .map(|&(is_in, p, t)| {
-            let cap = if is_in { inst.switch.in_cap(p) } else { inst.switch.out_cap(p) };
+            let cap = if is_in {
+                inst.switch.in_cap(p)
+            } else {
+                inst.switch.out_cap(p)
+            };
             let _ = t;
             (cap_rows[&(is_in, p, t)].clone(), f64::from(cap))
         })
         .collect();
-    let problem = RoundingProblem { num_vars: flat_vars.len(), groups, capacities };
+    let problem = RoundingProblem {
+        num_vars: flat_vars.len(),
+        groups,
+        capacities,
+    };
 
     let outcome = match engine {
         RoundingEngine::IterativeRelaxation => {
@@ -221,7 +244,11 @@ pub fn round_time_constrained(
     // sets already encode timing; for FS-MRT reductions they respect
     // releases by construction).
     let augmentation = outcome.max_violation.ceil().max(0.0) as u32;
-    Ok(Some(TimeConstrainedResult { schedule, augmentation, lp_pivots: sol.pivots }))
+    Ok(Some(TimeConstrainedResult {
+        schedule,
+        augmentation,
+        lp_pivots: sol.pivots,
+    }))
 }
 
 #[cfg(test)]
@@ -255,9 +282,11 @@ mod tests {
         // port capacity across 2 rounds.
         let inst = unit_inst(&[(0, 0, 0), (0, 0, 0), (0, 0, 0)], 1);
         let tc = TimeConstrained::from_response_bound(&inst, 2);
-        assert!(round_time_constrained(&tc, RoundingEngine::IterativeRelaxation)
-            .unwrap()
-            .is_none());
+        assert!(
+            round_time_constrained(&tc, RoundingEngine::IterativeRelaxation)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -290,7 +319,10 @@ mod tests {
         let res = round_time_constrained(&tc, RoundingEngine::IterativeRelaxation)
             .unwrap()
             .expect("two flows, two allowed rounds");
-        let (a, b) = (res.schedule.round_of(FlowId(0)), res.schedule.round_of(FlowId(1)));
+        let (a, b) = (
+            res.schedule.round_of(FlowId(0)),
+            res.schedule.round_of(FlowId(1)),
+        );
         assert_ne!(a, b);
         assert!(a == 0 || a == 7);
         assert!(b == 0 || b == 7);

@@ -33,7 +33,12 @@ pub fn amrt_schedule(inst: &Instance) -> AmrtResult {
     if n == 0 {
         let schedule = Schedule::from_rounds(vec![]);
         let metrics = fss_core::metrics::evaluate(inst, &schedule);
-        return AmrtResult { schedule, final_rho: 0, max_port_load: 0, metrics };
+        return AmrtResult {
+            schedule,
+            final_rho: 0,
+            max_port_load: 0,
+            metrics,
+        };
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (inst.flows[i].release, i));
@@ -84,7 +89,12 @@ pub fn amrt_schedule(inst: &Instance) -> AmrtResult {
     let schedule = Schedule::from_rounds(rounds);
     let metrics = fss_core::metrics::evaluate(inst, &schedule);
     let max_port_load = measure_max_port_load(inst, &schedule);
-    AmrtResult { schedule, final_rho: rho, max_port_load, metrics }
+    AmrtResult {
+        schedule,
+        final_rho: rho,
+        max_port_load,
+        metrics,
+    }
 }
 
 /// Project `inst` onto a subset of flows (releases kept; the active sets
@@ -106,7 +116,12 @@ fn measure_max_port_load(inst: &Instance, sched: &Schedule) -> u64 {
         *in_load.entry((f.src, t)).or_insert(0) += u64::from(f.demand);
         *out_load.entry((f.dst, t)).or_insert(0) += u64::from(f.demand);
     }
-    in_load.values().chain(out_load.values()).copied().max().unwrap_or(0)
+    in_load
+        .values()
+        .chain(out_load.values())
+        .copied()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -118,7 +133,9 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let r = amrt_schedule(&inst);
         assert_eq!(r.final_rho, 0);
     }
@@ -161,8 +178,7 @@ mod tests {
             let p = GenParams::unit(3, 12, 5);
             let inst = random_instance(&mut rng, &p);
             let online = amrt_schedule(&inst);
-            let offline =
-                solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
+            let offline = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
             // Empirical competitiveness: record and bound loosely (the
             // lemma's constant, with batching slack, stays below 4x + 2).
             assert!(

@@ -25,7 +25,6 @@ pub use amrt::{amrt_schedule, AmrtResult};
 pub use policy::{FifoGreedy, MaxCard, MaxWeight, MinRTime, OnlinePolicy, QueueState, WaitingFlow};
 pub use policy_ext::{AgedMaxWeight, RandomMatching};
 pub use preemptive::{
-    run_preemptive, OldestFirstMatching, PreemptivePolicy, SizedFlow, SizedInstance,
-    SrptMatching,
+    run_preemptive, OldestFirstMatching, PreemptivePolicy, SizedFlow, SizedInstance, SrptMatching,
 };
 pub use runner::run_policy;

@@ -1,7 +1,9 @@
 //! Online policies: the paper's heuristics (§5.2) behind a common trait.
 
 use fss_core::FlowId;
-use fss_matching::{greedy_matching, max_cardinality_matching, max_weight_matching, BipartiteGraph};
+use fss_matching::{
+    greedy_matching, max_cardinality_matching, max_weight_matching, BipartiteGraph,
+};
 
 /// A flow currently waiting in the open queue `E(G_t)`.
 #[derive(Debug, Clone, Copy)]
@@ -157,11 +159,21 @@ mod tests {
     use super::*;
 
     fn state(waiting: &[WaitingFlow], round: u64) -> QueueState<'_> {
-        QueueState { round, waiting, m_in: 3, m_out: 3 }
+        QueueState {
+            round,
+            waiting,
+            m_in: 3,
+            m_out: 3,
+        }
     }
 
     fn wf(id: u32, src: u32, dst: u32, release: u64) -> WaitingFlow {
-        WaitingFlow { id: FlowId(id), src, dst, release }
+        WaitingFlow {
+            id: FlowId(id),
+            src,
+            dst,
+            release,
+        }
     }
 
     #[test]

@@ -110,11 +110,31 @@ mod tests {
     #[test]
     fn random_matching_is_reproducible() {
         let w = [
-            WaitingFlow { id: FlowId(0), src: 0, dst: 0, release: 0 },
-            WaitingFlow { id: FlowId(1), src: 0, dst: 1, release: 0 },
-            WaitingFlow { id: FlowId(2), src: 1, dst: 0, release: 0 },
+            WaitingFlow {
+                id: FlowId(0),
+                src: 0,
+                dst: 0,
+                release: 0,
+            },
+            WaitingFlow {
+                id: FlowId(1),
+                src: 0,
+                dst: 1,
+                release: 0,
+            },
+            WaitingFlow {
+                id: FlowId(2),
+                src: 1,
+                dst: 0,
+                release: 0,
+            },
         ];
-        let state = QueueState { round: 3, waiting: &w, m_in: 2, m_out: 2 };
+        let state = QueueState {
+            round: 3,
+            waiting: &w,
+            m_in: 2,
+            m_out: 2,
+        };
         let a = RandomMatching::new(1).choose(&state);
         let b = RandomMatching::new(1).choose(&state);
         assert_eq!(a, b);
@@ -138,10 +158,25 @@ mod tests {
     fn high_gamma_mimics_minrtime_priority() {
         // Old conflicting flow must win under strong aging.
         let w = [
-            WaitingFlow { id: FlowId(0), src: 0, dst: 0, release: 9 },
-            WaitingFlow { id: FlowId(1), src: 0, dst: 0, release: 1 },
+            WaitingFlow {
+                id: FlowId(0),
+                src: 0,
+                dst: 0,
+                release: 9,
+            },
+            WaitingFlow {
+                id: FlowId(1),
+                src: 0,
+                dst: 0,
+                release: 1,
+            },
         ];
-        let state = QueueState { round: 10, waiting: &w, m_in: 1, m_out: 1 };
+        let state = QueueState {
+            round: 10,
+            waiting: &w,
+            m_in: 1,
+            m_out: 1,
+        };
         let sel = AgedMaxWeight::new(1000.0).choose(&state);
         assert_eq!(sel, vec![1]);
     }

@@ -44,7 +44,10 @@ pub struct SizedInstance {
 impl SizedInstance {
     /// Validate and build.
     pub fn new(switch: Switch, flows: Vec<SizedFlow>) -> Self {
-        assert!(switch.is_unit_capacity(), "sized model requires unit capacities");
+        assert!(
+            switch.is_unit_capacity(),
+            "sized model requires unit capacities"
+        );
         for (i, f) in flows.iter().enumerate() {
             assert!(f.size >= 1, "flow {i}: zero size");
             assert!((f.src as usize) < switch.num_inputs(), "flow {i}: bad src");
@@ -161,7 +164,11 @@ pub fn run_preemptive<P: PreemptivePolicy>(
     let n = inst.n();
     let mut completion = vec![0u64; n];
     if n == 0 {
-        return PreemptiveResult { completion, total_response: 0, max_response: 0 };
+        return PreemptiveResult {
+            completion,
+            total_response: 0,
+            max_response: 0,
+        };
     }
     let mut remaining: Vec<u32> = inst.flows.iter().map(|f| f.size).collect();
     let mut order: Vec<usize> = (0..n).collect();
@@ -181,7 +188,11 @@ pub fn run_preemptive<P: PreemptivePolicy>(
             t = inst.flows[order[next]].release;
             continue;
         }
-        let queue = SizedQueue { round: t, active: &active, inst };
+        let queue = SizedQueue {
+            round: t,
+            active: &active,
+            inst,
+        };
         let mut selection = policy.choose(&queue);
         selection.sort_unstable();
         selection.dedup();
@@ -220,7 +231,11 @@ pub fn run_preemptive<P: PreemptivePolicy>(
         total += rho;
         max = max.max(rho);
     }
-    PreemptiveResult { completion, total_response: total, max_response: max }
+    PreemptiveResult {
+        completion,
+        total_response: total,
+        max_response: max,
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +247,12 @@ mod tests {
     }
 
     fn f(src: u32, dst: u32, release: u64, size: u32) -> SizedFlow {
-        SizedFlow { src, dst, release, size }
+        SizedFlow {
+            src,
+            dst,
+            release,
+            size,
+        }
     }
 
     #[test]
@@ -299,7 +319,12 @@ mod tests {
             base.switch.clone(),
             base.flows
                 .iter()
-                .map(|f| SizedFlow { src: f.src, dst: f.dst, release: f.release, size: 1 })
+                .map(|f| SizedFlow {
+                    src: f.src,
+                    dst: f.dst,
+                    release: f.release,
+                    size: 1,
+                })
                 .collect(),
         );
         let r = run_preemptive(&sized, &mut OldestFirstMatching);

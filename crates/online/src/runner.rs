@@ -4,6 +4,12 @@
 //! This mirrors the paper's simulator skeleton (§5.2.1): `G_t` consists of
 //! flows released at time `t` plus those remaining from previous steps; any
 //! heuristic plugs in to extract `M_t ⊆ E(G_t)`.
+//!
+//! This loop is the **reference implementation**: simple, obviously
+//! faithful to the paper, and the differential-testing baseline for the
+//! event-driven engine (`fss-engine`), which reproduces its schedules
+//! round-for-round while running the hot cells much faster. New callers
+//! should prefer `fss_engine::run_policy` / `fss_engine::run_builtin`.
 
 use fss_core::prelude::*;
 
@@ -16,7 +22,10 @@ use crate::policy::{OnlinePolicy, QueueState, WaitingFlow};
 /// Panics if the policy ever returns a non-matching or an out-of-range
 /// selection — policies are trusted components and such a return is a bug.
 pub fn run_policy<P: OnlinePolicy>(inst: &Instance, policy: &mut P) -> Schedule {
-    assert!(inst.switch.is_unit_capacity(), "online runner requires unit capacities");
+    assert!(
+        inst.switch.is_unit_capacity(),
+        "online runner requires unit capacities"
+    );
     assert!(inst.is_unit_demand(), "online runner requires unit demands");
     let n = inst.n();
     let mut rounds = vec![0u64; n];
@@ -102,7 +111,9 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = InstanceBuilder::new(Switch::uniform(2, 2, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(2, 2, 1))
+            .build()
+            .unwrap();
         assert!(run_policy(&inst, &mut MaxCard).is_empty());
     }
 
@@ -167,7 +178,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "unit capacities")]
     fn non_unit_capacity_rejected() {
-        let inst = InstanceBuilder::new(Switch::uniform(2, 2, 2)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(2, 2, 2))
+            .build()
+            .unwrap();
         let _ = run_policy(&inst, &mut MaxCard);
     }
 }

@@ -98,8 +98,7 @@ pub fn beck_fiala(problem: &RoundingProblem, x0: &[f64]) -> RoundingOutcome {
                 a[(r, c)] += coef;
             }
         }
-        let d = kernel_vector(&a, 1e-10)
-            .expect("kernel must exist: active rows < floating vars");
+        let d = kernel_vector(&a, 1e-10).expect("kernel must exist: active rows < floating vars");
 
         // Walk distance: first floating variable to hit a bound, in the +d
         // direction (d is nonzero, so some step is finite and positive).
@@ -133,8 +132,7 @@ pub(crate) fn extract(problem: &RoundingProblem, x: &[f64]) -> RoundingOutcome {
         .iter()
         .enumerate()
         .map(|(gi, group)| {
-            let ones: Vec<usize> =
-                group.iter().copied().filter(|&v| x[v] > 0.5).collect();
+            let ones: Vec<usize> = group.iter().copied().filter(|&v| x[v] > 0.5).collect();
             assert_eq!(
                 ones.len(),
                 1,
@@ -145,7 +143,10 @@ pub(crate) fn extract(problem: &RoundingProblem, x: &[f64]) -> RoundingOutcome {
         })
         .collect();
     let max_violation = problem.max_violation(&chosen);
-    RoundingOutcome { chosen, max_violation }
+    RoundingOutcome {
+        chosen,
+        max_violation,
+    }
 }
 
 #[cfg(test)]
@@ -211,11 +212,14 @@ mod tests {
                 }
                 // rhs = fractional load of the uniform point, so x0 is
                 // feasible and the bound is meaningful.
-                let rhs: f64 =
-                    terms.iter().map(|&(_, c)| c).sum::<f64>() / opts as f64;
+                let rhs: f64 = terms.iter().map(|&(_, c)| c).sum::<f64>() / opts as f64;
                 capacities.push((terms, rhs));
             }
-            let p = RoundingProblem { num_vars, groups, capacities };
+            let p = RoundingProblem {
+                num_vars,
+                groups,
+                capacities,
+            };
             let x0 = vec![1.0 / opts as f64; num_vars];
             let delta = 2.0 * p.max_column_mass();
             let out = beck_fiala(&p, &x0);

@@ -33,7 +33,10 @@ pub struct IterativeOptions {
 impl IterativeOptions {
     /// Budget `2·dmax − 1` for a given maximum demand.
     pub fn for_dmax(dmax: u32) -> Self {
-        IterativeOptions { budget: f64::from(2 * dmax - 1), tol: 1e-7 }
+        IterativeOptions {
+            budget: f64::from(2 * dmax - 1),
+            tol: 1e-7,
+        }
     }
 }
 
@@ -199,9 +202,16 @@ pub fn iterative_relaxation(
 mod tests {
     use super::*;
 
-    fn unit_problem(groups: Vec<Vec<usize>>, caps: Vec<(Vec<(usize, f64)>, f64)>) -> RoundingProblem {
+    fn unit_problem(
+        groups: Vec<Vec<usize>>,
+        caps: Vec<(Vec<(usize, f64)>, f64)>,
+    ) -> RoundingProblem {
         let num_vars = groups.iter().map(|g| g.len()).sum();
-        RoundingProblem { num_vars, groups, capacities: caps }
+        RoundingProblem {
+            num_vars,
+            groups,
+            capacities: caps,
+        }
     }
 
     #[test]
@@ -258,7 +268,11 @@ mod tests {
                 let rhs = terms.len() as f64 / opts_n as f64;
                 caps.push((terms, rhs.ceil()));
             }
-            let p = RoundingProblem { num_vars: v, groups, capacities: caps };
+            let p = RoundingProblem {
+                num_vars: v,
+                groups,
+                capacities: caps,
+            };
             let out = iterative_relaxation(&p, &IterativeOptions::for_dmax(1)).unwrap();
             // Budget for dmax = 1 is 1.
             assert!(

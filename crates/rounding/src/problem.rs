@@ -84,7 +84,11 @@ impl RoundingProblem {
         }
         let mut worst = 0.0f64;
         for (terms, rhs) in &self.capacities {
-            let load: f64 = terms.iter().filter(|&&(v, _)| selected[v]).map(|&(_, c)| c).sum();
+            let load: f64 = terms
+                .iter()
+                .filter(|&&(v, _)| selected[v])
+                .map(|&(_, c)| c)
+                .sum();
             worst = worst.max(load - rhs);
         }
         worst
@@ -162,10 +166,7 @@ mod tests {
         let p = RoundingProblem {
             num_vars: 2,
             groups: vec![vec![0], vec![1]],
-            capacities: vec![
-                (vec![(0, 2.0), (1, 1.0)], 5.0),
-                (vec![(0, 3.0)], 5.0),
-            ],
+            capacities: vec![(vec![(0, 2.0), (1, 1.0)], 5.0), (vec![(0, 3.0)], 5.0)],
         };
         assert_eq!(p.max_column_mass(), 5.0);
     }

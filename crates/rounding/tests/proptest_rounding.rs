@@ -1,8 +1,6 @@
 //! Property tests for the rounding engines.
 
-use fss_rounding::{
-    beck_fiala, iterative_relaxation, IterativeOptions, RoundingProblem,
-};
+use fss_rounding::{beck_fiala, iterative_relaxation, IterativeOptions, RoundingProblem};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -18,7 +16,11 @@ fn raw_problem() -> impl Strategy<Value = RawProblem> {
         let term = (0..num_vars, 1u32..=3);
         let row = proptest::collection::vec(term, 1..=num_vars.min(8));
         let rows = proptest::collection::vec(row, 0..=5);
-        rows.prop_map(move |rows| RawProblem { groups_n, opts, rows })
+        rows.prop_map(move |rows| RawProblem {
+            groups_n,
+            opts,
+            rows,
+        })
     })
 }
 
@@ -37,11 +39,14 @@ fn build(raw: &RawProblem) -> (RoundingProblem, Vec<f64>) {
             *acc.entry(v).or_insert(0.0) += f64::from(c);
         }
         let terms: Vec<(usize, f64)> = acc.into_iter().collect();
-        let rhs: f64 =
-            terms.iter().map(|&(_, c)| c).sum::<f64>() / raw.opts as f64;
+        let rhs: f64 = terms.iter().map(|&(_, c)| c).sum::<f64>() / raw.opts as f64;
         capacities.push((terms, rhs));
     }
-    let p = RoundingProblem { num_vars, groups, capacities };
+    let p = RoundingProblem {
+        num_vars,
+        groups,
+        capacities,
+    };
     let x0 = vec![1.0 / raw.opts as f64; num_vars];
     (p, x0)
 }

@@ -7,6 +7,7 @@
 //! switch (see DESIGN.md §3.4).
 
 use fss_core::prelude::*;
+use fss_engine::BuiltinPolicy;
 use fss_offline::art::{art_lp_lower_bound, art_lp_lower_bound_windowed, ArtLpError};
 use fss_offline::mrt::min_feasible_rho;
 use fss_online::{run_policy, FifoGreedy, MaxCard, MaxWeight, MinRTime};
@@ -31,8 +32,11 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// The paper's three heuristics.
-    pub const PAPER_TRIO: [PolicyKind; 3] =
-        [PolicyKind::MaxCard, PolicyKind::MinRTime, PolicyKind::MaxWeight];
+    pub const PAPER_TRIO: [PolicyKind; 3] = [
+        PolicyKind::MaxCard,
+        PolicyKind::MinRTime,
+        PolicyKind::MaxWeight,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -44,8 +48,29 @@ impl PolicyKind {
         }
     }
 
-    /// Run the policy over an instance.
+    /// The engine counterpart of this policy.
+    pub fn to_engine(self) -> BuiltinPolicy {
+        match self {
+            PolicyKind::MaxCard => BuiltinPolicy::MaxCard,
+            PolicyKind::MinRTime => BuiltinPolicy::MinRTime,
+            PolicyKind::MaxWeight => BuiltinPolicy::MaxWeight,
+            PolicyKind::FifoGreedy => BuiltinPolicy::FifoGreedy,
+        }
+    }
+
+    /// Run the policy over an instance through the event-driven engine
+    /// (`fss-engine`). Schedules are round-for-round identical to
+    /// [`PolicyKind::run_legacy`] — the engine's exact mode is
+    /// differentially tested against the legacy loop — but the hot
+    /// `M = 4m` cells run substantially faster.
     pub fn run(self, inst: &Instance) -> Schedule {
+        fss_engine::run_builtin(inst, self.to_engine())
+    }
+
+    /// Run the policy over an instance with the legacy round-by-round
+    /// loop ([`fss_online::run_policy`]). Kept as the reference
+    /// implementation for differential testing.
+    pub fn run_legacy(self, inst: &Instance) -> Schedule {
         match self {
             PolicyKind::MaxCard => run_policy(inst, &mut MaxCard),
             PolicyKind::MinRTime => run_policy(inst, &mut MinRTime),
@@ -162,7 +187,11 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<CellResult> {
         .flat_map(|&(mi, ti)| {
             let mean_arrivals = cfg.m_values[mi];
             let rounds = cfg.t_values[ti];
-            let params = WorkloadParams { m: cfg.m, mean_arrivals, rounds };
+            let params = WorkloadParams {
+                m: cfg.m,
+                mean_arrivals,
+                rounds,
+            };
             // One instance set per cell, shared across policies so the
             // comparison is paired (same workloads), as in the paper.
             let instances: Vec<Instance> = (0..cfg.trials)
@@ -211,11 +240,20 @@ pub struct LpBoundParts {
 
 impl LpBoundParts {
     /// Both bounds.
-    pub const ALL: LpBoundParts = LpBoundParts { avg: true, max: true };
+    pub const ALL: LpBoundParts = LpBoundParts {
+        avg: true,
+        max: true,
+    };
     /// Average-response bound only.
-    pub const AVG: LpBoundParts = LpBoundParts { avg: true, max: false };
+    pub const AVG: LpBoundParts = LpBoundParts {
+        avg: true,
+        max: false,
+    };
     /// Maximum-response bound only.
-    pub const MAX: LpBoundParts = LpBoundParts { avg: false, max: true };
+    pub const MAX: LpBoundParts = LpBoundParts {
+        avg: false,
+        max: true,
+    };
 }
 
 /// Compute the LP reference bounds per `(M, T)` cell (paper §5.2: LP
@@ -249,7 +287,11 @@ pub fn lp_bounds_grid_parts(
         .map(|&(mi, ti)| {
             let mean_arrivals = cfg.m_values[mi];
             let rounds = cfg.t_values[ti];
-            let params = WorkloadParams { m: cfg.m, mean_arrivals, rounds };
+            let params = WorkloadParams {
+                m: cfg.m,
+                mean_arrivals,
+                rounds,
+            };
             let mut avg_sum = 0.0;
             let mut max_sum = 0.0;
             for k in 0..cfg.trials {
@@ -260,8 +302,9 @@ pub fn lp_bounds_grid_parts(
                 }
                 if parts.avg {
                     let avg_bound = match avg_window {
-                        None => art_lp_lower_bound(&inst, None)
-                            .expect("LP bound within pivot budget"),
+                        None => {
+                            art_lp_lower_bound(&inst, None).expect("LP bound within pivot budget")
+                        }
                         Some(w) => {
                             // Grow the window until feasible (a too-small
                             // window has no fractional schedule at all).
@@ -282,13 +325,10 @@ pub fn lp_bounds_grid_parts(
                     // optimal rho; it seeds the binary search far below the
                     // greedy default (the paper likewise seeds with its
                     // best heuristic, §5.2.2).
-                    let hint = fss_core::metrics::evaluate(
-                        &inst,
-                        &PolicyKind::MinRTime.run(&inst),
-                    )
-                    .max_response;
-                    let rho = min_feasible_rho(&inst, Some(hint.max(1)))
-                        .expect("binary search succeeds");
+                    let hint = fss_core::metrics::evaluate(&inst, &PolicyKind::MinRTime.run(&inst))
+                        .max_response;
+                    let rho =
+                        min_feasible_rho(&inst, Some(hint.max(1))).expect("binary search succeeds");
                     max_sum += rho as f64;
                 }
             }
@@ -335,9 +375,7 @@ mod tests {
         let cfg = tiny_cfg();
         let mut a = run_grid(&cfg);
         let mut b = run_grid(&cfg);
-        let key = |r: &CellResult| {
-            (r.policy.name(), r.mean_arrivals.to_bits(), r.rounds)
-        };
+        let key = |r: &CellResult| (r.policy.name(), r.mean_arrivals.to_bits(), r.rounds);
         a.sort_by_key(key);
         b.sort_by_key(key);
         for (x, y) in a.iter().zip(&b) {
@@ -374,6 +412,29 @@ mod tests {
                 "{}: LP max bound above heuristic",
                 r.policy.name()
             );
+        }
+    }
+
+    #[test]
+    fn engine_routing_matches_legacy_loop() {
+        // `PolicyKind::run` routes through fss-engine; every kind must
+        // reproduce the legacy loop's schedule exactly.
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..4 {
+            let params = WorkloadParams {
+                m: 6,
+                mean_arrivals: 8.0,
+                rounds: 10,
+            };
+            let inst = poisson_workload(&mut rng, &params);
+            for kind in [
+                PolicyKind::MaxCard,
+                PolicyKind::MinRTime,
+                PolicyKind::MaxWeight,
+                PolicyKind::FifoGreedy,
+            ] {
+                assert_eq!(kind.run(&inst), kind.run_legacy(&inst), "{}", kind.name());
+            }
         }
     }
 

@@ -54,8 +54,14 @@ pub fn run_policy_with_failures<P: OnlinePolicy>(
     policy: &mut P,
     plan: &FailurePlan,
 ) -> Schedule {
-    assert!(inst.switch.is_unit_capacity(), "failure runner requires unit capacities");
-    assert!(inst.is_unit_demand(), "failure runner requires unit demands");
+    assert!(
+        inst.switch.is_unit_capacity(),
+        "failure runner requires unit capacities"
+    );
+    assert!(
+        inst.is_unit_demand(),
+        "failure runner requires unit demands"
+    );
     let n = inst.n();
     let mut rounds = vec![0u64; n];
     if n == 0 {
@@ -138,7 +144,12 @@ mod tests {
     use rand::{rngs::SmallRng, SeedableRng};
 
     fn outage(side: PortSide, port: u32, from: u64, to: u64) -> Outage {
-        Outage { side, port, from, to }
+        Outage {
+            side,
+            port,
+            from,
+            to,
+        }
     }
 
     #[test]
@@ -154,13 +165,14 @@ mod tests {
     fn nothing_scheduled_across_a_dead_port() {
         let mut rng = SmallRng::seed_from_u64(62);
         let inst = random_instance(&mut rng, &GenParams::unit(3, 15, 2));
-        let plan = FailurePlan { outages: vec![outage(PortSide::Input, 0, 0, 6)] };
+        let plan = FailurePlan {
+            outages: vec![outage(PortSide::Input, 0, 0, 6)],
+        };
         let sched = run_policy_with_failures(&inst, &mut MinRTime, &plan);
         for (i, f) in inst.flows.iter().enumerate() {
             let t = sched.rounds()[i];
             assert!(
-                plan.is_up(PortSide::Input, f.src, t)
-                    && plan.is_up(PortSide::Output, f.dst, t),
+                plan.is_up(PortSide::Input, f.src, t) && plan.is_up(PortSide::Output, f.dst, t),
                 "flow {i} crossed a dead port at round {t}"
             );
         }
@@ -175,7 +187,9 @@ mod tests {
         b.unit_flow(0, 1, 0);
         b.unit_flow(1, 1, 0);
         let inst = b.build().unwrap();
-        let plan = FailurePlan { outages: vec![outage(PortSide::Input, 0, 0, 10)] };
+        let plan = FailurePlan {
+            outages: vec![outage(PortSide::Input, 0, 0, 10)],
+        };
         let sched = run_policy_with_failures(&inst, &mut MaxCard, &plan);
         assert!(sched.rounds()[0] >= 10);
         assert!(sched.rounds()[1] >= 10);
@@ -222,8 +236,7 @@ mod tests {
     fn failures_increase_response_times() {
         let mut rng = SmallRng::seed_from_u64(63);
         let inst = random_instance(&mut rng, &GenParams::unit(3, 18, 3));
-        let base =
-            fss_core::metrics::evaluate(&inst, &fss_online::run_policy(&inst, &mut MaxCard));
+        let base = fss_core::metrics::evaluate(&inst, &fss_online::run_policy(&inst, &mut MaxCard));
         let plan = FailurePlan {
             outages: vec![
                 outage(PortSide::Input, 0, 0, 8),

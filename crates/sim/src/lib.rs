@@ -12,6 +12,12 @@
 //! is expressible here; the figure binaries in `fss-bench` scale the
 //! LP-bound series down (see DESIGN.md §3.4 — the paper needed >3 h of
 //! Gurobi time per large cell).
+//!
+//! Heuristic execution routes through the event-driven engine
+//! (`fss-engine`): [`PolicyKind::run`] produces schedules round-for-round
+//! identical to the legacy loop (available as [`PolicyKind::run_legacy`]
+//! for differential testing) while cutting the cost of the heavy
+//! `M = 4m` cells.
 
 pub mod experiment;
 pub mod failures;
@@ -22,8 +28,8 @@ pub mod trace;
 pub mod workload;
 
 pub use experiment::{
-    lp_bounds_grid, lp_bounds_grid_parts, run_grid, CellResult, ExperimentConfig,
-    LpBoundParts, LpBoundResult, PolicyKind,
+    lp_bounds_grid, lp_bounds_grid_parts, run_grid, CellResult, ExperimentConfig, LpBoundParts,
+    LpBoundResult, PolicyKind,
 };
 pub use failures::{run_policy_with_failures, FailurePlan, Outage};
 pub use saturation::{saturation_sweep, stable_intensity, SaturationPoint};

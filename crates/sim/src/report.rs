@@ -60,7 +60,11 @@ pub fn figure_table(
     t_values.sort_unstable();
     t_values.dedup();
 
-    let metric_name = if use_max { "max response" } else { "avg response" };
+    let metric_name = if use_max {
+        "max response"
+    } else {
+        "avg response"
+    };
     let mut out = format!("M = {mean_arrivals} ({metric_name})\n");
     let _ = write!(out, "{:>6}", "T");
     for p in &policies {
@@ -78,7 +82,13 @@ pub fn figure_table(
                 .find(|c| {
                     c.mean_arrivals == mean_arrivals && c.rounds == t && c.policy.name() == *p
                 })
-                .map(|c| if use_max { c.max_response } else { c.avg_response });
+                .map(|c| {
+                    if use_max {
+                        c.max_response
+                    } else {
+                        c.avg_response
+                    }
+                });
             match v {
                 Some(v) => {
                     let _ = write!(out, "{v:>12.3}");
@@ -92,7 +102,13 @@ pub fn figure_table(
             let v = bounds
                 .iter()
                 .find(|b| b.mean_arrivals == mean_arrivals && b.rounds == t)
-                .map(|b| if use_max { b.max_response_bound } else { b.avg_response_bound });
+                .map(|b| {
+                    if use_max {
+                        b.max_response_bound
+                    } else {
+                        b.avg_response_bound
+                    }
+                });
             match v {
                 Some(v) => {
                     let _ = write!(out, "{v:>12.3}");

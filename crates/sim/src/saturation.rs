@@ -38,9 +38,8 @@ pub fn saturation_sweep(
             let mut avg = 0.0;
             let mut max = 0.0;
             for k in 0..trials {
-                let mut rng = SmallRng::seed_from_u64(
-                    seed ^ (lambda.to_bits().rotate_left(17)) ^ k,
-                );
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (lambda.to_bits().rotate_left(17)) ^ k);
                 let params = WorkloadParams {
                     m,
                     mean_arrivals: lambda * m as f64,
@@ -105,7 +104,10 @@ mod tests {
     #[test]
     fn light_load_is_fast() {
         let pts = saturation_sweep(PolicyKind::MinRTime, 6, 12, &[0.15], 2, 13);
-        assert!(pts[0].mean_response < 2.5, "near-idle switch must respond fast");
+        assert!(
+            pts[0].mean_response < 2.5,
+            "near-idle switch must respond fast"
+        );
     }
 
     #[test]

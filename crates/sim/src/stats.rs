@@ -47,7 +47,11 @@ pub fn response_percentiles(inst: &Instance, sched: &Schedule) -> ResponsePercen
     };
     ResponsePercentiles {
         n,
-        mean: if n == 0 { 0.0 } else { rho.iter().sum::<u64>() as f64 / n as f64 },
+        mean: if n == 0 {
+            0.0
+        } else {
+            rho.iter().sum::<u64>() as f64 / n as f64
+        },
         p50: rank(50.0),
         p95: rank(95.0),
         p99: rank(99.0),
@@ -128,7 +132,9 @@ mod tests {
 
     #[test]
     fn empty_instance_percentiles() {
-        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1)).build().unwrap();
+        let inst = InstanceBuilder::new(Switch::uniform(1, 1, 1))
+            .build()
+            .unwrap();
         let p = response_percentiles(&inst, &Schedule::from_rounds(vec![]));
         assert_eq!(p.n, 0);
         assert_eq!(p.max, 0);

@@ -72,21 +72,27 @@ impl Trace {
         for line in lines {
             rounds.push(serde_json::from_str(line)?);
         }
-        Ok(Trace { policy: header.policy, rounds })
+        Ok(Trace {
+            policy: header.policy,
+            rounds,
+        })
     }
 }
 
 /// Run `policy` over `inst` exactly like [`fss_online::run_policy`], but
 /// record a [`Trace`] alongside the schedule.
-pub fn run_policy_traced<P: OnlinePolicy>(
-    inst: &Instance,
-    policy: &mut P,
-) -> (Schedule, Trace) {
-    assert!(inst.switch.is_unit_capacity(), "traced runner requires unit capacities");
+pub fn run_policy_traced<P: OnlinePolicy>(inst: &Instance, policy: &mut P) -> (Schedule, Trace) {
+    assert!(
+        inst.switch.is_unit_capacity(),
+        "traced runner requires unit capacities"
+    );
     assert!(inst.is_unit_demand(), "traced runner requires unit demands");
     let n = inst.n();
     let mut rounds = vec![0u64; n];
-    let mut trace = Trace { policy: policy.name().to_string(), rounds: Vec::new() };
+    let mut trace = Trace {
+        policy: policy.name().to_string(),
+        rounds: Vec::new(),
+    };
     if n == 0 {
         return (Schedule::from_rounds(rounds), trace);
     }
@@ -195,8 +201,16 @@ mod tests {
         let trace = Trace {
             policy: "bogus".into(),
             rounds: vec![
-                TraceRound { round: 0, dispatched: vec![0], queue_after: 0 },
-                TraceRound { round: 1, dispatched: vec![0], queue_after: 0 },
+                TraceRound {
+                    round: 0,
+                    dispatched: vec![0],
+                    queue_after: 0,
+                },
+                TraceRound {
+                    round: 1,
+                    dispatched: vec![0],
+                    queue_after: 0,
+                },
             ],
         };
         let _ = trace.to_schedule(1);

@@ -21,7 +21,11 @@ pub struct WorkloadParams {
 impl WorkloadParams {
     /// The paper's full-scale configuration for a given `(M, T)` cell.
     pub fn paper(mean_arrivals: f64, rounds: u64) -> Self {
-        WorkloadParams { m: 150, mean_arrivals, rounds }
+        WorkloadParams {
+            m: 150,
+            mean_arrivals,
+            rounds,
+        }
     }
 }
 
@@ -29,28 +33,10 @@ impl WorkloadParams {
 ///
 /// Knuth's product method is exact but underflows for large `lambda`, so
 /// the sampler splits large rates into `<= 30` chunks and sums — Poisson
-/// additivity keeps the result exactly distributed.
-pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "rate must be nonnegative");
-    if lambda == 0.0 {
-        return 0;
-    }
-    if lambda <= 30.0 {
-        let l = (-lambda).exp();
-        let mut k = 0u64;
-        let mut p = 1.0f64;
-        loop {
-            p *= rng.gen::<f64>();
-            if p <= l {
-                return k;
-            }
-            k += 1;
-        }
-    }
-    let chunks = (lambda / 30.0).ceil() as u64;
-    let per = lambda / chunks as f64;
-    (0..chunks).map(|_| poisson(rng, per)).sum()
-}
+/// additivity keeps the result exactly distributed. Re-exported from
+/// `fss-engine` (the canonical implementation) so the batch workload
+/// generator and the streaming `PoissonSource` draw from the same code.
+pub use fss_engine::poisson;
 
 /// Generate a workload instance: `Poisson(M)` uniform unit flows per round.
 pub fn poisson_workload<R: Rng + ?Sized>(rng: &mut R, p: &WorkloadParams) -> Instance {
@@ -76,8 +62,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let lambda = 3.5;
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| poisson(&mut rng, lambda) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 0.1, "sample mean {mean}");
     }
 
@@ -86,8 +74,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let lambda = 600.0;
         let n = 3_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| poisson(&mut rng, lambda) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 5.0, "sample mean {mean}");
         // Variance of Poisson equals the mean.
         let var: f64 = (0..n)
@@ -101,6 +91,32 @@ mod tests {
     }
 
     #[test]
+    fn poisson_chunked_mean_and_variance_across_boundary() {
+        // The sampler switches from single-shot Knuth to chunked sums
+        // above lambda = 30; rates just above the boundary exercise the
+        // 2-chunk split (lambda / 2 per chunk) and must keep both moments
+        // of the distribution (mean = variance = lambda, by additivity of
+        // independent Poissons).
+        for &lambda in &[30.5, 31.0, 45.0, 60.0, 61.0] {
+            let mut rng = SmallRng::seed_from_u64(f64::to_bits(lambda));
+            let n = 12_000;
+            let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            // Std error of the mean is sqrt(lambda/n) < 0.08; allow 6 sigma.
+            assert!(
+                (mean - lambda).abs() < 0.5,
+                "lambda {lambda}: sample mean {mean}"
+            );
+            // Var(sample variance) ~ 2*lambda^2/n: generous 10% band.
+            assert!(
+                (var - lambda).abs() < 0.1 * lambda + 1.0,
+                "lambda {lambda}: sample variance {var}"
+            );
+        }
+    }
+
+    #[test]
     fn poisson_zero_rate() {
         let mut rng = SmallRng::seed_from_u64(3);
         assert_eq!(poisson(&mut rng, 0.0), 0);
@@ -109,7 +125,11 @@ mod tests {
     #[test]
     fn workload_shape() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let p = WorkloadParams { m: 10, mean_arrivals: 5.0, rounds: 20 };
+        let p = WorkloadParams {
+            m: 10,
+            mean_arrivals: 5.0,
+            rounds: 20,
+        };
         let inst = poisson_workload(&mut rng, &p);
         assert!(inst.is_unit_demand());
         assert!(inst.switch.is_unit_capacity());
@@ -121,7 +141,11 @@ mod tests {
 
     #[test]
     fn workloads_reproducible_by_seed() {
-        let p = WorkloadParams { m: 6, mean_arrivals: 3.0, rounds: 10 };
+        let p = WorkloadParams {
+            m: 6,
+            mean_arrivals: 3.0,
+            rounds: 10,
+        };
         let a = poisson_workload(&mut SmallRng::seed_from_u64(9), &p);
         let b = poisson_workload(&mut SmallRng::seed_from_u64(9), &p);
         assert_eq!(a, b);

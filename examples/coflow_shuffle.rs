@@ -6,10 +6,8 @@
 //! cargo run --release --example coflow_shuffle
 //! ```
 
-use flow_switch::coflow::{
-    bottleneck_lower_bound, evaluate, schedule_coflows, CoflowOrdering,
-};
 use flow_switch::coflow::instance::CoflowBuilder;
+use flow_switch::coflow::{bottleneck_lower_bound, evaluate, schedule_coflows, CoflowOrdering};
 use flow_switch::prelude::*;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -43,7 +41,11 @@ fn main() {
         "{:<6} {:>14} {:>13} {:>13}",
         "order", "total response", "mean response", "max response"
     );
-    for o in [CoflowOrdering::Sebf, CoflowOrdering::Fifo, CoflowOrdering::Fair] {
+    for o in [
+        CoflowOrdering::Sebf,
+        CoflowOrdering::Fifo,
+        CoflowOrdering::Fair,
+    ] {
         let sched = schedule_coflows(&ci, o);
         validate::check(&ci.inst, &sched, &ci.inst.switch).expect("feasible");
         let m = evaluate(&ci, &sched);

@@ -39,8 +39,14 @@ fn main() {
     let cells = run_grid(&cfg);
 
     for &ma in &cfg.m_values {
-        println!("{}", flow_switch::sim::report::figure_table(&cells, &[], ma, false));
-        println!("{}", flow_switch::sim::report::figure_table(&cells, &[], ma, true));
+        println!(
+            "{}",
+            flow_switch::sim::report::figure_table(&cells, &[], ma, false)
+        );
+        println!(
+            "{}",
+            flow_switch::sim::report::figure_table(&cells, &[], ma, true)
+        );
     }
 
     // The paper's qualitative conclusions, restated from the data:
@@ -48,15 +54,25 @@ fn main() {
         cells
             .iter()
             .filter(|c| c.policy == p)
-            .map(|c| if use_max { c.max_response } else { c.avg_response })
+            .map(|c| {
+                if use_max {
+                    c.max_response
+                } else {
+                    c.avg_response
+                }
+            })
             .sum::<f64>()
     };
-    println!("aggregate avg-response: MaxCard {:.1}  MinRTime {:.1}  MaxWeight {:.1}",
+    println!(
+        "aggregate avg-response: MaxCard {:.1}  MinRTime {:.1}  MaxWeight {:.1}",
         pick(PolicyKind::MaxCard, false),
         pick(PolicyKind::MinRTime, false),
-        pick(PolicyKind::MaxWeight, false));
-    println!("aggregate max-response: MaxCard {:.1}  MinRTime {:.1}  MaxWeight {:.1}",
+        pick(PolicyKind::MaxWeight, false)
+    );
+    println!(
+        "aggregate max-response: MaxCard {:.1}  MinRTime {:.1}  MaxWeight {:.1}",
         pick(PolicyKind::MaxCard, true),
         pick(PolicyKind::MinRTime, true),
-        pick(PolicyKind::MaxWeight, true));
+        pick(PolicyKind::MaxWeight, true)
+    );
 }

@@ -52,8 +52,12 @@ fn main() {
                 );
                 assert!(t >= r && t <= dl, "deadline respected");
             }
-            validate::check(&inst, &res.schedule, &inst.switch.augmented(res.augmentation))
-                .expect("feasible on augmented switch");
+            validate::check(
+                &inst,
+                &res.schedule,
+                &inst.switch.augmented(res.augmentation),
+            )
+            .expect("feasible on augmented switch");
         }
     }
 

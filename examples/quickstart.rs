@@ -61,8 +61,12 @@ fn main() {
         "FS-MRT      : rho* = {} with +{} port capacity",
         mrt.rho_star, mrt.augmentation
     );
-    validate::check(&inst, &mrt.schedule, &inst.switch.augmented(mrt.augmentation))
-        .expect("schedule feasible on augmented switch");
+    validate::check(
+        &inst,
+        &mrt.schedule,
+        &inst.switch.augmented(mrt.augmentation),
+    )
+    .expect("schedule feasible on augmented switch");
 
     // Offline FS-ART (Theorem 1): average response within 1 + O(log n)/c
     // of optimal under a (1+c) capacity blow-up.
@@ -70,10 +74,7 @@ fn main() {
         let art = solve_art(&inst, c);
         println!(
             "FS-ART c={c}  : total {:>3}  avg {:.2} on a {}x capacity switch (window h = {})",
-            art.metrics.total_response,
-            art.metrics.mean_response,
-            art.capacity_factor,
-            art.window
+            art.metrics.total_response, art.metrics.mean_response, art.capacity_factor, art.window
         );
         validate::check(&inst, &art.schedule, &inst.switch.scaled(1 + c))
             .expect("schedule feasible on scaled switch");

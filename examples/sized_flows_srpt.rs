@@ -22,7 +22,11 @@ fn main() {
     for t in 0..12u64 {
         // A mix of mice (size 1) and elephants (size 4-8).
         for _ in 0..2 {
-            let size = if rng.gen_bool(0.75) { 1 } else { rng.gen_range(4..=8) };
+            let size = if rng.gen_bool(0.75) {
+                1
+            } else {
+                rng.gen_range(4..=8)
+            };
             flows.push(SizedFlow {
                 src: rng.gen_range(0..m as u32),
                 dst: rng.gen_range(0..m as u32),
@@ -64,24 +68,33 @@ fn main() {
     let unit_inst = b.build().unwrap();
     let plan = FailurePlan {
         outages: vec![
-            Outage { side: PortSide::Input, port: 0, from: 2, to: 8 },
-            Outage { side: PortSide::Output, port: 3, from: 5, to: 12 },
+            Outage {
+                side: PortSide::Input,
+                port: 0,
+                from: 2,
+                to: 8,
+            },
+            Outage {
+                side: PortSide::Output,
+                port: 3,
+                from: 5,
+                to: 12,
+            },
         ],
     };
-    let healthy = flow_switch::online::run_policy(
-        &unit_inst,
-        &mut flow_switch::online::MaxWeight,
-    );
-    let degraded = run_policy_with_failures(
-        &unit_inst,
-        &mut flow_switch::online::MaxWeight,
-        &plan,
-    );
+    let healthy = flow_switch::online::run_policy(&unit_inst, &mut flow_switch::online::MaxWeight);
+    let degraded = run_policy_with_failures(&unit_inst, &mut flow_switch::online::MaxWeight, &plan);
     let hm = metrics::evaluate(&unit_inst, &healthy);
     let dm = metrics::evaluate(&unit_inst, &degraded);
     println!("failure injection (input 0 down rounds 2-7, output 3 down 5-11):");
-    println!("  healthy : mean {:.2}  max {}", hm.mean_response, hm.max_response);
-    println!("  degraded: mean {:.2}  max {}", dm.mean_response, dm.max_response);
+    println!(
+        "  healthy : mean {:.2}  max {}",
+        hm.mean_response, hm.max_response
+    );
+    println!(
+        "  degraded: mean {:.2}  max {}",
+        dm.mean_response, dm.max_response
+    );
     validate::check(&unit_inst, &degraded, &unit_inst.switch).expect("still feasible");
     println!("  degraded schedule remains feasible; affected flows wait out the outage.");
 }

@@ -11,14 +11,17 @@ use flow_switch::online::{MaxCard, MinRTime};
 use flow_switch::prelude::*;
 use flow_switch::sim::stats::queue_length_trace;
 use flow_switch::sim::{
-    poisson_workload, response_histogram, response_percentiles, run_policy_traced,
-    WorkloadParams,
+    poisson_workload, response_histogram, response_percentiles, run_policy_traced, WorkloadParams,
 };
 use rand::{rngs::SmallRng, SeedableRng};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(0x7a11);
-    let params = WorkloadParams { m: 12, mean_arrivals: 13.0, rounds: 30 };
+    let params = WorkloadParams {
+        m: 12,
+        mean_arrivals: 13.0,
+        rounds: 30,
+    };
     let inst = poisson_workload(&mut rng, &params);
     println!(
         "workload: {} flows over {} rounds on a {}x{} switch (lambda ~ {:.2})\n",

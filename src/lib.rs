@@ -12,15 +12,27 @@
 //! * [`offline`] — the paper's offline approximation algorithms
 //!   (FS-ART iterative rounding, FS-MRT LP rounding);
 //! * [`online`] — online heuristics (MaxCard / MinRTime / MaxWeight) and
-//!   the AMRT algorithm;
-//! * [`sim`] — the flow-level simulator and the paper's experiment runner;
+//!   the AMRT algorithm, plus the legacy round-by-round runner (kept as
+//!   the reference implementation for differential testing);
+//! * [`engine`] — the event-driven incremental scheduling engine: a
+//!   calendar/event queue that skips idle rounds, an incremental matcher
+//!   that maintains the maximum matching across rounds and repairs only
+//!   augmenting paths from ports dirtied by arrivals/departures, the
+//!   [`engine::FlowSource`] streaming-arrival trait (batch instance
+//!   adapter + unbounded Poisson generator), and per-port sharded queue
+//!   state. This is the hot path behind every figure and table binary;
+//!   its exact mode is round-for-round identical to the legacy runner;
+//! * [`sim`] — the flow-level simulator and the paper's experiment
+//!   runner (heuristic execution routes through [`engine`]);
 //! * [`coflow`] — the co-flow generalization (§6 future work): grouped
 //!   flows, CCT-style metrics, SEBF / FIFO / fair schedulers.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour, and
+//! `flowsched stream` for driving unbounded streaming workloads.
 
 pub use fss_coflow as coflow;
 pub use fss_core as core;
+pub use fss_engine as engine;
 pub use fss_lp as lp;
 pub use fss_matching as matching;
 pub use fss_offline as offline;

@@ -20,24 +20,40 @@ fn gen_solve_validate_round_trip() {
     let inst = tmp("inst.json");
     let sched = tmp("sched.json");
 
-    let out = flowsched(&["gen", "--m", "4", "--flows", "10", "--seed", "9", "-o", &inst]);
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = flowsched(&[
+        "gen", "--m", "4", "--flows", "10", "--seed", "9", "-o", &inst,
+    ]);
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = flowsched(&["solve", "-i", &inst, "--objective", "mrt", "-o", &sched]);
-    assert!(out.status.success(), "solve failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "solve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let log = String::from_utf8_lossy(&out.stderr);
     assert!(log.contains("rho*"), "missing rho* report: {log}");
 
     // The MRT schedule may need augmentation up to 2*dmax-1 = 1.
     let out = flowsched(&["validate", "-i", &inst, "-s", &sched, "--augment", "1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
 fn online_policies_and_stats() {
     let inst = tmp("inst2.json");
     let sched = tmp("sched2.json");
-    flowsched(&["gen", "--m", "3", "--flows", "8", "--seed", "4", "-o", &inst]);
+    flowsched(&[
+        "gen", "--m", "3", "--flows", "8", "--seed", "4", "-o", &inst,
+    ]);
     for policy in ["maxcard", "minrtime", "maxweight", "fifo"] {
         let out = flowsched(&["online", "-i", &inst, "--policy", policy, "-o", &sched]);
         assert!(out.status.success(), "policy {policy} failed");
@@ -55,9 +71,25 @@ fn online_policies_and_stats() {
 fn art_solver_reports_capacity_factor() {
     let inst = tmp("inst3.json");
     let sched = tmp("sched3.json");
-    flowsched(&["gen", "--m", "3", "--flows", "6", "--seed", "5", "-o", &inst]);
-    let out = flowsched(&["solve", "-i", &inst, "--objective", "art", "--c", "2", "-o", &sched]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    flowsched(&[
+        "gen", "--m", "3", "--flows", "6", "--seed", "5", "-o", &inst,
+    ]);
+    let out = flowsched(&[
+        "solve",
+        "-i",
+        &inst,
+        "--objective",
+        "art",
+        "--c",
+        "2",
+        "-o",
+        &sched,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("3x capacity"));
 }
 
@@ -84,10 +116,51 @@ fn mismatched_schedule_rejected() {
     let inst = tmp("inst5.json");
     let other = tmp("inst6.json");
     let sched = tmp("sched5.json");
-    flowsched(&["gen", "--m", "3", "--flows", "6", "--seed", "1", "-o", &inst]);
-    flowsched(&["gen", "--m", "3", "--flows", "9", "--seed", "2", "-o", &other]);
+    flowsched(&[
+        "gen", "--m", "3", "--flows", "6", "--seed", "1", "-o", &inst,
+    ]);
+    flowsched(&[
+        "gen", "--m", "3", "--flows", "9", "--seed", "2", "-o", &other,
+    ]);
     flowsched(&["online", "-i", &inst, "--policy", "fifo", "-o", &sched]);
     // Validate against the wrong instance: length mismatch.
     let out = flowsched(&["validate", "-i", &other, "-s", &sched]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stream_reports_statistics() {
+    let out = flowsched(&[
+        "stream",
+        "--m",
+        "20",
+        "--rate",
+        "60",
+        "--rounds",
+        "30",
+        "--seed",
+        "7",
+        "--mode",
+        "incremental",
+    ]);
+    assert!(
+        out.status.success(),
+        "stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = String::from_utf8_lossy(&out.stdout);
+    assert!(log.contains("mode             : incremental"), "{log}");
+    assert!(log.contains("flows"), "{log}");
+    assert!(log.contains("mean response"), "{log}");
+
+    // Exact engine mode works through the same subcommand.
+    let out = flowsched(&[
+        "stream", "--m", "20", "--rate", "60", "--rounds", "30", "--mode", "maxcard",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("exact/MaxCard"));
+
+    // Unknown modes are rejected.
+    let out = flowsched(&["stream", "--mode", "psychic"]);
     assert!(!out.status.success());
 }

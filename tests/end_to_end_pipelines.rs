@@ -60,7 +60,14 @@ fn mrt_pipeline_sandwich() {
 fn mrt_beck_fiala_engine_also_meets_its_bound() {
     let mut rng = SmallRng::seed_from_u64(1003);
     for _ in 0..3 {
-        let p = GenParams { m: 3, m_out: 3, cap: 3, n: 10, max_demand: 2, max_release: 3 };
+        let p = GenParams {
+            m: 3,
+            m_out: 3,
+            cap: 3,
+            n: 10,
+            max_demand: 2,
+            max_release: 3,
+        };
         let inst = random_instance(&mut rng, &p);
         let dmax = inst.dmax();
         let r = solve_mrt(&inst, None, RoundingEngine::BeckFiala).unwrap();

@@ -17,7 +17,11 @@ fn heuristics_within_small_factor_of_lp_on_poisson_workloads() {
     // bound and ~2.5x of the LP max bound. Allow generous slack on tiny
     // switches where variance is higher.
     let mut rng = SmallRng::seed_from_u64(42);
-    let params = WorkloadParams { m: 6, mean_arrivals: 4.0, rounds: 8 };
+    let params = WorkloadParams {
+        m: 6,
+        mean_arrivals: 4.0,
+        rounds: 8,
+    };
     for _ in 0..3 {
         let inst = poisson_workload(&mut rng, &params);
         if inst.n() == 0 {
@@ -90,7 +94,11 @@ fn figure_4a_ratio_grows_with_stream_length() {
 #[test]
 fn amrt_on_poisson_workload() {
     let mut rng = SmallRng::seed_from_u64(77);
-    let params = WorkloadParams { m: 4, mean_arrivals: 2.0, rounds: 6 };
+    let params = WorkloadParams {
+        m: 4,
+        mean_arrivals: 2.0,
+        rounds: 6,
+    };
     let inst = poisson_workload(&mut rng, &params);
     let r = amrt_schedule(&inst);
     let m = metrics::evaluate(&inst, &r.schedule);
@@ -104,7 +112,11 @@ fn online_policies_are_work_conserving_under_load() {
     // On a saturated switch no policy should leave the queue idle: total
     // scheduled per round equals a maximal matching's worth of flows.
     let mut rng = SmallRng::seed_from_u64(5);
-    let params = WorkloadParams { m: 5, mean_arrivals: 10.0, rounds: 4 };
+    let params = WorkloadParams {
+        m: 5,
+        mean_arrivals: 10.0,
+        rounds: 4,
+    };
     let inst = poisson_workload(&mut rng, &params);
     let sched = run_policy(&inst, &mut MaxCard);
     // With m=5 ports, at most 5 flows per round; heavy load should fill

@@ -1,0 +1,240 @@
+//! In-tree shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Benchmarks run for real (warmup + timed samples over wall clock) and
+//! print `min / median / mean` per iteration to stdout — no plots, no
+//! statistics beyond that. A positional CLI argument acts as a substring
+//! filter on benchmark names, matching `cargo bench -- <filter>`; flags
+//! (`--bench`, `--quick`, ...) are ignored for drop-in compatibility.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, &mut f);
+    }
+
+    fn run_one(&mut self, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut b);
+        b.report(id);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, &mut f);
+    }
+
+    /// Run a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.text);
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(&full, sample_size, &mut |b| f(b, input));
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier `function/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Compose from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, batching fast routines so every sample spans >= ~1 ms.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup + batch size estimation.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(Duration::from_nanos(
+                (start.elapsed().as_nanos() / batch as u128) as u64,
+            ));
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples — iter was never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{id:<50} min {:>12} | median {:>12} | mean {:>12} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group runner (shim for `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups (shim for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        // Bypass the CLI filter picked up from the test harness args.
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u32;
+        group.bench_function("fast", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(12u64.wrapping_mul(7))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &3u32, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        group.finish();
+        assert!(ran > 0, "benchmark closure must actually run");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

@@ -1,0 +1,402 @@
+//! In-tree shim for the subset of the `proptest` API this workspace uses.
+//!
+//! Random property testing without shrinking: each `proptest!` test runs
+//! `ProptestConfig::cases` deterministic cases (seeded from the test name,
+//! overridable via `PROPTEST_SEED`), regenerating inputs from the declared
+//! strategies. On failure the case index and seed are printed before the
+//! panic is re-raised, so a failing case can be replayed exactly.
+//!
+//! Supported strategy surface: integer ranges, float-free tuples of
+//! strategies, [`Just`], `prop_map`, `prop_flat_map`, `prop_oneof!`,
+//! `proptest::collection::vec` with fixed or ranged lengths.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.0.gen_range(0..bound.max(1))
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<F, U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it induces.
+    fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> S,
+        S: Strategy,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F, U> Strategy for Map<S, F>
+where
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F, T: Strategy> Strategy for FlatMap<S, F>
+where
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+macro_rules! strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! strategy_tuple {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the macro's boxed arms. Panics if empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].gen_value(rng)
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection` — sized collections of strategy-drawn values.
+
+    use super::{Strategy, TestRng};
+
+    /// A length specification: fixed or ranged.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a over the test name: stable per-test base seed.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Base seed: `PROPTEST_SEED` env override, else the test-name hash.
+pub fn base_seed(name: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse().unwrap_or_else(|_| name_seed(name)),
+        Err(_) => name_seed(name),
+    }
+}
+
+/// Define property tests (shim for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let base = $crate::base_seed(stringify!($name));
+            for case in 0..cfg.cases as u64 {
+                let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = $crate::TestRng::from_seed(seed);
+                $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)*
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {}: failed at case {case} (seed {seed:#x}); \
+                         rerun with PROPTEST_SEED={base}",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..5, 10u32..20)
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let s = pair();
+        let mut a = crate::TestRng::from_seed(9);
+        let mut b = crate::TestRng::from_seed(9);
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut a), s.gen_value(&mut b));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let s = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0u32..10, n))
+            .prop_map(|v| v.len());
+        let mut rng = crate::TestRng::from_seed(3);
+        for _ in 0..100 {
+            let len = s.gen_value(&mut rng);
+            assert!((1..4).contains(&len));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::from_seed(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.gen_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u32..100, (a, b) in (0u8..4, 0u8..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 4 && b < 4);
+            prop_assert_eq!(a as u32 + x, x + a as u32);
+        }
+    }
+}

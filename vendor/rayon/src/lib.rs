@@ -1,0 +1,207 @@
+//! In-tree shim for the subset of the `rayon` API used by this workspace.
+//!
+//! Supports `slice.par_iter().map(f).collect()` and
+//! `slice.par_iter().flat_map(f).collect()`. Work is executed on real OS
+//! threads (`std::thread::scope`) with one contiguous chunk per thread, and
+//! results are concatenated in input order, so `collect` is deterministic
+//! exactly like rayon's indexed parallel iterators. Nested `par_iter`
+//! inside a closure simply opens a nested scope.
+
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+
+/// `.par_iter()` entry point for slices and vectors.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type.
+    type Item: 'data;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator (adaptors consume it).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map; order-preserving.
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F, R>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _result: PhantomData,
+        }
+    }
+
+    /// Parallel flat-map; order-preserving.
+    pub fn flat_map<F, I>(self, f: F) -> ParFlatMap<'a, T, F, I>
+    where
+        F: Fn(&'a T) -> I + Sync,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        ParFlatMap {
+            items: self.items,
+            f,
+            _result: PhantomData,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'a, T, F, R> {
+    items: &'a [T],
+    f: F,
+    _result: PhantomData<fn() -> R>,
+}
+
+impl<'a, T: Sync, F, R> ParMap<'a, T, F, R>
+where
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Execute on a thread pool and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunks(self.items, &|item, out: &mut Vec<R>| {
+            out.push((self.f)(item))
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// Result of [`ParIter::flat_map`].
+pub struct ParFlatMap<'a, T, F, I> {
+    items: &'a [T],
+    f: F,
+    _result: PhantomData<fn() -> I>,
+}
+
+impl<'a, T: Sync, F, I> ParFlatMap<'a, T, F, I>
+where
+    F: Fn(&'a T) -> I + Sync,
+    I: IntoIterator,
+    I::Item: Send,
+{
+    /// Execute on a thread pool, flatten, and collect in input order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        run_chunks(self.items, &|item, out: &mut Vec<I::Item>| {
+            out.extend((self.f)(item))
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// Split `items` into one contiguous chunk per worker, run `per_item` on
+/// scoped threads, and concatenate the per-chunk outputs in order.
+fn run_chunks<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    per_item: &(dyn Fn(&'a T, &mut Vec<R>) + Sync),
+) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len())
+        .max(1);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            per_item(item, &mut out);
+        }
+        return out;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(slice.len());
+                    for item in slice {
+                        per_item(item, &mut out);
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+pub mod prelude {
+    //! Mirrors `rayon::prelude`.
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_preserves_order() {
+        let v: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = v.par_iter().flat_map(|&x| vec![x, x + 1000]).collect();
+        let want: Vec<u32> = (0..100).flat_map(|x| [x, x + 1000]).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn nested_par_iter_works() {
+        let outer: Vec<u32> = (0..8).collect();
+        let inner: Vec<u32> = (0..8).collect();
+        let out: Vec<u32> = outer
+            .par_iter()
+            .flat_map(|&a| {
+                let row: Vec<u32> = inner.par_iter().map(|&b| a * 10 + b).collect();
+                row
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[63], 77);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

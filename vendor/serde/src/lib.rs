@@ -1,0 +1,308 @@
+//! In-tree shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of serde's visitor-based data model, the shim round-trips every
+//! value through a small [`Content`] tree (the same idea as
+//! `serde_json::Value`). `#[derive(Serialize, Deserialize)]` is provided by
+//! the sibling `serde_derive` shim and maps structs to string-keyed maps,
+//! newtypes to their inner value, tuple structs to sequences, and
+//! fieldless enums to their variant name as a string — the same JSON shape
+//! real serde produces for these types, so on-disk artifacts stay
+//! compatible with a future switch to the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the shim's serialization data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Nonnegative integers.
+    U64(u64),
+    /// Floating point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Sequences.
+    Seq(Vec<Content>),
+    /// String-keyed maps with stable field order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl DeError {
+    /// A "expected X while deserializing Y" error.
+    pub fn expected(what: &str, while_de: &str) -> DeError {
+        DeError {
+            msg: format!("expected {what} while deserializing {while_de}"),
+        }
+    }
+
+    /// A free-form error.
+    pub fn msg(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Content`] tree.
+pub trait Serialize {
+    /// Convert to the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the data model.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field in a map by name (derive-generated code).
+pub fn field<T: Deserialize>(m: &[(String, Content)], key: &str) -> Result<T, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_content(v),
+        None => Err(DeError::msg(format!("missing field `{key}`"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => v as u64,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg(
+                    format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0
+                        && v >= i64::MIN as f64 && v <= i64::MAX as f64 => v as i64,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg(
+                    format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($( $t::from_content(
+                            it.next().ok_or_else(|| DeError::msg("tuple too short"))?)?, )+);
+                        if it.next().is_some() {
+                            return Err(DeError::msg("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(DeError::expected("sequence", "tuple")),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-9i64).to_content()).unwrap(), -9);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&String::from("hi").to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u8>::from_content(&vec![1u8, 2, 3].to_content()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u8>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn cross_width_numbers() {
+        // Integral floats deserialize into integer types and vice versa.
+        assert_eq!(u64::from_content(&Content::F64(4.0)).unwrap(), 4);
+        assert_eq!(f64::from_content(&Content::U64(4)).unwrap(), 4.0);
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let m = vec![("a".to_string(), Content::U64(1))];
+        assert_eq!(field::<u32>(&m, "a").unwrap(), 1);
+        assert!(field::<u32>(&m, "b").is_err());
+    }
+}
