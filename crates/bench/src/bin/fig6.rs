@@ -1,103 +1,8 @@
-//! Regenerates **Figure 6**: average response time of the online
-//! heuristics vs the LP (1)–(4) lower bound, across the `(M, T)` grid.
-//!
-//! Modes:
-//! * default — heuristics on a 6x6 switch over the paper's T grid at the
-//!   paper's congestion ratios `M/m`; LP bound series on the same switch
-//!   for the small-T cells (windowed LP, see DESIGN.md §3.4);
-//! * `--paper` — heuristics at the full 150x150 scale (LP series kept at
-//!   the scaled switch: the paper itself needed >3 h of Gurobi per cell);
-//! * `--quick` — smoke-test sizes.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin fig6 [-- --quick|--paper|--trials N]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_sim::report::{bounds_to_csv, cells_to_csv, figure_table};
-use fss_sim::{lp_bounds_grid_parts, run_grid, ExperimentConfig, LpBoundParts};
+//! Thin wrapper over the `fig6` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_fig6.json`. Equivalent to
+//! `flowsched bench --filter fig6`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let (m, heur_t, lp_t, trials, lp_trials) = if opts.quick {
-        (8usize, vec![6u64, 8], vec![6u64], 2u64, 1u64)
-    } else if opts.paper_scale {
-        (
-            150,
-            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
-            vec![],
-            10,
-            0,
-        )
-    } else {
-        (
-            6,
-            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
-            vec![10, 12],
-            5,
-            2,
-        )
-    };
-    let trials = opts.trials.unwrap_or(trials);
-
-    // Heuristic series.
-    let mut cfg = ExperimentConfig::scaled(m, heur_t, trials);
-    println!(
-        "Figure 6: switch {m}x{m}, M = {:?}, trials = {trials}",
-        cfg.m_values
-    );
-    let cells = run_grid(&cfg);
-    write_artifact("fig6_heuristics.csv", &cells_to_csv(&cells));
-
-    // LP bound series (windowed ART LP). The window must comfortably
-    // exceed the worst response an optimal schedule needs: with per-port
-    // intensity lambda = M/m, the backlog after T arrival rounds is about
-    // (lambda - 1) * T, so lambda * T_max + slack is a safe per-M window;
-    // `lp_bounds_grid` still auto-grows it on infeasibility.
-    let bounds = if lp_trials > 0 && !lp_t.is_empty() {
-        let t_max = lp_t.iter().copied().max().unwrap_or(10);
-        let mut b = Vec::new();
-        for &ma in &cfg.m_values {
-            let lambda = ma / m as f64;
-            let window = ((lambda * t_max as f64).ceil() as u64).max(8) + 4;
-            let lp_cfg = ExperimentConfig {
-                m_values: vec![ma],
-                t_values: lp_t.clone(),
-                trials: lp_trials,
-                ..cfg.clone()
-            };
-            println!("LP bound series: M = {ma}, T = {lp_t:?}, window = {window}");
-            b.extend(lp_bounds_grid_parts(
-                &lp_cfg,
-                Some(window),
-                LpBoundParts::AVG,
-            ));
-        }
-        write_artifact("fig6_lp_bounds.csv", &bounds_to_csv(&b));
-        b
-    } else {
-        Vec::new()
-    };
-
-    // One panel per M, as in the paper's figure.
-    cfg.m_values.sort_by(f64::total_cmp);
-    for &ma in &cfg.m_values {
-        println!("{}", figure_table(&cells, &bounds, ma, false));
-    }
-
-    // The paper's qualitative claim: MaxWeight best, MinRTime worst on
-    // average response; report the aggregate ordering.
-    let agg = |name: &str| -> f64 {
-        cells
-            .iter()
-            .filter(|c| c.policy.name() == name)
-            .map(|c| c.avg_response)
-            .sum()
-    };
-    println!(
-        "aggregate avg response — MaxCard: {:.1}, MinRTime: {:.1}, MaxWeight: {:.1}",
-        agg("MaxCard"),
-        agg("MinRTime"),
-        agg("MaxWeight")
-    );
+    fss_bench::run_registry_bin("fig6");
 }

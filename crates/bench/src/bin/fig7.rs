@@ -1,80 +1,8 @@
-//! Regenerates **Figure 7**: maximum response time of the online
-//! heuristics vs the binary-searched LP (19)–(21) lower bound.
-//!
-//! Same modes as `fig6`. The paper's observations to reproduce: MinRTime
-//! consistently best (close to the LP bound), MaxWeight worst, everything
-//! within a ~2.5x factor, gap growing with `M`.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin fig7 [-- --quick|--paper|--trials N]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_sim::report::{bounds_to_csv, cells_to_csv, figure_table};
-use fss_sim::{lp_bounds_grid_parts, run_grid, ExperimentConfig, LpBoundParts};
+//! Thin wrapper over the `fig7` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_fig7.json`. Equivalent to
+//! `flowsched bench --filter fig7`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let (m, heur_t, lp_t, trials, lp_trials) = if opts.quick {
-        (8usize, vec![6u64, 8], vec![6u64], 2u64, 1u64)
-    } else if opts.paper_scale {
-        (
-            150,
-            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
-            vec![],
-            10,
-            0,
-        )
-    } else {
-        (
-            6,
-            vec![10, 12, 14, 16, 18, 20, 40, 60, 80, 100],
-            vec![10, 12],
-            5,
-            2,
-        )
-    };
-    let trials = opts.trials.unwrap_or(trials);
-
-    let mut cfg = ExperimentConfig::scaled(m, heur_t, trials);
-    println!(
-        "Figure 7: switch {m}x{m}, M = {:?}, trials = {trials}",
-        cfg.m_values
-    );
-    let cells = run_grid(&cfg);
-    write_artifact("fig7_heuristics.csv", &cells_to_csv(&cells));
-
-    let bounds = if lp_trials > 0 && !lp_t.is_empty() {
-        let lp_cfg = ExperimentConfig {
-            t_values: lp_t,
-            trials: lp_trials,
-            ..cfg.clone()
-        };
-        println!("LP bound series: T = {:?}", lp_cfg.t_values);
-        // Only the MRT bound matters here (the ART half is skipped).
-        let b = lp_bounds_grid_parts(&lp_cfg, None, LpBoundParts::MAX);
-        write_artifact("fig7_lp_bounds.csv", &bounds_to_csv(&b));
-        b
-    } else {
-        Vec::new()
-    };
-
-    cfg.m_values.sort_by(f64::total_cmp);
-    for &ma in &cfg.m_values {
-        println!("{}", figure_table(&cells, &bounds, ma, true));
-    }
-
-    let agg = |name: &str| -> f64 {
-        cells
-            .iter()
-            .filter(|c| c.policy.name() == name)
-            .map(|c| c.max_response)
-            .sum()
-    };
-    println!(
-        "aggregate max response — MaxCard: {:.1}, MinRTime: {:.1}, MaxWeight: {:.1}",
-        agg("MaxCard"),
-        agg("MinRTime"),
-        agg("MaxWeight")
-    );
+    fss_bench::run_registry_bin("fig7");
 }

@@ -1,133 +1,8 @@
-//! **Open-problem probe** (paper §6): given a sequence of unit-flow
-//! request graphs `G_1, ..., G_T` such that for every interval `I` and
-//! port `v`, the total degree of `v` over `I` is at most `|I| + 1` —
-//! can every request be served with *constant* response time and *no*
-//! capacity augmentation?
-//!
-//! This binary samples random request sequences satisfying the degree
-//! condition (the paper's "absolutely minimal augmentation of plus 1"
-//! regime), computes the exact optimal maximum response time without
-//! augmentation on small instances, and reports the observed worst case —
-//! empirical evidence toward the conjecture.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin open_problem_probe [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_core::prelude::*;
-use fss_offline::exact::min_max_response;
-use fss_offline::mrt::min_feasible_rho;
-use rand::{rngs::SmallRng, Rng, SeedableRng};
-use std::fmt::Write as _;
-
-/// Generate `rounds` of unit-flow arrivals on an `m x m` unit switch such
-/// that every port's arrival degree over any window `I` is `<= |I| + 1`.
-///
-/// Invariant maintained per port: with `g_v(t) = arrivals_v(0..=t) - t`,
-/// the condition is `g_v(j) - min_{i<j} g_v(i) <= 1` for all `j`. We track
-/// the running minimum and admit an edge only if both endpoints stay
-/// within budget.
-fn degree_bounded_sequence(rng: &mut SmallRng, m: usize, rounds: u64) -> Instance {
-    let mut b = InstanceBuilder::new(Switch::uniform(m, m, 1));
-    // Per-port cumulative excess g and its running minimum, updated per
-    // round: g_v(t) = g_v(t-1) + deg_v(t) - 1.
-    let mut g_in = vec![0i64; m];
-    let mut gmin_in = vec![0i64; m];
-    let mut g_out = vec![0i64; m];
-    let mut gmin_out = vec![0i64; m];
-    for t in 0..rounds {
-        let mut deg_in = vec![0i64; m];
-        let mut deg_out = vec![0i64; m];
-        // Try a few random edges per round (expected load near capacity).
-        let attempts = m + rng.gen_range(0..=m / 2 + 1);
-        for _ in 0..attempts {
-            let s = rng.gen_range(0..m);
-            let d = rng.gen_range(0..m);
-            // Admitting the edge must keep g - gmin <= 1 for both ports at
-            // the end of this round.
-            let gi = g_in[s] + deg_in[s] + 1 - 1;
-            let go = g_out[d] + deg_out[d] + 1 - 1;
-            if gi - gmin_in[s] <= 1 && go - gmin_out[d] <= 1 {
-                deg_in[s] += 1;
-                deg_out[d] += 1;
-                b.unit_flow(s as u32, d as u32, t);
-            }
-        }
-        for v in 0..m {
-            g_in[v] += deg_in[v] - 1;
-            gmin_in[v] = gmin_in[v].min(g_in[v]);
-            g_out[v] += deg_out[v] - 1;
-            gmin_out[v] = gmin_out[v].min(g_out[v]);
-        }
-    }
-    b.build().expect("generator respects invariants")
-}
-
-/// Verify the interval-degree condition directly (test oracle).
-fn check_degree_condition(inst: &Instance, m: usize, rounds: u64) -> bool {
-    let arr = |v: u32, input: bool, t: u64| -> i64 {
-        inst.flows
-            .iter()
-            .filter(|f| f.release == t && if input { f.src == v } else { f.dst == v })
-            .count() as i64
-    };
-    for v in 0..m as u32 {
-        for input in [true, false] {
-            for i in 0..rounds {
-                let mut sum = 0i64;
-                for j in i..rounds {
-                    sum += arr(v, input, j);
-                    if sum > (j - i + 1) as i64 + 1 {
-                        return false;
-                    }
-                }
-            }
-        }
-    }
-    true
-}
+//! Thin wrapper over the `open_problem_probe` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_open_problem_probe.json`. Equivalent to
+//! `flowsched bench --filter open_problem_probe`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let (trials, m, rounds) = if opts.quick {
-        (5u64, 3usize, 4u64)
-    } else {
-        (60, 3, 5)
-    };
-
-    let mut worst_exact = 0u64;
-    let mut worst_lp = 0u64;
-    let mut hist = std::collections::BTreeMap::<u64, u64>::new();
-    let mut csv = String::from("trial,n,lp_rho,exact_rho\n");
-    let mut done = 0u64;
-    let mut seed = 0u64;
-    while done < trials {
-        seed += 1;
-        let mut rng = SmallRng::seed_from_u64(0x09e4 + seed);
-        let inst = degree_bounded_sequence(&mut rng, m, rounds);
-        if inst.n() == 0 || inst.n() > 14 {
-            continue; // keep the exact solver honest
-        }
-        assert!(
-            check_degree_condition(&inst, m, rounds),
-            "generator invariant broken"
-        );
-        let lp = min_feasible_rho(&inst, None).expect("LP search");
-        let (exact, _) = min_max_response(&inst);
-        worst_exact = worst_exact.max(exact);
-        worst_lp = worst_lp.max(lp);
-        *hist.entry(exact).or_insert(0) += 1;
-        let _ = writeln!(csv, "{done},{},{lp},{exact}", inst.n());
-        done += 1;
-    }
-    println!("open-problem probe: {trials} degree-bounded sequences on a {m}x{m} switch");
-    println!("  worst LP rho*          : {worst_lp}");
-    println!("  worst exact optimal rho: {worst_exact} (no augmentation)");
-    println!("  exact-rho histogram    : {hist:?}");
-    println!();
-    println!("Conjecture-relevant reading: if the worst exact rho stays a small");
-    println!("constant as instances grow, the paper's question (§6) leans positive");
-    println!("on random inputs; adversarial sequences may still behave worse.");
-    write_artifact("open_problem_probe.csv", &csv);
+    fss_bench::run_registry_bin("open_problem_probe");
 }

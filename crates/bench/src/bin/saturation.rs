@@ -1,60 +1,8 @@
-//! **Saturation sweep** (extension; paper §6's "beyond worst-case"
-//! direction): mean and max response of each heuristic as per-port
-//! arrival intensity `λ = M/m` crosses the stability boundary at 1.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin saturation [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_sim::{saturation_sweep, stable_intensity, PolicyKind};
-use std::fmt::Write as _;
+//! Thin wrapper over the `saturation` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_saturation.json`. Equivalent to
+//! `flowsched bench --filter saturation`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let (m, rounds, trials) = if opts.quick {
-        (6usize, 10u64, 2u64)
-    } else {
-        (20, 40, 4)
-    };
-    let trials = opts.trials.unwrap_or(trials);
-    let intensities = [0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5];
-
-    let mut csv = String::from("policy,intensity,mean_response,max_response\n");
-    println!("saturation sweep: {m}x{m} switch, {rounds} arrival rounds, {trials} trials");
-    println!(
-        "{:>12} {:>9} {:>13} {:>12}",
-        "policy", "lambda", "mean response", "max response"
-    );
-    for policy in [
-        PolicyKind::MaxCard,
-        PolicyKind::MinRTime,
-        PolicyKind::MaxWeight,
-        PolicyKind::FifoGreedy,
-    ] {
-        let pts = saturation_sweep(policy, m, rounds, &intensities, trials, 0x5a7);
-        for p in &pts {
-            println!(
-                "{:>12} {:>9.2} {:>13.2} {:>12.1}",
-                policy.name(),
-                p.intensity,
-                p.mean_response,
-                p.max_response
-            );
-            let _ = writeln!(
-                csv,
-                "{},{},{:.3},{:.3}",
-                policy.name(),
-                p.intensity,
-                p.mean_response,
-                p.max_response
-            );
-        }
-        let knee = stable_intensity(policy, m, rounds, 4.0, trials.min(2), 0x5a8);
-        println!(
-            "{:>12} stability knee (mean <= 4): lambda ~ {knee:.2}\n",
-            policy.name()
-        );
-    }
-    write_artifact("saturation.csv", &csv);
+    fss_bench::run_registry_bin("saturation");
 }

@@ -1,63 +1,8 @@
-//! **Lemma 5.3 validation table**: AMRT's online maximum response time vs
-//! the offline ρ*, and its measured port load vs the
-//! `2·(c_p + 2·dmax − 1)` budget.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin table_amrt [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_core::gen::{random_instance, GenParams};
-use fss_offline::mrt::{solve_mrt, RoundingEngine};
-use fss_online::amrt_schedule;
-use rand::{rngs::SmallRng, SeedableRng};
-use std::fmt::Write as _;
+//! Thin wrapper over the `table_amrt` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_table_amrt.json`. Equivalent to
+//! `flowsched bench --filter table_amrt`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let trials = opts.trials.unwrap_or(if opts.quick { 2 } else { 5 });
-    let configs: Vec<(usize, u64)> = if opts.quick {
-        vec![(10, 4)]
-    } else {
-        vec![(12, 4), (24, 8), (48, 16)]
-    };
-
-    let mut csv = String::from(
-        "n,release_span,trials,online_rho,offline_rho_star,ratio,max_port_load,load_budget\n",
-    );
-    println!(
-        "{:>4} {:>6} {:>11} {:>12} {:>6} {:>9} {:>11}",
-        "n", "span", "online rho", "offline rho*", "ratio", "port load", "load budget"
-    );
-    for &(n, span) in &configs {
-        let mut online_sum = 0u64;
-        let mut offline_sum = 0u64;
-        let mut load_max = 0u64;
-        for k in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(0xa3a7 + (n as u64 * 17) + k);
-            let p = GenParams::unit(4, n, span);
-            let inst = random_instance(&mut rng, &p);
-            let online = amrt_schedule(&inst);
-            let offline = solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).unwrap();
-            online_sum += online.metrics.max_response;
-            offline_sum += offline.rho_star;
-            load_max = load_max.max(online.max_port_load);
-        }
-        let t = trials as f64;
-        let online = online_sum as f64 / t;
-        let offline = offline_sum as f64 / t;
-        let ratio = online / offline.max(1.0);
-        // Unit capacities and demands: 2 * (1 + 2*1 - 1) = 4.
-        let budget = 4u64;
-        println!(
-            "{n:>4} {span:>6} {online:>11.1} {offline:>12.1} {ratio:>6.2} {load_max:>9} {budget:>11}"
-        );
-        let _ = writeln!(
-            csv,
-            "{n},{span},{trials},{online:.1},{offline:.1},{ratio:.2},{load_max},{budget}"
-        );
-    }
-    write_artifact("table_amrt.csv", &csv);
-    println!("\nLemma 5.3 expectations: port load <= budget; online within a small");
-    println!("constant of offline rho* (the lemma's bound is 2x against the batched guess).");
+    fss_bench::run_registry_bin("table_amrt");
 }

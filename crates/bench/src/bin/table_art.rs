@@ -1,72 +1,8 @@
-//! **Theorem 1 validation table**: the FS-ART pipeline on random
-//! unit-demand instances — pseudo-schedule cost vs the LP optimum,
-//! windowed overload vs the `O(c_p log n)` bound, and the final
-//! average-response ratio against the LP (1)–(4) lower bound for
-//! `c ∈ {1, 2, 4}`.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin table_art [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_core::gen::{random_instance, GenParams};
-use fss_offline::art::{art_lp_lower_bound, solve_art};
-use rand::{rngs::SmallRng, SeedableRng};
-use std::fmt::Write as _;
+//! Thin wrapper over the `table_art` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_table_art.json`. Equivalent to
+//! `flowsched bench --filter table_art`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let sizes: Vec<usize> = if opts.quick {
-        vec![12, 20]
-    } else {
-        vec![20, 40, 80, 120]
-    };
-    let trials = opts.trials.unwrap_or(if opts.quick { 1 } else { 3 });
-
-    let mut csv = String::from(
-        "n,m,c,trials,lp_bound,pseudo_cost,overload,log_bound,total_response,ratio,window\n",
-    );
-    println!(
-        "{:>5} {:>3} {:>2} {:>10} {:>11} {:>9} {:>9} {:>9} {:>7} {:>6}",
-        "n", "m", "c", "LP(1)-(4)", "pseudo", "overload", "10clog n", "total", "ratio", "h"
-    );
-    for &n in &sizes {
-        let m = (n / 5).clamp(3, 12);
-        for &c in &[1u32, 2, 4] {
-            let mut lp_sum = 0.0;
-            let mut pseudo_sum = 0.0;
-            let mut overload_max = 0i64;
-            let mut total_sum = 0u64;
-            let mut window_sum = 0u64;
-            for k in 0..trials {
-                let mut rng = SmallRng::seed_from_u64((0xa47 + (n as u64)) << 8 | k);
-                let p = GenParams::unit(m, n, (n / 4) as u64);
-                let inst = random_instance(&mut rng, &p);
-                let lp = art_lp_lower_bound(&inst, None).expect("LP bound");
-                let res = solve_art(&inst, c);
-                lp_sum += lp;
-                pseudo_sum += res.pseudo.pseudo.total_response(&inst) as f64;
-                overload_max = overload_max.max(res.pseudo.pseudo.max_window_overload(&inst));
-                total_sum += res.metrics.total_response;
-                window_sum += res.window;
-            }
-            let t = trials as f64;
-            let lp = lp_sum / t;
-            let pseudo = pseudo_sum / t;
-            let total = total_sum as f64 / t;
-            let ratio = total / lp.max(1.0);
-            let log_bound = 10.0 * ((n as f64).log2().ceil() + 1.0);
-            let h = window_sum as f64 / t;
-            println!(
-                "{n:>5} {m:>3} {c:>2} {lp:>10.1} {pseudo:>11.1} {overload_max:>9} {log_bound:>9.0} {total:>9.1} {ratio:>7.2} {h:>6.1}"
-            );
-            let _ = writeln!(
-                csv,
-                "{n},{m},{c},{trials},{lp:.2},{pseudo:.2},{overload_max},{log_bound:.0},{total:.1},{ratio:.3},{h:.1}"
-            );
-        }
-    }
-    write_artifact("table_art.csv", &csv);
-    println!("\nTheorem 1 expectations: pseudo <= LP + n/2; overload <= O(log n);");
-    println!("ratio shrinks as c grows (1 + O(log n)/c).");
+    fss_bench::run_registry_bin("table_art");
 }

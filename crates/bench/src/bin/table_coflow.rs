@@ -1,102 +1,8 @@
-//! **Co-flow extension table** (paper §6's co-flow generalization):
-//! SEBF / FIFO / Fair co-flow schedulers vs the bottleneck lower bound on
-//! random shuffle workloads.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin table_coflow [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_coflow::instance::CoflowBuilder;
-use fss_coflow::{
-    bottleneck_lower_bound, evaluate, schedule_coflows, CoflowInstance, CoflowOrdering,
-};
-use fss_core::prelude::*;
-use rand::{rngs::SmallRng, Rng, SeedableRng};
-use std::fmt::Write as _;
-
-fn random_coflows(rng: &mut SmallRng, m: usize, k: usize, max_width: usize) -> CoflowInstance {
-    let mut b = CoflowBuilder::new(Switch::uniform(m, m, 1));
-    let mut release = 0u64;
-    for _ in 0..k {
-        b.coflow(release);
-        let width = rng.gen_range(1..=max_width);
-        for _ in 0..width {
-            b.flow(rng.gen_range(0..m as u32), rng.gen_range(0..m as u32), 1);
-        }
-        release += rng.gen_range(0..3u64);
-    }
-    b.build().expect("generator produces valid instances")
-}
+//! Thin wrapper over the `table_coflow` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_table_coflow.json`. Equivalent to
+//! `flowsched bench --filter table_coflow`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let trials = opts.trials.unwrap_or(if opts.quick { 2 } else { 10 });
-    let configs: Vec<(usize, usize, usize)> = if opts.quick {
-        vec![(4, 3, 4)]
-    } else {
-        vec![(6, 4, 6), (8, 8, 10), (12, 12, 20)]
-    };
-
-    let mut csv =
-        String::from("m,coflows,max_width,trials,order,mean_total,mean_max,total_lb,max_lb\n");
-    println!(
-        "{:>3} {:>3} {:>6} {:<6} {:>11} {:>9} {:>9} {:>7}",
-        "m", "k", "width", "order", "mean total", "mean max", "total LB", "max LB"
-    );
-    for &(m, k, w) in &configs {
-        let mut totals = [0.0f64; 3];
-        let mut maxes = [0.0f64; 3];
-        let mut lb_total = 0.0;
-        let mut lb_max = 0.0;
-        for trial in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(0xc0f + (m as u64) * 1009 + trial);
-            let ci = random_coflows(&mut rng, m, k, w);
-            let (t_lb, m_lb) = bottleneck_lower_bound(&ci);
-            lb_total += t_lb as f64;
-            lb_max += m_lb as f64;
-            for (oi, o) in [
-                CoflowOrdering::Sebf,
-                CoflowOrdering::Fifo,
-                CoflowOrdering::Fair,
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                let met = evaluate(&ci, &schedule_coflows(&ci, o));
-                totals[oi] += met.total_response as f64;
-                maxes[oi] += met.max_response as f64;
-            }
-        }
-        let t = trials as f64;
-        for (oi, o) in [
-            CoflowOrdering::Sebf,
-            CoflowOrdering::Fifo,
-            CoflowOrdering::Fair,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            println!(
-                "{m:>3} {k:>3} {w:>6} {:<6} {:>11.1} {:>9.1} {:>9.1} {:>7.1}",
-                o.name(),
-                totals[oi] / t,
-                maxes[oi] / t,
-                lb_total / t,
-                lb_max / t
-            );
-            let _ = writeln!(
-                csv,
-                "{m},{k},{w},{trials},{},{:.2},{:.2},{:.2},{:.2}",
-                o.name(),
-                totals[oi] / t,
-                maxes[oi] / t,
-                lb_total / t,
-                lb_max / t
-            );
-        }
-    }
-    write_artifact("table_coflow.csv", &csv);
-    println!("\nExpected shape: SEBF lowest mean total (small co-flows first);");
-    println!("FIFO lowest mean max; all above the bottleneck lower bounds.");
+    fss_bench::run_registry_bin("table_coflow");
 }

@@ -1,76 +1,8 @@
-//! **Theorem 2 / Lemma 5.2 gap table**: exact values of the hardness and
-//! lower-bound gadgets.
-//!
-//! * the satisfiable RTT reduction schedules at ρ = 3 exactly;
-//! * the unsatisfiable RTT reduction is LP-infeasible at ρ = 3 (any
-//!   algorithm without augmentation needs ρ >= 4 — the 4/3 gap);
-//! * the Figure 4(b) instance: offline optimum 2, online heuristics at
-//!   2 or 3 (Lemma 5.2's forced value under adversarial tie-breaks).
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin table_gaps
-//! ```
-
-use fss_bench::write_artifact;
-use fss_core::prelude::*;
-use fss_offline::exact::min_max_response;
-use fss_offline::hardness::{
-    figure_4b, rtt_reduction, small_satisfiable_rtt, small_unsatisfiable_rtt,
-};
-use fss_offline::mrt::{lp_feasible, solve_mrt, RoundingEngine};
-use fss_online::{run_policy, MaxCard, MaxWeight, MinRTime};
-use std::fmt::Write as _;
+//! Thin wrapper over the `table_gaps` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_table_gaps.json`. Equivalent to
+//! `flowsched bench --filter table_gaps`.
 
 fn main() {
-    let mut csv = String::from("gadget,quantity,value\n");
-
-    // Satisfiable RTT.
-    let sat = rtt_reduction(&small_satisfiable_rtt());
-    let (opt, _) = min_max_response(&sat);
-    println!(
-        "satisfiable RTT gadget ({} flows): exact optimal rho = {opt}",
-        sat.n()
-    );
-    let _ = writeln!(csv, "rtt_satisfiable,exact_opt_rho,{opt}");
-    let solved = solve_mrt(&sat, None, RoundingEngine::IterativeRelaxation).unwrap();
-    println!(
-        "  Theorem 3 pipeline: rho* = {}, augmentation +{}",
-        solved.rho_star, solved.augmentation
-    );
-    let _ = writeln!(csv, "rtt_satisfiable,pipeline_rho_star,{}", solved.rho_star);
-    let _ = writeln!(
-        csv,
-        "rtt_satisfiable,pipeline_augmentation,{}",
-        solved.augmentation
-    );
-
-    // Unsatisfiable RTT.
-    let unsat = rtt_reduction(&small_unsatisfiable_rtt());
-    let at3 = lp_feasible(&unsat, 3).unwrap();
-    let at4 = lp_feasible(&unsat, 4).unwrap();
-    println!(
-        "unsatisfiable RTT gadget ({} flows): LP feasible at rho=3: {at3}, at rho=4: {at4}",
-        unsat.n()
-    );
-    println!("  => no algorithm achieves rho < 4 here; 4/3 gap certified");
-    let _ = writeln!(csv, "rtt_unsatisfiable,lp_feasible_rho3,{at3}");
-    let _ = writeln!(csv, "rtt_unsatisfiable,lp_feasible_rho4,{at4}");
-
-    // Figure 4(b).
-    let f4b = figure_4b();
-    let (opt_4b, _) = min_max_response(&f4b);
-    println!("figure 4(b) gadget: offline optimal rho = {opt_4b}");
-    let _ = writeln!(csv, "figure_4b,offline_opt_rho,{opt_4b}");
-    for (name, sched) in [
-        ("MaxCard", run_policy(&f4b, &mut MaxCard)),
-        ("MinRTime", run_policy(&f4b, &mut MinRTime)),
-        ("MaxWeight", run_policy(&f4b, &mut MaxWeight)),
-    ] {
-        let m = metrics::evaluate(&f4b, &sched);
-        println!("  {name:<10} online rho = {}", m.max_response);
-        let _ = writeln!(csv, "figure_4b,online_{name},{}", m.max_response);
-    }
-    println!("  (Lemma 5.2: an adversarial tie-break forces every online algorithm to 3)");
-
-    write_artifact("table_gaps.csv", &csv);
+    fss_bench::run_registry_bin("table_gaps");
 }

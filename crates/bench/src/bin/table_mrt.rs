@@ -1,81 +1,8 @@
-//! **Theorem 3 validation table**: the FS-MRT pipeline on random
-//! mixed-demand instances — measured port augmentation vs the paper's
-//! `2·dmax − 1` budget, LP ρ* vs the greedy upper bound, across
-//! `dmax ∈ {1, 2, 3, 5}`.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin table_mrt [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_core::gen::{random_instance, GenParams};
-use fss_core::prelude::*;
-use fss_offline::greedy_schedule;
-use fss_offline::mrt::{solve_mrt, RoundingEngine};
-use rand::{rngs::SmallRng, SeedableRng};
-use std::fmt::Write as _;
+//! Thin wrapper over the `table_mrt` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_table_mrt.json`. Equivalent to
+//! `flowsched bench --filter table_mrt`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let trials = opts.trials.unwrap_or(if opts.quick { 2 } else { 5 });
-    let ns: Vec<usize> = if opts.quick {
-        vec![10]
-    } else {
-        vec![15, 30, 60]
-    };
-
-    let mut csv =
-        String::from("n,dmax,trials,rho_star,greedy_rho,max_augmentation,budget,within_budget\n");
-    println!(
-        "{:>4} {:>5} {:>9} {:>11} {:>8} {:>8} {:>7}",
-        "n", "dmax", "rho*", "greedy rho", "max aug", "budget", "ok"
-    );
-    for &n in &ns {
-        for &dmax in &[1u32, 2, 3, 5] {
-            let mut rho_sum = 0u64;
-            let mut greedy_sum = 0u64;
-            let mut aug_max = 0u32;
-            let mut all_within = true;
-            for k in 0..trials {
-                let mut rng = SmallRng::seed_from_u64(0x3a7 + (n as u64 * 131) + k);
-                let p = GenParams {
-                    m: 4,
-                    m_out: 4,
-                    cap: 2 * dmax,
-                    n,
-                    max_demand: dmax,
-                    max_release: (n / 3) as u64,
-                };
-                let inst = random_instance(&mut rng, &p);
-                let d_actual = inst.dmax();
-                let r =
-                    solve_mrt(&inst, None, RoundingEngine::IterativeRelaxation).expect("solver");
-                let g = metrics::evaluate(&inst, &greedy_schedule(&inst)).max_response;
-                rho_sum += r.rho_star;
-                greedy_sum += g;
-                aug_max = aug_max.max(r.augmentation);
-                if r.augmentation > 2 * d_actual - 1 {
-                    all_within = false;
-                }
-                validate::check(&inst, &r.schedule, &inst.switch.augmented(r.augmentation))
-                    .expect("schedule feasible on augmented switch");
-            }
-            let budget = 2 * dmax - 1;
-            let t = trials as f64;
-            println!(
-                "{n:>4} {dmax:>5} {:>9.1} {:>11.1} {aug_max:>8} {budget:>8} {:>7}",
-                rho_sum as f64 / t,
-                greedy_sum as f64 / t,
-                if all_within { "yes" } else { "NO" }
-            );
-            let _ = writeln!(
-                csv,
-                "{n},{dmax},{trials},{:.1},{:.1},{aug_max},{budget},{all_within}",
-                rho_sum as f64 / t,
-                greedy_sum as f64 / t
-            );
-        }
-    }
-    write_artifact("table_mrt.csv", &csv);
-    println!("\nTheorem 3 expectation: max augmentation <= 2*dmax - 1 on every row.");
+    fss_bench::run_registry_bin("table_mrt");
 }

@@ -1,77 +1,8 @@
-//! **Rounding-engine ablation**: IterativeRelaxation (paper-bound chaser)
-//! vs BeckFiala (guaranteed-but-looser) on the same time-constrained
-//! instances — achieved augmentation and wall-clock time.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin table_rounding_ablation [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_core::gen::{random_instance, GenParams};
-use fss_offline::mrt::{round_time_constrained, RoundingEngine, TimeConstrained};
-use rand::{rngs::SmallRng, SeedableRng};
-use std::fmt::Write as _;
-use std::time::Instant;
+//! Thin wrapper over the `table_rounding_ablation` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_table_rounding_ablation.json`. Equivalent to
+//! `flowsched bench --filter table_rounding_ablation`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let trials = opts.trials.unwrap_or(if opts.quick { 2 } else { 5 });
-    let configs: Vec<(usize, u32)> = if opts.quick {
-        vec![(10, 1)]
-    } else {
-        vec![(15, 1), (30, 1), (30, 3), (60, 3)]
-    };
-
-    let mut csv = String::from("n,dmax,trials,engine,mean_augmentation,max_augmentation,mean_ms\n");
-    println!(
-        "{:>4} {:>5} {:<20} {:>9} {:>8} {:>9}",
-        "n", "dmax", "engine", "mean aug", "max aug", "mean ms"
-    );
-    for &(n, dmax) in &configs {
-        for engine in [
-            RoundingEngine::IterativeRelaxation,
-            RoundingEngine::BeckFiala,
-        ] {
-            let mut aug_sum = 0u64;
-            let mut aug_max = 0u32;
-            let mut ms_sum = 0.0;
-            let mut solved = 0u64;
-            for k in 0..trials {
-                let mut rng = SmallRng::seed_from_u64(0xab1a + (n as u64 * 31) + k);
-                let p = GenParams {
-                    m: 4,
-                    m_out: 4,
-                    cap: 2 * dmax,
-                    n,
-                    max_demand: dmax,
-                    max_release: (n / 3) as u64,
-                };
-                let inst = random_instance(&mut rng, &p);
-                let rho = (n as u64 / 2).max(3);
-                let tc = TimeConstrained::from_response_bound(&inst, rho);
-                let start = Instant::now();
-                if let Some(res) = round_time_constrained(&tc, engine).expect("solver") {
-                    ms_sum += start.elapsed().as_secs_f64() * 1e3;
-                    aug_sum += u64::from(res.augmentation);
-                    aug_max = aug_max.max(res.augmentation);
-                    solved += 1;
-                }
-            }
-            let name = match engine {
-                RoundingEngine::IterativeRelaxation => "IterativeRelaxation",
-                RoundingEngine::BeckFiala => "BeckFiala",
-            };
-            let mean_aug = aug_sum as f64 / solved.max(1) as f64;
-            let mean_ms = ms_sum / solved.max(1) as f64;
-            println!("{n:>4} {dmax:>5} {name:<20} {mean_aug:>9.2} {aug_max:>8} {mean_ms:>9.2}");
-            let _ = writeln!(
-                csv,
-                "{n},{dmax},{trials},{name},{mean_aug:.2},{aug_max},{mean_ms:.2}"
-            );
-        }
-    }
-    write_artifact("table_rounding_ablation.csv", &csv);
-    println!("\nExpectation: IterativeRelaxation stays within 2*dmax-1 and is usually");
-    println!("tighter; BeckFiala avoids LP re-solves (faster on large supports) with a");
-    println!("looser < 4*dmax guarantee.");
+    fss_bench::run_registry_bin("table_rounding_ablation");
 }

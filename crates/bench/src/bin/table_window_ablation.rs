@@ -1,67 +1,8 @@
-//! **ART window-choice ablation**: Theorem 1's realization chops time into
-//! windows of `h` rounds; the adaptive search picks the smallest feasible
-//! `h`. This table measures how total response degrades as `h` grows past
-//! the minimum (each flow is delayed by up to `2h`), quantifying the
-//! design choice DESIGN.md §3.1 calls out.
-//!
-//! ```sh
-//! cargo run -p fss-bench --release --bin table_window_ablation [-- --quick]
-//! ```
-
-use fss_bench::{write_artifact, RunOptions};
-use fss_core::gen::{random_instance, GenParams};
-use fss_offline::art::{iterative_rounding, realize_schedule, realize_schedule_with_window};
-use rand::{rngs::SmallRng, SeedableRng};
-use std::fmt::Write as _;
+//! Thin wrapper over the `table_window_ablation` registry entry: runs it through the
+//! benchmark orchestrator (accepts `--quick` and `--trials N`) and
+//! writes `BENCH_table_window_ablation.json`. Equivalent to
+//! `flowsched bench --filter table_window_ablation`.
 
 fn main() {
-    let opts = RunOptions::from_args();
-    let trials = opts.trials.unwrap_or(if opts.quick { 2 } else { 5 });
-    let ns: Vec<usize> = if opts.quick {
-        vec![16]
-    } else {
-        vec![24, 48, 96]
-    };
-    let c = 2u32;
-
-    let mut csv = String::from("n,c,trials,h,mean_total_response,h_is_adaptive\n");
-    println!(
-        "{:>4} {:>3} {:>4} {:>16} {:>9}",
-        "n", "c", "h", "mean total resp", "adaptive"
-    );
-    for &n in &ns {
-        // Shared pseudo-schedules per trial; sweep h on top.
-        let mut pseudos = Vec::new();
-        let mut insts = Vec::new();
-        for k in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(0x11d0 + (n as u64) * 37 + k);
-            let inst = random_instance(
-                &mut rng,
-                &GenParams::unit((n / 6).clamp(3, 10), n, (n / 4) as u64),
-            );
-            pseudos.push(iterative_rounding(&inst).pseudo);
-            insts.push(inst);
-        }
-        let h_star: u64 = (0..trials as usize)
-            .map(|k| realize_schedule(&insts[k], &pseudos[k], c).window)
-            .max()
-            .unwrap_or(1);
-        for h in [h_star, h_star * 2, h_star * 4, h_star * 8] {
-            let mut total = 0u64;
-            let mut solved = 0u64;
-            for k in 0..trials as usize {
-                if let Some(r) = realize_schedule_with_window(&insts[k], &pseudos[k], c, h) {
-                    total += fss_core::metrics::evaluate(&insts[k], &r.schedule).total_response;
-                    solved += 1;
-                }
-            }
-            let mean = total as f64 / solved.max(1) as f64;
-            let adaptive = if h == h_star { "yes" } else { "" };
-            println!("{n:>4} {c:>3} {h:>4} {mean:>16.1} {adaptive:>9}");
-            let _ = writeln!(csv, "{n},{c},{trials},{h},{mean:.1},{}", h == h_star);
-        }
-    }
-    write_artifact("table_window_ablation.csv", &csv);
-    println!("\nExpectation: total response grows roughly linearly in h (each flow");
-    println!("delayed up to 2h), so the adaptive minimal h is the right default.");
+    fss_bench::run_registry_bin("table_window_ablation");
 }

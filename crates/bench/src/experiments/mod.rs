@@ -1,0 +1,13 @@
+//! Registered experiment definitions, one module per family.
+//!
+//! Each module exposes constructor functions returning
+//! [`crate::registry::Experiment`] values; [`crate::registry::registry`]
+//! lists them all. The runners reuse the exact library calls and seed
+//! formulas of the legacy one-off bins, so registry output is
+//! number-for-number identical to what those bins printed (asserted by
+//! `tests/registry_differential.rs`).
+
+pub mod figures;
+pub mod probe;
+pub mod saturation;
+pub mod tables;

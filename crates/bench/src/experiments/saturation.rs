@@ -1,0 +1,73 @@
+//! Saturation sweep (paper §6's "beyond worst-case" direction): response
+//! vs per-port arrival intensity `λ = M/m` for all four policies, plus
+//! the bisected stability knee per policy.
+
+use fss_sim::{saturation_sweep, stable_intensity, PolicyKind};
+
+use crate::registry::{CellOutcome, CellSpec, Experiment, Scale};
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::MaxCard,
+    PolicyKind::MinRTime,
+    PolicyKind::MaxWeight,
+    PolicyKind::FifoGreedy,
+];
+
+/// The legacy bin's intensity grid.
+pub const INTENSITIES: [f64; 9] = [0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5];
+
+/// Sweep + knee experiment, one cell per `(policy, λ)` point and one
+/// knee cell per policy.
+pub fn saturation() -> Experiment {
+    Experiment {
+        id: "saturation",
+        description: "response vs arrival intensity across the stability boundary",
+        build,
+    }
+}
+
+fn build(scale: &Scale) -> Vec<CellSpec> {
+    let (m, rounds, trials) = if scale.smoke {
+        (6usize, 10u64, scale.trials_or(2, 2))
+    } else {
+        (20, 40, scale.trials_or(4, 4))
+    };
+    let mut cells = Vec::new();
+    for policy in POLICIES {
+        for &lambda in &INTENSITIES {
+            cells.push(CellSpec::new(
+                format!("saturation/{}/lam{lambda}", policy.name()),
+                vec![
+                    ("policy", policy.name().to_string()),
+                    ("lambda", lambda.to_string()),
+                ],
+                move || {
+                    let pt = saturation_sweep(policy, m, rounds, &[lambda], trials, 0x5a7)
+                        .pop()
+                        .expect("one point per intensity");
+                    CellOutcome {
+                        metrics: vec![
+                            ("mean_response".into(), pt.mean_response),
+                            ("max_response".into(), pt.max_response),
+                        ],
+                        flows: (lambda * m as f64 * rounds as f64 * trials as f64).round() as u64,
+                        engine_mode: "engine",
+                    }
+                },
+            ));
+        }
+        cells.push(CellSpec::new(
+            format!("saturation/knee/{}", policy.name()),
+            vec![("policy", policy.name().to_string())],
+            move || {
+                let knee = stable_intensity(policy, m, rounds, 4.0, trials.min(2), 0x5a8);
+                CellOutcome {
+                    metrics: vec![("stable_intensity".into(), knee)],
+                    flows: 0,
+                    engine_mode: "engine",
+                }
+            },
+        ));
+    }
+    cells
+}

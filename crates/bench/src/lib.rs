@@ -1,24 +1,44 @@
-//! # fss-bench — shared plumbing for the figure/table binaries
+//! # fss-bench — the experiment registry and benchmark orchestrator
 //!
-//! Every evaluation artifact of the paper has a binary here that
-//! regenerates it (see DESIGN.md §4 for the experiment index):
+//! Every evaluation artifact of the paper is a registered
+//! [`registry::Experiment`]; the orchestrator ([`orchestrator::run_bench`])
+//! expands the selected experiments into a flat cell list, executes it on
+//! the rayon shim's work-stealing scheduler, streams per-cell results as
+//! JSONL, and persists one schema-validated `BENCH_<experiment>.json`
+//! artifact per experiment (see [`fss_sim::report`] for the schema).
 //!
-//! | binary | artifact |
+//! Entry points:
+//!
+//! * `flowsched bench [--filter ID] [--smoke] [--jobs N] [--out DIR]` —
+//!   the CLI front end (see the `flow-switch` crate);
+//! * the per-experiment binaries in `src/bin/` (`fig6`, `table_mrt`, ...)
+//!   — thin wrappers that run exactly one registry entry, kept for
+//!   muscle-memory compatibility with the pre-registry workflow.
+//!
+//! | experiment | artifact reproduced |
 //! |---|---|
 //! | `fig6` | Figure 6 — average response time, heuristics vs LP (1)–(4) |
 //! | `fig7` | Figure 7 — maximum response time, heuristics vs LP (19)–(21) |
+//! | `saturation` | intensity sweep across the stability boundary |
 //! | `table_art` | Theorem 1 validation table |
 //! | `table_mrt` | Theorem 3 validation table |
-//! | `table_gaps` | Theorem 2 / Lemma 5.2 gap table |
 //! | `table_amrt` | Lemma 5.3 validation table |
+//! | `table_gaps` | Theorem 2 / Lemma 5.2 gap table |
 //! | `table_rounding_ablation` | rounding-engine ablation |
-//!
-//! Each binary accepts `--quick` (smoke-test sizes) and writes CSV files
-//! under `target/experiments/` besides printing the series to stdout.
+//! | `table_window_ablation` | ART window-choice ablation |
+//! | `table_coflow` | co-flow extension table |
+//! | `open_problem_probe` | paper §6 open-problem probe |
 
 use std::path::PathBuf;
 
-/// Command-line options shared by the figure/table binaries.
+pub mod experiments;
+pub mod orchestrator;
+pub mod registry;
+
+pub use orchestrator::{list_experiments, run_bench, BenchOptions, CELLS_STREAM_NAME};
+pub use registry::{registry, select, CellOutcome, CellSpec, Experiment, Scale};
+
+/// Command-line options shared by the per-experiment binaries.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Smoke-test sizes (CI-friendly).
@@ -46,6 +66,36 @@ impl RunOptions {
             paper_scale: args.iter().any(|a| a == "--paper"),
             trials,
         }
+    }
+}
+
+/// Entry point for the thin per-experiment binaries: run one registry
+/// entry at the scale given by `--quick` / `--trials`, print the cell
+/// table, and report the artifact paths.
+pub fn run_registry_bin(id: &str) {
+    let opts = RunOptions::from_args();
+    let bench = BenchOptions {
+        filter: Some(id.to_string()),
+        smoke: opts.quick,
+        paper: opts.paper_scale,
+        trials: opts.trials,
+        ..BenchOptions::default()
+    };
+    match run_bench(&bench) {
+        Ok(reports) => print_reports(&reports, &bench.out_dir),
+        Err(e) => {
+            eprintln!("bench {id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Print each report's cell table and artifact path (shared by
+/// `flowsched bench` and the thin per-experiment binaries).
+pub fn print_reports(reports: &[fss_sim::BenchReport], out_dir: &std::path::Path) {
+    for r in reports {
+        print!("{}", fss_sim::report::bench_table(r));
+        println!("wrote {}", out_dir.join(r.artifact_name()).display());
     }
 }
 
@@ -85,5 +135,12 @@ mod tests {
     #[test]
     fn row_formatting() {
         assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+
+    #[test]
+    fn list_covers_registry() {
+        let listed = list_experiments();
+        assert_eq!(listed.len(), registry().len());
+        assert!(listed.iter().any(|&(id, _)| id == "fig6"));
     }
 }

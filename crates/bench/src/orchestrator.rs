@@ -1,0 +1,177 @@
+//! The parallel benchmark orchestrator.
+//!
+//! [`run_bench`] expands the selected experiments into one flat cell
+//! list, executes it through the rayon shim's dynamic work-stealing
+//! scheduler (so a handful of heavy `M = 4m` or LP cells can't serialize
+//! behind one worker's chunk), streams every finished cell as a JSONL
+//! line, and writes one aggregated, schema-validated
+//! `BENCH_<experiment>.json` artifact per experiment via
+//! [`fss_sim::report`].
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use fss_sim::report::{
+    bench_artifact_name, bench_cell_to_jsonl, bench_report_to_json, validate_bench_report,
+    BenchCell, BenchReport, BENCH_SCHEMA_VERSION,
+};
+use rayon::prelude::*;
+
+use crate::registry::{select, CellSpec, Scale};
+
+/// File the orchestrator streams per-cell results into, in completion
+/// order (one compact JSON object per line).
+pub const CELLS_STREAM_NAME: &str = "BENCH_cells.jsonl";
+
+/// Options for one orchestrator run (the `flowsched bench` flags).
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Select experiments: exact id, else substring (`None` = all).
+    pub filter: Option<String>,
+    /// CI-sized grids.
+    pub smoke: bool,
+    /// Paper-scale figure grids (150x150 heuristics; overrides `smoke`).
+    pub paper: bool,
+    /// Worker-thread cap (`0` = machine default / `RAYON_NUM_THREADS`).
+    pub jobs: usize,
+    /// Directory artifacts are written into (created on demand).
+    pub out_dir: PathBuf,
+    /// Override trials per cell.
+    pub trials: Option<u64>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            filter: None,
+            smoke: false,
+            paper: false,
+            jobs: 0,
+            out_dir: crate::out_dir(),
+            trials: None,
+        }
+    }
+}
+
+/// Run the selected experiments and persist their artifacts.
+///
+/// Returns the in-memory reports in registry order. Every report has
+/// also been written to `<out_dir>/BENCH_<experiment>.json`, and every
+/// cell streamed to `<out_dir>/BENCH_cells.jsonl` as it completed.
+pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
+    let selected = select(opts.filter.as_deref());
+    if selected.is_empty() {
+        return Err(format!(
+            "no experiment matches filter {:?}; known ids: {}",
+            opts.filter.as_deref().unwrap_or("<all>"),
+            crate::registry::registry()
+                .iter()
+                .map(|e| e.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    // Always install the cap: `0` restores the shim's automatic default
+    // (RAYON_NUM_THREADS / available parallelism), so a jobs=0 run after
+    // a capped one isn't stuck on the previous cap.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(opts.jobs)
+        .build_global()
+        .map_err(|e| e.to_string())?;
+    let jobs = rayon::current_num_threads() as u64;
+    let scale = Scale {
+        smoke: opts.smoke,
+        paper: opts.paper,
+        trials: opts.trials,
+    };
+
+    // Expand to the flat cell list the executor balances over.
+    struct FlatCell {
+        exp: usize,
+        idx: usize,
+        spec: CellSpec,
+    }
+    let mut flat: Vec<FlatCell> = Vec::new();
+    for (exp, e) in selected.iter().enumerate() {
+        for (idx, spec) in (e.build)(&scale).into_iter().enumerate() {
+            flat.push(FlatCell { exp, idx, spec });
+        }
+    }
+    if flat.is_empty() {
+        return Err("selected experiments expanded to zero cells".into());
+    }
+
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("create {}: {e}", opts.out_dir.display()))?;
+    let stream_path = opts.out_dir.join(CELLS_STREAM_NAME);
+    let stream = std::fs::File::create(&stream_path)
+        .map_err(|e| format!("create {}: {e}", stream_path.display()))?;
+    let stream = Mutex::new(std::io::BufWriter::new(stream));
+
+    // Execute every cell through the work-stealing scheduler; stream
+    // each as it finishes (completion order), keep (exp, idx) so the
+    // aggregate reports come out in declaration order.
+    let started = Instant::now();
+    let mut executed: Vec<(usize, usize, BenchCell)> = flat
+        .par_iter()
+        .map(|fc| {
+            let t0 = Instant::now();
+            let outcome = (fc.spec.run)();
+            let cell = BenchCell {
+                cell_id: fc.spec.id.clone(),
+                params: fc.spec.params.clone(),
+                metrics: outcome.metrics,
+                wall_s: t0.elapsed().as_secs_f64(),
+                flows: outcome.flows,
+                engine_mode: outcome.engine_mode.to_string(),
+            };
+            let line = bench_cell_to_jsonl(&cell);
+            {
+                let mut w = stream.lock().expect("jsonl writer");
+                let _ = writeln!(w, "{line}");
+            }
+            (fc.exp, fc.idx, cell)
+        })
+        .collect();
+    let total_wall_s = started.elapsed().as_secs_f64();
+    stream
+        .into_inner()
+        .expect("jsonl writer")
+        .flush()
+        .map_err(|e| format!("flush {}: {e}", stream_path.display()))?;
+
+    executed.sort_by_key(|&(exp, idx, _)| (exp, idx));
+    let mut reports = Vec::with_capacity(selected.len());
+    for (exp, e) in selected.iter().enumerate() {
+        let cells: Vec<BenchCell> = executed
+            .iter()
+            .filter(|&&(x, _, _)| x == exp)
+            .map(|(_, _, c)| c.clone())
+            .collect();
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: e.id.to_string(),
+            description: e.description.to_string(),
+            smoke: opts.smoke,
+            jobs,
+            total_wall_s,
+            cells,
+        };
+        validate_bench_report(&report)?;
+        let path = opts.out_dir.join(bench_artifact_name(e.id));
+        std::fs::write(&path, bench_report_to_json(&report))
+            .map_err(|err| format!("write {}: {err}", path.display()))?;
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// List `(id, description)` for every registered experiment.
+pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
+    crate::registry::registry()
+        .iter()
+        .map(|e| (e.id, e.description))
+        .collect()
+}

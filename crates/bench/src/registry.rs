@@ -1,0 +1,209 @@
+//! The declarative experiment registry.
+//!
+//! Every figure, table, and sweep the paper's evaluation section needs is
+//! registered here as an [`Experiment`]: an id, a description, and a
+//! builder that expands the experiment into self-contained [`CellSpec`]s
+//! at the requested [`Scale`]. The orchestrator
+//! ([`crate::orchestrator::run_bench`]) flattens the selected experiments
+//! into one cell list and executes it on the work-stealing scheduler, so
+//! a single heavy cell (an `M = 4m` grid point, an LP solve) no longer
+//! serializes a whole run.
+//!
+//! Cell runners are **pure by construction**: every cell derives its RNG
+//! streams from fixed seeds, so registry output is deterministic and the
+//! differential tests can compare it against direct library calls.
+
+use crate::experiments;
+
+/// Grid sizing for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scale {
+    /// CI-sized grids (the old bins' `--quick`).
+    pub smoke: bool,
+    /// The paper's full 150x150 heuristic grids (the old figure bins'
+    /// `--paper`; takes precedence over `smoke`). Only the figure
+    /// experiments have a distinct paper scale — the tables and sweeps
+    /// run their full grids.
+    pub paper: bool,
+    /// Override trials per cell (the old bins' `--trials N`).
+    pub trials: Option<u64>,
+}
+
+impl Scale {
+    /// Trials for this run: the override, else the smoke or full default.
+    pub fn trials_or(&self, smoke_default: u64, full_default: u64) -> u64 {
+        self.trials
+            .unwrap_or(if self.smoke {
+                smoke_default
+            } else {
+                full_default
+            })
+            .max(1)
+    }
+}
+
+/// What one executed cell measured.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Named objective values, in display order.
+    pub metrics: Vec<(String, f64)>,
+    /// Work units processed (flows scheduled, instances solved); `0`
+    /// when throughput is not meaningful.
+    pub flows: u64,
+    /// Execution substrate (`engine`, `lp`, `offline`, `exact`, ...).
+    pub engine_mode: &'static str,
+}
+
+/// A cell's runner: a deterministic closure from nothing to metrics.
+pub type CellRunner = Box<dyn Fn() -> CellOutcome + Send + Sync>;
+
+/// One schedulable unit of an experiment grid.
+pub struct CellSpec {
+    /// Unique id, `<experiment>/<coordinates...>`.
+    pub id: String,
+    /// Grid coordinates as ordered key/value strings.
+    pub params: Vec<(String, String)>,
+    /// The work itself.
+    pub run: CellRunner,
+}
+
+impl CellSpec {
+    /// Build a cell from its id pieces, parameters, and runner.
+    pub fn new(
+        id: impl Into<String>,
+        params: Vec<(&str, String)>,
+        run: impl Fn() -> CellOutcome + Send + Sync + 'static,
+    ) -> CellSpec {
+        CellSpec {
+            id: id.into(),
+            params: params
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A registered experiment: everything the orchestrator needs to expand
+/// and execute it.
+pub struct Experiment {
+    /// Registry id (also the artifact name stem, `BENCH_<id>.json`).
+    pub id: &'static str,
+    /// One-line description of what the experiment reproduces.
+    pub description: &'static str,
+    /// Expand into cells at the given scale.
+    pub build: fn(&Scale) -> Vec<CellSpec>,
+}
+
+/// Every registered experiment, in canonical order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        experiments::figures::fig6(),
+        experiments::figures::fig7(),
+        experiments::saturation::saturation(),
+        experiments::tables::table_art(),
+        experiments::tables::table_mrt(),
+        experiments::tables::table_amrt(),
+        experiments::tables::table_gaps(),
+        experiments::tables::table_rounding_ablation(),
+        experiments::tables::table_window_ablation(),
+        experiments::tables::table_coflow(),
+        experiments::probe::open_problem_probe(),
+    ]
+}
+
+/// Select experiments by filter: an exact id match wins; otherwise every
+/// experiment whose id contains `filter` as a substring. `None` selects
+/// the whole registry.
+pub fn select(filter: Option<&str>) -> Vec<Experiment> {
+    let all = registry();
+    match filter {
+        None => all,
+        Some(f) => {
+            let exact: Vec<Experiment> = registry().into_iter().filter(|e| e.id == f).collect();
+            if !exact.is_empty() {
+                exact
+            } else {
+                all.into_iter().filter(|e| e.id.contains(f)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_nonempty() {
+        let all = registry();
+        assert!(all.len() >= 11, "all legacy bins must be registered");
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate experiment id");
+        for e in &all {
+            assert!(!e.id.is_empty() && !e.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_experiment_expands_to_cells_at_smoke_scale() {
+        let scale = Scale {
+            smoke: true,
+            trials: Some(1),
+            ..Scale::default()
+        };
+        for e in registry() {
+            let cells = (e.build)(&scale);
+            assert!(!cells.is_empty(), "{} has no cells", e.id);
+            let mut ids: Vec<&String> = cells.iter().map(|c| &c.id).collect();
+            ids.sort_unstable();
+            let n = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "{} has duplicate cell ids", e.id);
+            for c in &cells {
+                assert!(
+                    c.id.starts_with(&format!("{}/", e.id)),
+                    "cell id {} must be prefixed with its experiment id",
+                    c.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_prefers_exact_match_then_substring() {
+        assert_eq!(select(None).len(), registry().len());
+        let exact = select(Some("fig6"));
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].id, "fig6");
+        let sub = select(Some("table"));
+        assert!(sub.len() >= 6, "all tables match the substring");
+        assert!(select(Some("no-such-experiment")).is_empty());
+    }
+
+    #[test]
+    fn trials_override_and_defaults() {
+        let s = Scale {
+            smoke: true,
+            trials: None,
+            ..Scale::default()
+        };
+        assert_eq!(s.trials_or(2, 5), 2);
+        let s = Scale {
+            smoke: false,
+            trials: None,
+            ..Scale::default()
+        };
+        assert_eq!(s.trials_or(2, 5), 5);
+        let s = Scale {
+            smoke: false,
+            trials: Some(7),
+            ..Scale::default()
+        };
+        assert_eq!(s.trials_or(2, 5), 7);
+    }
+}

@@ -6,21 +6,43 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelError {
     /// A flow references an input port index `>= m`.
-    BadInputPort { flow: usize, port: u32, m: u32 },
+    BadInputPort {
+        /// Index of the offending flow.
+        flow: usize,
+        /// The out-of-range port index.
+        port: u32,
+        /// Number of input ports.
+        m: u32,
+    },
     /// A flow references an output port index `>= m'`.
-    BadOutputPort { flow: usize, port: u32, m_out: u32 },
+    BadOutputPort {
+        /// Index of the offending flow.
+        flow: usize,
+        /// The out-of-range port index.
+        port: u32,
+        /// Number of output ports.
+        m_out: u32,
+    },
     /// A flow's demand exceeds `kappa_e = min(c_src, c_dst)` (paper §2
     /// assumes `d_e <= kappa_e` throughout).
     DemandExceedsKappa {
+        /// Index of the offending flow.
         flow: usize,
+        /// The flow's demand.
         demand: u32,
+        /// The endpoint capacity bound `min(c_src, c_dst)`.
         kappa: u32,
     },
     /// A flow has zero demand; the model requires positive demands.
-    ZeroDemand { flow: usize },
+    ZeroDemand {
+        /// Index of the offending flow.
+        flow: usize,
+    },
     /// A port was declared with zero capacity.
     ZeroCapacity {
+        /// Which side of the switch the port is on.
         side: crate::switch::PortSide,
+        /// The zero-capacity port index.
         port: u32,
     },
 }
@@ -58,19 +80,32 @@ impl std::error::Error for ModelError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
     /// Schedule length does not match the number of flows.
-    LengthMismatch { flows: usize, assignments: usize },
+    LengthMismatch {
+        /// Flows in the instance.
+        flows: usize,
+        /// Assignments in the schedule.
+        assignments: usize,
+    },
     /// A flow is scheduled strictly before its release round.
     ScheduledBeforeRelease {
+        /// Index of the offending flow.
         flow: usize,
+        /// The round it was scheduled in.
         round: u64,
+        /// Its release round.
         release: u64,
     },
     /// A port's capacity is exceeded in some round.
     CapacityExceeded {
+        /// Which side of the switch the port is on.
         side: crate::switch::PortSide,
+        /// The overloaded port index.
         port: u32,
+        /// The round the overload occurs in.
         round: u64,
+        /// Scheduled load on the port in that round.
         load: u64,
+        /// The port's (possibly augmented) capacity.
         capacity: u64,
     },
 }

@@ -34,6 +34,8 @@
 //! assert_eq!(m.max_response, 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod flow;
 pub mod gen;

@@ -36,6 +36,8 @@
 //! * [`run_stream`] — drive any [`FlowSource`] (bounded or endless) and
 //!   collect [`StreamStats`] in `O(peak queue)` memory.
 
+#![deny(missing_docs)]
+
 pub mod events;
 pub mod exact;
 pub mod matcher;

@@ -19,6 +19,8 @@
 //! for differential testing) while cutting the cost of the heavy
 //! `M = 4m` cells.
 
+#![deny(missing_docs)]
+
 pub mod experiment;
 pub mod failures;
 pub mod report;
@@ -32,6 +34,10 @@ pub use experiment::{
     LpBoundResult, PolicyKind,
 };
 pub use failures::{run_policy_with_failures, FailurePlan, Outage};
+pub use report::{
+    bench_artifact_name, bench_cell_to_jsonl, bench_report_from_json, bench_report_to_json,
+    validate_bench_report, BenchCell, BenchReport, BENCH_SCHEMA_VERSION,
+};
 pub use saturation::{saturation_sweep, stable_intensity, SaturationPoint};
 pub use stats::{response_histogram, response_percentiles, ResponsePercentiles};
 pub use trace::{run_policy_traced, Trace, TraceRound};

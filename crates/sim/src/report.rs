@@ -1,8 +1,192 @@
-//! CSV and ASCII rendering of experiment results.
+//! CSV and ASCII rendering of experiment results, plus the persisted
+//! `BENCH_*.json` artifact schema the benchmark orchestrator emits.
 
 use std::fmt::Write as _;
 
+use serde::{Deserialize, Serialize};
+
 use crate::experiment::{CellResult, LpBoundResult};
+
+/// Version stamp written into every `BENCH_*.json` artifact. Bump when
+/// the shape of [`BenchReport`] / [`BenchCell`] changes incompatibly.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One executed benchmark cell: a single point of an experiment grid.
+///
+/// Cells are self-describing — `params` carries the grid coordinates as
+/// ordered key/value strings and `metrics` the measured objective values
+/// as ordered name/value pairs — so the schema covers every experiment
+/// (figures, tables, sweeps) without per-experiment structs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCell {
+    /// Unique id within the run, e.g. `fig6/MaxCard/M50/T10`.
+    pub cell_id: String,
+    /// Grid coordinates, e.g. `[("policy","MaxCard"),("M","50")]`.
+    pub params: Vec<(String, String)>,
+    /// Measured objective values, e.g. `[("avg_response", 3.2)]`.
+    pub metrics: Vec<(String, f64)>,
+    /// Wall-clock seconds spent executing the cell.
+    pub wall_s: f64,
+    /// Work units (flows, instances, LP solves) processed by the cell;
+    /// `0` when throughput is not meaningful for the experiment.
+    pub flows: u64,
+    /// Execution substrate, e.g. `engine`, `legacy-loop`, `lp`, `exact`.
+    pub engine_mode: String,
+}
+
+impl BenchCell {
+    /// Throughput in work units per second (`0.0` when `flows == 0`).
+    pub fn flows_per_s(&self) -> f64 {
+        if self.flows == 0 {
+            0.0
+        } else {
+            self.flows as f64 / self.wall_s.max(1e-9)
+        }
+    }
+
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a grid parameter by key.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Aggregated result of one experiment run: the persisted form of
+/// `BENCH_<experiment>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`BENCH_SCHEMA_VERSION`] for artifacts written by this
+    /// build; readers reject other versions.
+    pub schema_version: u32,
+    /// Registry id of the experiment, e.g. `fig6`.
+    pub experiment: String,
+    /// One-line human description of what the experiment measures.
+    pub description: String,
+    /// Whether the run used smoke-test (CI-sized) grids.
+    pub smoke: bool,
+    /// Worker threads the orchestrator ran cells on.
+    pub jobs: u64,
+    /// Wall-clock seconds for the whole experiment (its cells may share
+    /// the executor with other experiments, so this is end-to-end time,
+    /// not the sum of `wall_s`).
+    pub total_wall_s: f64,
+    /// Every executed cell, in registry (declaration) order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchReport {
+    /// Total work units across all cells.
+    pub fn total_flows(&self) -> u64 {
+        self.cells.iter().map(|c| c.flows).sum()
+    }
+
+    /// The canonical artifact file name, `BENCH_<experiment>.json`.
+    pub fn artifact_name(&self) -> String {
+        bench_artifact_name(&self.experiment)
+    }
+}
+
+/// The canonical artifact file name for an experiment id.
+pub fn bench_artifact_name(experiment: &str) -> String {
+    format!("BENCH_{experiment}.json")
+}
+
+/// Serialize a report to pretty JSON (the on-disk artifact form).
+pub fn bench_report_to_json(report: &BenchReport) -> String {
+    serde_json::to_string_pretty(report).expect("bench reports contain only finite numbers")
+}
+
+/// Serialize one cell to a single compact JSON line (the JSONL stream
+/// form; callers append the newline).
+pub fn bench_cell_to_jsonl(cell: &BenchCell) -> String {
+    serde_json::to_string(cell).expect("bench cells contain only finite numbers")
+}
+
+/// Parse and schema-validate a `BENCH_*.json` artifact.
+pub fn bench_report_from_json(text: &str) -> Result<BenchReport, String> {
+    let report: BenchReport = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    validate_bench_report(&report)?;
+    Ok(report)
+}
+
+/// Structural checks beyond what deserialization enforces: version match,
+/// at least one cell, unique non-empty cell ids, finite metric values and
+/// timings.
+pub fn validate_bench_report(report: &BenchReport) -> Result<(), String> {
+    if report.schema_version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} (this build reads {})",
+            report.schema_version, BENCH_SCHEMA_VERSION
+        ));
+    }
+    if report.experiment.is_empty() {
+        return Err("empty experiment id".into());
+    }
+    if report.cells.is_empty() {
+        return Err(format!("experiment {}: no cells", report.experiment));
+    }
+    if !report.total_wall_s.is_finite() || report.total_wall_s < 0.0 {
+        return Err(format!(
+            "experiment {}: bad total_wall_s",
+            report.experiment
+        ));
+    }
+    let mut seen: Vec<&str> = Vec::with_capacity(report.cells.len());
+    for cell in &report.cells {
+        if cell.cell_id.is_empty() {
+            return Err(format!("experiment {}: empty cell id", report.experiment));
+        }
+        if seen.contains(&cell.cell_id.as_str()) {
+            return Err(format!("duplicate cell id {}", cell.cell_id));
+        }
+        seen.push(&cell.cell_id);
+        if !cell.wall_s.is_finite() || cell.wall_s < 0.0 {
+            return Err(format!("cell {}: bad wall_s", cell.cell_id));
+        }
+        for (name, value) in &cell.metrics {
+            if name.is_empty() {
+                return Err(format!("cell {}: empty metric name", cell.cell_id));
+            }
+            if !value.is_finite() {
+                return Err(format!("cell {}: metric {name} not finite", cell.cell_id));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Render a report as an aligned ASCII table (one row per cell), for the
+/// thin CLI wrappers that used to hand-format their own output.
+pub fn bench_table(report: &BenchReport) -> String {
+    let mut out = format!(
+        "{} — {} ({} cells, {:.2}s total)\n",
+        report.experiment,
+        report.description,
+        report.cells.len(),
+        report.total_wall_s
+    );
+    for cell in &report.cells {
+        let _ = write!(out, "{:<40}", cell.cell_id);
+        for (name, value) in &cell.metrics {
+            let _ = write!(out, "  {name}={value:.4}");
+        }
+        if cell.flows > 0 {
+            let _ = write!(out, "  ({:.0} flows/s)", cell.flows_per_s());
+        }
+        out.push('\n');
+    }
+    out
+}
 
 /// CSV for the heuristic grid: one row per `(policy, M, T)`.
 pub fn cells_to_csv(cells: &[CellResult]) -> String {
@@ -159,6 +343,97 @@ mod tests {
         }];
         let csv = bounds_to_csv(&b);
         assert!(csv.contains("50,10,2,1.2500,2.0000"));
+    }
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "fig6".into(),
+            description: "average response vs LP bound".into(),
+            smoke: true,
+            jobs: 4,
+            total_wall_s: 0.25,
+            cells: vec![
+                BenchCell {
+                    cell_id: "fig6/MaxCard/M50/T10".into(),
+                    params: vec![
+                        ("policy".into(), "MaxCard".into()),
+                        ("M".into(), "50".into()),
+                        ("T".into(), "10".into()),
+                    ],
+                    metrics: vec![("avg_response".into(), 3.25), ("max_response".into(), 9.0)],
+                    wall_s: 0.125,
+                    flows: 500,
+                    engine_mode: "engine".into(),
+                },
+                BenchCell {
+                    cell_id: "fig6/lp/M50/T10".into(),
+                    params: vec![("M".into(), "50".into()), ("T".into(), "10".into())],
+                    metrics: vec![("avg_response_bound".into(), 2.5)],
+                    wall_s: 0.0625,
+                    flows: 0,
+                    engine_mode: "lp".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bench_report_round_trips_through_json() {
+        let report = sample_report();
+        let json = bench_report_to_json(&report);
+        let parsed = bench_report_from_json(&json).expect("valid artifact");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn bench_cell_jsonl_round_trips() {
+        let cell = sample_report().cells.remove(0);
+        let line = bench_cell_to_jsonl(&cell);
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        let parsed: BenchCell = serde_json::from_str(&line).expect("valid line");
+        assert_eq!(parsed, cell);
+    }
+
+    #[test]
+    fn bench_cell_accessors() {
+        let report = sample_report();
+        let cell = &report.cells[0];
+        assert_eq!(cell.param("policy"), Some("MaxCard"));
+        assert_eq!(cell.metric("avg_response"), Some(3.25));
+        assert_eq!(cell.metric("missing"), None);
+        assert!((cell.flows_per_s() - 4000.0).abs() < 1e-6);
+        assert_eq!(report.cells[1].flows_per_s(), 0.0);
+        assert_eq!(report.total_flows(), 500);
+        assert_eq!(report.artifact_name(), "BENCH_fig6.json");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let mut r = sample_report();
+        r.schema_version += 1;
+        assert!(validate_bench_report(&r).is_err(), "wrong version");
+
+        let mut r = sample_report();
+        r.cells.clear();
+        assert!(validate_bench_report(&r).is_err(), "no cells");
+
+        let mut r = sample_report();
+        r.cells[1].cell_id = r.cells[0].cell_id.clone();
+        assert!(validate_bench_report(&r).is_err(), "duplicate cell id");
+
+        let mut r = sample_report();
+        r.cells[0].metrics[0].1 = f64::NAN;
+        assert!(validate_bench_report(&r).is_err(), "non-finite metric");
+    }
+
+    #[test]
+    fn bench_table_renders_all_cells() {
+        let report = sample_report();
+        let table = bench_table(&report);
+        assert!(table.contains("fig6/MaxCard/M50/T10"));
+        assert!(table.contains("avg_response=3.2500"));
+        assert!(table.contains("flows/s"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! flowsched online   -i inst.json --policy maxweight         -o sched.json
 //! flowsched stats    -i inst.json -s sched.json
 //! flowsched stream   --m 150 --rate 600 --rounds 100 --mode incremental
+//! flowsched bench    --smoke --filter fig6 --jobs 4 --out target/experiments
 //! ```
 //!
 //! Instances and schedules are the serde JSON forms of
@@ -44,10 +45,19 @@ const USAGE: &str = "usage:
   flowsched stats    -i INSTANCE -s SCHEDULE
   flowsched stream   [--m M] [--rate R] [--rounds T] [--seed S]
                      [--mode incremental|maxcard|minrtime|maxweight|fifo]
+  flowsched bench    [--filter ID] [--smoke|--paper] [--jobs N]
+                     [--out DIR] [--trials N] [--list]
 
 stream drives a Poisson workload (R mean arrivals/round on an MxM unit
 switch for T rounds) through the event-driven engine without
-materializing an instance, and reports aggregate response statistics.";
+materializing an instance, and reports aggregate response statistics.
+
+bench runs the experiment registry through the parallel orchestrator:
+cells execute on a work-stealing thread pool (--jobs caps the workers),
+per-cell results stream to <out>/BENCH_cells.jsonl, and each experiment
+writes an aggregated BENCH_<id>.json artifact. --filter selects by exact
+id or substring; --smoke uses CI-sized grids; --list prints the registry
+and exits.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -59,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "online" => online(&opts),
         "stats" => stats(&opts),
         "stream" => stream(&opts),
+        "bench" => bench(&opts),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -85,6 +96,9 @@ impl Flags {
     }
 }
 
+/// Flags that take no value (present = "true").
+const BOOL_FLAGS: [&str; 3] = ["smoke", "paper", "list"];
+
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Vec::new();
     let mut it = args.iter();
@@ -93,6 +107,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             .strip_prefix("--")
             .or_else(|| a.strip_prefix('-'))
             .ok_or_else(|| format!("expected a flag, found '{a}'"))?;
+        if BOOL_FLAGS.contains(&key) {
+            flags.push((key.to_string(), "true".to_string()));
+            continue;
+        }
         let val = it
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -233,6 +251,49 @@ fn stats(flags: &Flags) -> Result<(), String> {
     println!("max response     : {}", m.max_response);
     let needed = validate::required_augmentation(&inst, &sched).map_err(|e| format!("{e}"))?;
     println!("needed augment   : +{needed}");
+    Ok(())
+}
+
+fn bench(flags: &Flags) -> Result<(), String> {
+    if flags.get("list").is_some() {
+        println!("registered experiments:");
+        for (id, description) in fss_bench::list_experiments() {
+            println!("  {id:<24} {description}");
+        }
+        return Ok(());
+    }
+    let opts = fss_bench::BenchOptions {
+        filter: flags.get("filter").map(str::to_string),
+        smoke: flags.get("smoke").is_some(),
+        paper: flags.get("paper").is_some(),
+        jobs: flags.parsed("jobs", 0usize)?,
+        out_dir: flags
+            .get("out")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(fss_bench::out_dir),
+        trials: match flags.get("trials") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("bad value for --trials: {v}"))?,
+            ),
+        },
+    };
+    let started = std::time::Instant::now();
+    let reports = fss_bench::run_bench(&opts)?;
+    fss_bench::print_reports(&reports, &opts.out_dir);
+    let cells: usize = reports.iter().map(|r| r.cells.len()).sum();
+    let flows: u64 = reports.iter().map(|r| r.total_flows()).sum();
+    println!(
+        "bench: {} experiment(s), {cells} cells, {flows} work units in {:.2}s on {} worker(s)",
+        reports.len(),
+        started.elapsed().as_secs_f64(),
+        reports.first().map_or(0, |r| r.jobs),
+    );
+    println!(
+        "cell stream: {}",
+        opts.out_dir.join(fss_bench::CELLS_STREAM_NAME).display()
+    );
     Ok(())
 }
 

@@ -164,3 +164,78 @@ fn stream_reports_statistics() {
     let out = flowsched(&["stream", "--mode", "psychic"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn bench_list_prints_registry() {
+    let out = flowsched(&["bench", "--list"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "fig6",
+        "fig7",
+        "saturation",
+        "table_mrt",
+        "open_problem_probe",
+    ] {
+        assert!(text.contains(id), "--list must mention {id}: {text}");
+    }
+}
+
+#[test]
+fn bench_smoke_fig6_writes_schema_valid_artifact() {
+    let dir = std::env::temp_dir()
+        .join("flowsched-cli-tests")
+        .join("bench");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = flowsched(&[
+        "bench",
+        "--smoke",
+        "--filter",
+        "fig6",
+        "--trials",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Non-empty, schema-valid BENCH_fig6.json artifact.
+    let artifact = dir.join("BENCH_fig6.json");
+    let text = std::fs::read_to_string(&artifact).expect("artifact exists");
+    assert!(!text.is_empty());
+    let report = fss_sim::bench_report_from_json(&text).expect("artifact schema-valid");
+    assert_eq!(report.experiment, "fig6");
+    assert!(report.smoke);
+    assert!(!report.cells.is_empty());
+    assert!(
+        report.cells.iter().any(|c| c.engine_mode == "engine"),
+        "heuristic cells present"
+    );
+    assert!(
+        report.cells.iter().any(|c| c.engine_mode == "lp"),
+        "LP bound cells present"
+    );
+
+    // The JSONL stream covers the same cells.
+    let stream = std::fs::read_to_string(dir.join("BENCH_cells.jsonl")).expect("stream exists");
+    assert_eq!(stream.lines().count(), report.cells.len());
+
+    // Unknown filters fail with a helpful error.
+    let out = flowsched(&[
+        "bench",
+        "--filter",
+        "psychic",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no experiment matches"));
+}

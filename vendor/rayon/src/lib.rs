@@ -2,13 +2,92 @@
 //!
 //! Supports `slice.par_iter().map(f).collect()` and
 //! `slice.par_iter().flat_map(f).collect()`. Work is executed on real OS
-//! threads (`std::thread::scope`) with one contiguous chunk per thread, and
-//! results are concatenated in input order, so `collect` is deterministic
-//! exactly like rayon's indexed parallel iterators. Nested `par_iter`
-//! inside a closure simply opens a nested scope.
+//! threads (`std::thread::scope`) through a **dynamic work-stealing
+//! scheduler**: all workers pull items one at a time from a shared atomic
+//! index, so a handful of heavy items can no longer serialize behind one
+//! thread's pre-assigned chunk (the failure mode of the previous
+//! contiguous-chunk splitter, which is kept as [`exec::run_chunked`] for
+//! differential benchmarking). Results are reassembled in input order, so
+//! `collect` is deterministic exactly like rayon's indexed parallel
+//! iterators. Nested `par_iter` inside a closure simply opens a nested
+//! scope.
+//!
+//! Worker count is resolved per call as the first of: the global cap set
+//! by [`ThreadPoolBuilder::build_global`], the `RAYON_NUM_THREADS`
+//! environment variable, then `std::thread::available_parallelism()` —
+//! always clamped to the number of items.
 
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override (0 = unset). Set by
+/// [`ThreadPoolBuilder::build_global`].
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Configures the global thread pool, mirroring rayon's builder.
+///
+/// The shim has no persistent pool — threads are scoped per call — so the
+/// builder only records the worker cap that [`exec::run_dynamic`] and
+/// [`exec::run_chunked`] resolve on each invocation.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error building the global pool (never produced by the shim; the type
+/// exists so call sites can stay identical to real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build global thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Cap the worker count; `0` restores the automatic default
+    /// (`RAYON_NUM_THREADS` or the machine's available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the cap globally. Divergence from real rayon: calling this
+    /// more than once *overwrites* the cap instead of returning an error,
+    /// so tools that re-run with different `--jobs` values keep working.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The number of worker threads a parallel call would use right now
+/// (before clamping to the item count).
+pub fn current_num_threads() -> usize {
+    let n = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(v) = s.parse::<usize>() {
+            if v > 0 {
+                return v;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// `.par_iter()` entry point for slices and vectors.
 pub trait IntoParallelRefIterator<'data> {
@@ -81,13 +160,9 @@ where
     F: Fn(&'a T) -> R + Sync,
     R: Send,
 {
-    /// Execute on a thread pool and collect in input order.
+    /// Execute on the work-stealing scheduler and collect in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        run_chunks(self.items, &|item, out: &mut Vec<R>| {
-            out.push((self.f)(item))
-        })
-        .into_iter()
-        .collect()
+        exec::run_dynamic(self.items, &self.f).into_iter().collect()
     }
 }
 
@@ -104,58 +179,124 @@ where
     I: IntoIterator,
     I::Item: Send,
 {
-    /// Execute on a thread pool, flatten, and collect in input order.
+    /// Execute on the work-stealing scheduler, flatten, and collect in
+    /// input order.
     pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        run_chunks(self.items, &|item, out: &mut Vec<I::Item>| {
-            out.extend((self.f)(item))
+        exec::run_dynamic(self.items, &|item| {
+            (self.f)(item).into_iter().collect::<Vec<_>>()
         })
         .into_iter()
+        .flatten()
         .collect()
     }
 }
 
-/// Split `items` into one contiguous chunk per worker, run `per_item` on
-/// scoped threads, and concatenate the per-chunk outputs in order.
-fn run_chunks<'a, T: Sync, R: Send>(
-    items: &'a [T],
-    per_item: &(dyn Fn(&'a T, &mut Vec<R>) + Sync),
-) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len())
-        .max(1);
-    if workers <= 1 {
-        let mut out = Vec::with_capacity(items.len());
-        for item in items {
-            per_item(item, &mut out);
-        }
-        return out;
+pub mod exec {
+    //! The shim's executors, exposed for differential benchmarking.
+    //!
+    //! [`run_dynamic`] is what `par_iter` uses; [`run_chunked`] is the
+    //! pre-upgrade static splitter, kept so the work-stealing win on
+    //! skewed workloads stays measurable (see
+    //! `crates/bench/benches/par_scheduler.rs`).
+
+    use super::*;
+
+    /// Resolve the worker count for `len` items.
+    fn workers_for(len: usize) -> usize {
+        current_num_threads().min(len).max(1)
     }
-    let chunk = items.len().div_ceil(workers);
-    let mut parts: Vec<Vec<R>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || {
-                    let mut out = Vec::with_capacity(slice.len());
-                    for item in slice {
-                        per_item(item, &mut out);
-                    }
-                    out
+
+    /// Dynamic scheduling: every worker claims the next unclaimed index
+    /// from a shared atomic counter until the input is exhausted, so load
+    /// balances item-by-item no matter how skewed the per-item cost is.
+    /// Returns per-item results in input order.
+    pub fn run_dynamic<'a, T, R, F>(items: &'a [T], per_item: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync + ?Sized,
+    {
+        let len = items.len();
+        let workers = workers_for(len);
+        if workers <= 1 {
+            return items.iter().map(per_item).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            out.push((i, per_item(&items[i])));
+                        }
+                        out
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("rayon-shim worker panicked"));
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+        slots.resize_with(len, || None);
+        for part in parts {
+            for (i, r) in part {
+                slots[i] = Some(r);
+            }
         }
-    });
-    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
-    for p in parts {
-        out.extend(p);
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index is claimed exactly once"))
+            .collect()
     }
-    out
+
+    /// Static scheduling: one contiguous chunk per worker (the shim's
+    /// previous behavior). A few heavy items that land in the same chunk
+    /// serialize behind a single thread — exactly what [`run_dynamic`]
+    /// fixes. Returns per-item results in input order.
+    pub fn run_chunked<'a, T, R, F>(items: &'a [T], per_item: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync + ?Sized,
+    {
+        let len = items.len();
+        let workers = workers_for(len);
+        if workers <= 1 {
+            return items.iter().map(per_item).collect();
+        }
+        let chunk = len.div_ceil(workers);
+        let mut parts: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(slice.len());
+                        for item in slice {
+                            out.push(per_item(item));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(len);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
 }
 
 pub mod prelude {
@@ -166,6 +307,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_preserves_order() {
@@ -203,5 +345,58 @@ mod tests {
         let v: Vec<u32> = Vec::new();
         let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dynamic_and_chunked_agree() {
+        let v: Vec<u64> = (0..257).collect();
+        let f = |x: &u64| x * x + 1;
+        assert_eq!(exec::run_dynamic(&v, &f), exec::run_chunked(&v, &f));
+    }
+
+    #[test]
+    fn skewed_work_is_correct_under_stealing() {
+        // One very heavy item at the front must not perturb ordering.
+        let v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = v
+            .par_iter()
+            .map(|&x| {
+                let spins = if x == 0 { 200_000 } else { 10 };
+                let mut acc = x;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                // Collapse the spin result so the output is deterministic.
+                if acc == u64::MAX {
+                    0
+                } else {
+                    x
+                }
+            })
+            .collect();
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn build_global_caps_and_uncaps() {
+        // Runs in one test so the global store isn't racing a sibling.
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 3);
+        let v: Vec<u32> = (0..10).collect();
+        let out: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
     }
 }

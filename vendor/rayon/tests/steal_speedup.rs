@@ -1,0 +1,60 @@
+//! Wall-clock evidence for the work-stealing upgrade: on a skewed
+//! workload where all the heavy items land in one contiguous chunk, the
+//! dynamic shared-index scheduler must beat the old chunked splitter by
+//! a wide margin.
+//!
+//! The heavy items *sleep* rather than spin, so the comparison measures
+//! pure scheduling behavior and holds even on single-core CI runners
+//! (sleeping threads overlap regardless of core count). This file is an
+//! integration test so its global thread-pool cap can't race the unit
+//! tests.
+
+use std::time::{Duration, Instant};
+
+use rayon::exec::{run_chunked, run_dynamic};
+use rayon::ThreadPoolBuilder;
+
+/// 16 items, the 4 heavy ones up front: the chunked splitter with 4
+/// workers assigns all 4 heavy items to worker 0 (indices 0..4), which
+/// then sleeps 4 × HEAVY serially while the other workers idle. The
+/// dynamic scheduler hands each heavy item to a different free worker.
+#[test]
+fn dynamic_beats_chunked_on_skewed_sleep_grid() {
+    const HEAVY: Duration = Duration::from_millis(60);
+    const LIGHT: Duration = Duration::from_millis(1);
+
+    ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global()
+        .unwrap();
+    let items: Vec<Duration> = (0..16).map(|i| if i < 4 { HEAVY } else { LIGHT }).collect();
+    let work = |d: &Duration| {
+        std::thread::sleep(*d);
+        d.as_millis() as u64
+    };
+
+    let t0 = Instant::now();
+    let chunked = run_chunked(&items, &work);
+    let chunked_wall = t0.elapsed();
+
+    let t0 = Instant::now();
+    let dynamic = run_dynamic(&items, &work);
+    let dynamic_wall = t0.elapsed();
+
+    assert_eq!(chunked, dynamic, "schedulers must agree on results");
+
+    // Chunked lower bound is 4 × HEAVY = 240 ms serialized on worker 0;
+    // dynamic needs about HEAVY + a few LIGHT ≈ 65 ms. Require the
+    // acceptance threshold with margin to spare for noisy CI machines.
+    let speedup = chunked_wall.as_secs_f64() / dynamic_wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "skewed grid: chunked {:.1} ms, work-stealing {:.1} ms ({speedup:.2}x)",
+        chunked_wall.as_secs_f64() * 1e3,
+        dynamic_wall.as_secs_f64() * 1e3
+    );
+    assert!(
+        speedup >= 1.5,
+        "work stealing must beat chunked by >= 1.5x on a skewed grid, got {speedup:.2}x \
+         (chunked {chunked_wall:?}, dynamic {dynamic_wall:?})"
+    );
+}
