@@ -144,7 +144,7 @@ pub fn fig6() -> Experiment {
     Experiment {
         id: "fig6",
         description: "Figure 6 — average response time, heuristics vs LP (1)-(4) lower bound",
-        build: build_fig6,
+        build: Box::new(build_fig6),
     }
 }
 
@@ -190,7 +190,7 @@ pub fn fig7() -> Experiment {
     Experiment {
         id: "fig7",
         description: "Figure 7 — maximum response time, heuristics vs binary-searched LP (19)-(21)",
-        build: build_fig7,
+        build: Box::new(build_fig7),
     }
 }
 

@@ -11,3 +11,4 @@ pub mod figures;
 pub mod probe;
 pub mod saturation;
 pub mod tables;
+pub mod trace_replay;

@@ -78,7 +78,7 @@ pub fn open_problem_probe() -> Experiment {
     Experiment {
         id: "open_problem_probe",
         description: "paper §6 probe — worst exact rho over degree-bounded request sequences",
-        build: |scale| {
+        build: Box::new(|scale| {
             let (trials, m, rounds) = if scale.smoke {
                 (scale.trials_or(5, 5), 3usize, 4u64)
             } else {
@@ -93,7 +93,7 @@ pub fn open_problem_probe() -> Experiment {
                 ],
                 move || probe_cell(m, rounds, trials),
             )]
-        },
+        }),
     }
 }
 

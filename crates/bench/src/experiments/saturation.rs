@@ -1,6 +1,11 @@
 //! Saturation sweep (paper §6's "beyond worst-case" direction): response
 //! vs per-port arrival intensity `λ = M/m` for all four policies, plus
 //! the bisected stability knee per policy.
+//!
+//! Every cell runs through streaming [`fss_sim::ScenarioSpec`]s
+//! (`fss_sim::saturation::sweep_scenario` names the exact per-trial
+//! scenario): workloads are never materialized, so the full-scale grid
+//! can push horizons far beyond what the batch runner tolerated.
 
 use fss_sim::{saturation_sweep, stable_intensity, PolicyKind};
 
@@ -22,7 +27,7 @@ pub fn saturation() -> Experiment {
     Experiment {
         id: "saturation",
         description: "response vs arrival intensity across the stability boundary",
-        build,
+        build: Box::new(build),
     }
 }
 

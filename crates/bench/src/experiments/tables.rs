@@ -36,7 +36,7 @@ pub fn table_art() -> Experiment {
     Experiment {
         id: "table_art",
         description: "Theorem 1 validation — FS-ART cost vs LP (1)-(4) across capacity factors",
-        build: |scale| {
+        build: Box::new(|scale| {
             let sizes: Vec<usize> = if scale.smoke {
                 vec![12, 20]
             } else {
@@ -59,7 +59,7 @@ pub fn table_art() -> Experiment {
                 }
             }
             cells
-        },
+        }),
     }
 }
 
@@ -104,7 +104,7 @@ pub fn table_mrt() -> Experiment {
     Experiment {
         id: "table_mrt",
         description: "Theorem 3 validation — FS-MRT augmentation vs the 2*dmax-1 budget",
-        build: |scale| {
+        build: Box::new(|scale| {
             let ns: Vec<usize> = if scale.smoke {
                 vec![10]
             } else {
@@ -122,7 +122,7 @@ pub fn table_mrt() -> Experiment {
                 }
             }
             cells
-        },
+        }),
     }
 }
 
@@ -173,7 +173,7 @@ pub fn table_amrt() -> Experiment {
     Experiment {
         id: "table_amrt",
         description: "Lemma 5.3 validation — online AMRT vs offline rho* and the load budget",
-        build: |scale| {
+        build: Box::new(|scale| {
             let configs: Vec<(usize, u64)> = if scale.smoke {
                 vec![(10, 4)]
             } else {
@@ -190,7 +190,7 @@ pub fn table_amrt() -> Experiment {
                     )
                 })
                 .collect()
-        },
+        }),
     }
 }
 
@@ -231,7 +231,7 @@ pub fn table_gaps() -> Experiment {
     Experiment {
         id: "table_gaps",
         description: "Theorem 2 / Lemma 5.2 — exact gap values of the hardness gadgets",
-        build: |_scale| {
+        build: Box::new(|_scale| {
             vec![
                 CellSpec::new(
                     "table_gaps/rtt_satisfiable",
@@ -295,7 +295,7 @@ pub fn table_gaps() -> Experiment {
                     },
                 ),
             ]
-        },
+        }),
     }
 }
 
@@ -305,7 +305,7 @@ pub fn table_rounding_ablation() -> Experiment {
     Experiment {
         id: "table_rounding_ablation",
         description: "rounding ablation — IterativeRelaxation vs BeckFiala augmentation and time",
-        build: |scale| {
+        build: Box::new(|scale| {
             let configs: Vec<(usize, u32)> = if scale.smoke {
                 vec![(10, 1)]
             } else {
@@ -334,7 +334,7 @@ pub fn table_rounding_ablation() -> Experiment {
                 }
             }
             cells
-        },
+        }),
     }
 }
 
@@ -387,7 +387,7 @@ pub fn table_window_ablation() -> Experiment {
     Experiment {
         id: "table_window_ablation",
         description: "ART window ablation — total response vs realization window h",
-        build: |scale| {
+        build: Box::new(|scale| {
             let ns: Vec<usize> = if scale.smoke {
                 vec![16]
             } else {
@@ -403,7 +403,7 @@ pub fn table_window_ablation() -> Experiment {
                     )
                 })
                 .collect()
-        },
+        }),
     }
 }
 
@@ -455,7 +455,7 @@ pub fn table_coflow() -> Experiment {
     Experiment {
         id: "table_coflow",
         description: "co-flow extension — SEBF/FIFO/Fair vs the bottleneck lower bound",
-        build: |scale| {
+        build: Box::new(|scale| {
             let configs: Vec<(usize, usize, usize)> = if scale.smoke {
                 vec![(4, 3, 4)]
             } else {
@@ -476,7 +476,7 @@ pub fn table_coflow() -> Experiment {
                     )
                 })
                 .collect()
-        },
+        }),
     }
 }
 

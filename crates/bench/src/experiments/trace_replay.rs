@@ -1,0 +1,75 @@
+//! Trace replay: run every policy over an on-disk arrival trace.
+//!
+//! Unlike the static registry entries, this experiment is built at
+//! runtime from a trace file (`flowsched bench --trace FILE`): the trace
+//! is loaded and validated once, shared across cells via [`Arc`], and
+//! each `(policy, trace)` cell streams it through the engine via a
+//! [`fss_sim::ScenarioSpec`]-shaped run — the paper's heuristics on a replayable
+//! workload instead of a seed formula.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use fss_sim::arrival_trace::{ArrivalTrace, TraceSource};
+use fss_sim::PolicyKind;
+
+use crate::registry::{CellOutcome, CellSpec, Experiment};
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::MaxCard,
+    PolicyKind::MinRTime,
+    PolicyKind::MaxWeight,
+    PolicyKind::FifoGreedy,
+];
+
+/// Build the trace-replay experiment from a trace file. The file is read
+/// and validated here, once; cells only replay the in-memory trace.
+pub fn trace_replay(path: &Path) -> Result<Experiment, String> {
+    let trace =
+        Arc::new(ArrivalTrace::load(path).map_err(|e| format!("trace {}: {e}", path.display()))?);
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let ports = trace.ports;
+    let horizon = trace.horizon();
+    let flows = trace.len() as u64;
+    Ok(Experiment::new(
+        "trace_replay",
+        "replay an arrival trace through every policy via the streaming engine",
+        move |_scale| {
+            POLICIES
+                .iter()
+                .map(|&policy| {
+                    let trace = trace.clone();
+                    let name = name.clone();
+                    CellSpec::new(
+                        format!("trace_replay/{}/{name}", policy.name()),
+                        vec![
+                            ("policy", policy.name().to_string()),
+                            ("trace", name.clone()),
+                            ("ports", ports.to_string()),
+                            ("horizon", horizon.to_string()),
+                        ],
+                        move || {
+                            let stats = fss_engine::run_stream(
+                                TraceSource::new(trace.clone()),
+                                fss_engine::EngineMode::Exact(policy.to_engine()),
+                            );
+                            CellOutcome {
+                                metrics: vec![
+                                    ("mean_response".into(), stats.mean_response()),
+                                    ("max_response".into(), stats.max_response as f64),
+                                    ("makespan".into(), stats.makespan as f64),
+                                    ("peak_queue".into(), stats.peak_queue as f64),
+                                ],
+                                flows,
+                                engine_mode: "stream",
+                            }
+                        },
+                    )
+                })
+                .collect()
+        },
+    ))
+}

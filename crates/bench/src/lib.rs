@@ -31,12 +31,16 @@
 
 use std::path::PathBuf;
 
+pub mod diff;
 pub mod experiments;
 pub mod orchestrator;
 pub mod registry;
 
+pub use diff::{
+    diff_artifacts, diff_reports, render_diff, CellDelta, DiffReport, DEFAULT_TOLERANCE_PCT,
+};
 pub use orchestrator::{list_experiments, run_bench, BenchOptions, CELLS_STREAM_NAME};
-pub use registry::{registry, select, CellOutcome, CellSpec, Experiment, Scale};
+pub use registry::{registry, select, CellOutcome, CellSpec, Experiment, ExperimentBuilder, Scale};
 
 /// Command-line options shared by the per-experiment binaries.
 #[derive(Debug, Clone)]

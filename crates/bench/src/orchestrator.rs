@@ -40,6 +40,10 @@ pub struct BenchOptions {
     pub out_dir: PathBuf,
     /// Override trials per cell.
     pub trials: Option<u64>,
+    /// Replay this arrival-trace file as the `trace_replay` experiment.
+    /// Without `filter`, the run is the trace replay alone; with one, the
+    /// replay joins the selected registry experiments.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for BenchOptions {
@@ -51,6 +55,7 @@ impl Default for BenchOptions {
             jobs: 0,
             out_dir: crate::out_dir(),
             trials: None,
+            trace: None,
         }
     }
 }
@@ -61,8 +66,13 @@ impl Default for BenchOptions {
 /// also been written to `<out_dir>/BENCH_<experiment>.json`, and every
 /// cell streamed to `<out_dir>/BENCH_cells.jsonl` as it completed.
 pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
-    let selected = select(opts.filter.as_deref());
-    if selected.is_empty() {
+    // `--trace` without a filter runs the trace replay alone; with a
+    // filter the replay joins the selected registry experiments.
+    let mut selected = match (&opts.filter, &opts.trace) {
+        (None, Some(_)) => Vec::new(),
+        (filter, _) => select(filter.as_deref()),
+    };
+    if selected.is_empty() && (opts.filter.is_some() || opts.trace.is_none()) {
         return Err(format!(
             "no experiment matches filter {:?}; known ids: {}",
             opts.filter.as_deref().unwrap_or("<all>"),
@@ -72,6 +82,9 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+    }
+    if let Some(path) = &opts.trace {
+        selected.push(crate::experiments::trace_replay::trace_replay(path)?);
     }
     // Always install the cap: `0` restores the shim's automatic default
     // (RAYON_NUM_THREADS / available parallelism), so a jobs=0 run after

@@ -85,6 +85,11 @@ impl CellSpec {
     }
 }
 
+/// An experiment's cell expansion: a closure so experiments can be built
+/// at runtime from external inputs (a loaded arrival trace, a scenario
+/// file) as well as from the static registry.
+pub type ExperimentBuilder = Box<dyn Fn(&Scale) -> Vec<CellSpec> + Send + Sync>;
+
 /// A registered experiment: everything the orchestrator needs to expand
 /// and execute it.
 pub struct Experiment {
@@ -93,7 +98,22 @@ pub struct Experiment {
     /// One-line description of what the experiment reproduces.
     pub description: &'static str,
     /// Expand into cells at the given scale.
-    pub build: fn(&Scale) -> Vec<CellSpec>,
+    pub build: ExperimentBuilder,
+}
+
+impl Experiment {
+    /// Build an experiment from its id, description, and cell builder.
+    pub fn new(
+        id: &'static str,
+        description: &'static str,
+        build: impl Fn(&Scale) -> Vec<CellSpec> + Send + Sync + 'static,
+    ) -> Experiment {
+        Experiment {
+            id,
+            description,
+            build: Box::new(build),
+        }
+    }
 }
 
 /// Every registered experiment, in canonical order.

@@ -1,0 +1,42 @@
+//! Streaming flow arrivals: the unit of every workload source.
+//!
+//! An [`Arrival`] is one unit-demand flow entering the switch — the shared
+//! currency between the batch [`crate::Instance`] world and the streaming
+//! `FlowSource` world (`fss-engine`), and the record type of the on-disk
+//! arrival-trace format (`fss-sim`'s scenario layer). It lives in
+//! `fss-core` so every layer speaks the same type without depending on the
+//! engine.
+
+use serde::{Deserialize, Serialize};
+
+/// One flow arrival in a stream (the paper's experimental setting:
+/// unit demand on a unit-capacity switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Source-chosen flow identity (instance index for batch adapters,
+    /// sequence number for generators and trace replays).
+    pub id: u64,
+    /// Input port.
+    pub src: u32,
+    /// Output port.
+    pub dst: u32,
+    /// Release round.
+    pub release: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_is_plain_data() {
+        let a = Arrival {
+            id: 3,
+            src: 1,
+            dst: 2,
+            release: 7,
+        };
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

@@ -36,7 +36,9 @@
 
 #![deny(missing_docs)]
 
+pub mod arrival;
 pub mod error;
+pub mod failure;
 pub mod flow;
 pub mod gen;
 pub mod instance;
@@ -46,7 +48,9 @@ pub mod switch;
 pub mod transform;
 pub mod validate;
 
-pub use error::{ModelError, ValidationError};
+pub use arrival::Arrival;
+pub use error::{ModelError, TraceError, ValidationError};
+pub use failure::{FailurePlan, Outage};
 pub use flow::{Flow, FlowId};
 pub use instance::{Instance, InstanceBuilder};
 pub use metrics::ResponseMetrics;
@@ -55,7 +59,9 @@ pub use switch::{PortSide, Switch};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
-    pub use crate::error::{ModelError, ValidationError};
+    pub use crate::arrival::Arrival;
+    pub use crate::error::{ModelError, TraceError, ValidationError};
+    pub use crate::failure::{FailurePlan, Outage};
     pub use crate::flow::{Flow, FlowId};
     pub use crate::instance::{Instance, InstanceBuilder};
     pub use crate::metrics::{self, ResponseMetrics};

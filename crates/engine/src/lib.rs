@@ -41,6 +41,7 @@
 pub mod events;
 pub mod exact;
 pub mod matcher;
+pub mod outage;
 pub mod queue;
 pub mod source;
 pub mod stream;
@@ -164,25 +165,60 @@ pub fn run_incremental(inst: &Instance) -> Schedule {
 /// aggregate statistics. Memory stays `O(peak queue)` regardless of
 /// stream length.
 pub fn run_stream<S: FlowSource>(source: S, mode: EngineMode) -> StreamStats {
-    let sink = |_: u64, _: u64, _: u64| {};
+    run_stream_with(source, mode, |_, _, _| {})
+}
+
+/// [`run_stream`] with a per-dispatch callback: `on_dispatch(id, release,
+/// round)` fires once per flow, in dispatch order. This is how callers
+/// that need the full schedule (rather than aggregate statistics) consume
+/// a streaming run.
+pub fn run_stream_with<S: FlowSource>(
+    source: S,
+    mode: EngineMode,
+    on_dispatch: impl FnMut(u64, u64, u64),
+) -> StreamStats {
     match mode {
-        EngineMode::Incremental => stream::drive_incremental(source, sink),
+        EngineMode::Incremental => stream::drive_incremental(source, on_dispatch),
         EngineMode::Exact(BuiltinPolicy::MaxCard) => {
-            stream::drive_exact(source, &mut Selector::MaxCard, sink)
+            stream::drive_exact(source, &mut Selector::MaxCard, on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::MinRTime) => {
             let mut p = MinRTime;
-            stream::drive_exact(source, &mut Selector::Policy(&mut p), sink)
+            stream::drive_exact(source, &mut Selector::Policy(&mut p), on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::MaxWeight) => {
             let mut p = MaxWeight;
-            stream::drive_exact(source, &mut Selector::Policy(&mut p), sink)
+            stream::drive_exact(source, &mut Selector::Policy(&mut p), on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::FifoGreedy) => {
             let mut p = FifoGreedy;
-            stream::drive_exact(source, &mut Selector::Policy(&mut p), sink)
+            stream::drive_exact(source, &mut Selector::Policy(&mut p), on_dispatch)
         }
     }
+}
+
+/// Drive a [`FlowSource`] through `policy` while a [`FailurePlan`] takes
+/// ports down and back up (see [`outage`]). Aggregate statistics only;
+/// use [`run_stream_failures_with`] to observe the schedule.
+pub fn run_stream_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
+    source: S,
+    policy: &mut P,
+    plan: &FailurePlan,
+) -> StreamStats {
+    run_stream_failures_with(source, policy, plan, |_, _, _| {})
+}
+
+/// [`run_stream_failures`] with a per-dispatch callback
+/// (`on_dispatch(id, release, round)`, once per flow in dispatch order).
+/// Schedules are round-for-round identical to the legacy batch failure
+/// runner's on the same arrivals.
+pub fn run_stream_failures_with<S: FlowSource, P: OnlinePolicy + ?Sized>(
+    source: S,
+    policy: &mut P,
+    plan: &FailurePlan,
+    on_dispatch: impl FnMut(u64, u64, u64),
+) -> StreamStats {
+    outage::drive_failures(source, policy, plan, on_dispatch)
 }
 
 #[cfg(test)]

@@ -11,20 +11,7 @@
 use fss_core::prelude::*;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
-/// One flow arrival in a stream (the paper's experimental setting:
-/// unit demand on a unit-capacity switch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Arrival {
-    /// Source-chosen flow identity (instance index for batch adapters,
-    /// sequence number for generators).
-    pub id: u64,
-    /// Input port.
-    pub src: u32,
-    /// Output port.
-    pub dst: u32,
-    /// Release round.
-    pub release: u64,
-}
+pub use fss_core::Arrival;
 
 /// A stream of flow arrivals.
 ///
@@ -44,6 +31,24 @@ pub trait FlowSource {
     /// preallocate their schedule).
     fn len_hint(&self) -> Option<usize> {
         None
+    }
+}
+
+impl<S: FlowSource + ?Sized> FlowSource for Box<S> {
+    fn m_in(&self) -> usize {
+        (**self).m_in()
+    }
+
+    fn m_out(&self) -> usize {
+        (**self).m_out()
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        (**self).next_arrival()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        (**self).len_hint()
     }
 }
 

@@ -40,7 +40,7 @@ impl StreamStats {
         }
     }
 
-    fn on_dispatch(&mut self, release: u64, round: u64) {
+    pub(crate) fn on_dispatch(&mut self, release: u64, round: u64) {
         let rho = round + 1 - release;
         self.dispatched += 1;
         self.total_response += u128::from(rho);

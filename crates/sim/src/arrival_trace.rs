@@ -1,0 +1,400 @@
+//! On-disk arrival traces and their streaming replay source.
+//!
+//! An arrival trace is the serialized form of a workload: a JSON-lines
+//! file whose header names the switch size and whose remaining lines are
+//! one arrival each, sorted by release round —
+//!
+//! ```text
+//! {"ports":8}
+//! {"release":0,"src":3,"dst":5}
+//! {"release":0,"src":1,"dst":1}
+//! {"release":2,"src":7,"dst":0}
+//! ```
+//!
+//! Traces make workloads *replayable*: any synthetic scenario can be
+//! dumped to a trace ([`crate::scenario::ScenarioSpec::dump_trace`]) and
+//! replayed later — on another machine, against another policy — with
+//! bit-identical schedules, and real datacenter arrival logs can be
+//! converted to the same format. The loader validates ports against the
+//! header and enforces the [`FlowSource`] sorted-release contract, so a
+//! loaded trace streams straight into the engine.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use fss_core::prelude::*;
+use fss_engine::FlowSource;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::ScenarioError;
+
+/// One trace line (the on-disk form of an [`Arrival`]; ids are implicit
+/// sequence numbers, assigned on load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct TraceLine {
+    release: u64,
+    src: u32,
+    dst: u32,
+}
+
+/// The trace header: the switch size the arrivals are addressed against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct TraceHeader {
+    ports: usize,
+}
+
+/// A validated, in-memory arrival trace: a square unit-capacity switch
+/// plus arrivals sorted by release round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalTrace {
+    /// Switch size (`ports x ports`, unit capacities).
+    pub ports: usize,
+    /// The arrivals, sorted by `release`; `id`s are the sequence numbers
+    /// `0..n` in file order.
+    pub arrivals: Vec<Arrival>,
+}
+
+/// Shared validation behind [`ArrivalTrace::new`] and
+/// [`ArrivalTrace::from_jsonl`]: ports in range, releases sorted, ids
+/// reassigned to sequence numbers. Each arrival carries the 1-based file
+/// line it came from, so loader errors point at the real line even in
+/// files with blank lines.
+fn validated(
+    ports: usize,
+    arrivals: impl Iterator<Item = (usize, Arrival)>,
+) -> Result<Vec<Arrival>, ScenarioError> {
+    let mut out = Vec::new();
+    let mut prev = 0u64;
+    for (line, a) in arrivals {
+        if a.src as usize >= ports || a.dst as usize >= ports {
+            return Err(ScenarioError::PortOutOfRange {
+                line,
+                port: a.src.max(a.dst),
+                ports,
+            });
+        }
+        if a.release < prev {
+            return Err(ScenarioError::UnsortedRelease {
+                line,
+                prev,
+                next: a.release,
+            });
+        }
+        prev = a.release;
+        out.push(Arrival {
+            id: out.len() as u64,
+            ..a
+        });
+    }
+    Ok(out)
+}
+
+impl ArrivalTrace {
+    /// Build a trace from raw arrivals (ids are reassigned to sequence
+    /// numbers). Returns an error if a port is out of range or the
+    /// releases are not sorted.
+    pub fn new(ports: usize, arrivals: Vec<Arrival>) -> Result<ArrivalTrace, ScenarioError> {
+        if ports == 0 {
+            return Err(ScenarioError::BadSpec(
+                "trace needs at least one port".into(),
+            ));
+        }
+        // Report errors with the line the arrival would occupy on disk
+        // (1-based, after the header).
+        let arrivals = validated(
+            ports,
+            arrivals.into_iter().enumerate().map(|(i, a)| (i + 2, a)),
+        )?;
+        Ok(ArrivalTrace { ports, arrivals })
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// One past the last release round (0 for an empty trace).
+    pub fn horizon(&self) -> u64 {
+        self.arrivals.last().map_or(0, |a| a.release + 1)
+    }
+
+    /// Encode as JSON lines (header, then one line per arrival).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = serde_json::to_string(&TraceHeader { ports: self.ports })
+            .expect("header is serializable");
+        out.push('\n');
+        for a in &self.arrivals {
+            let line = TraceLine {
+                release: a.release,
+                src: a.src,
+                dst: a.dst,
+            };
+            out.push_str(&serde_json::to_string(&line).expect("line is serializable"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decode and validate the JSON-lines form. Blank lines are ignored;
+    /// errors carry 1-based line numbers.
+    pub fn from_jsonl(text: &str) -> Result<ArrivalTrace, ScenarioError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(idx, l)| (idx + 1, l)) // 1-based file lines
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (header_line, header) = lines.next().ok_or(ScenarioError::Parse {
+            line: 1,
+            msg: "empty trace file (expected a {\"ports\":N} header)".into(),
+        })?;
+        let header: TraceHeader =
+            serde_json::from_str(header).map_err(|e| ScenarioError::Parse {
+                line: header_line,
+                msg: format!("bad header: {e}"),
+            })?;
+        if header.ports == 0 {
+            return Err(ScenarioError::Parse {
+                line: header_line,
+                msg: "header declares zero ports".into(),
+            });
+        }
+        let mut parsed: Vec<(usize, Arrival)> = Vec::new();
+        for (line, text) in lines {
+            let rec: TraceLine = serde_json::from_str(text).map_err(|e| ScenarioError::Parse {
+                line,
+                msg: e.to_string(),
+            })?;
+            parsed.push((
+                line,
+                Arrival {
+                    id: 0, // assigned by `validated`
+                    src: rec.src,
+                    dst: rec.dst,
+                    release: rec.release,
+                },
+            ));
+        }
+        let arrivals = validated(header.ports, parsed.into_iter())?;
+        Ok(ArrivalTrace {
+            ports: header.ports,
+            arrivals,
+        })
+    }
+
+    /// Load and validate a trace file.
+    pub fn load(path: impl AsRef<Path>) -> Result<ArrivalTrace, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        ArrivalTrace::from_jsonl(&text)
+    }
+
+    /// Write the trace to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ScenarioError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_jsonl()).map_err(|e| ScenarioError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })
+    }
+
+    /// Materialize the trace as a batch [`Instance`] (flow index == trace
+    /// sequence number), for the legacy batch paths and differential
+    /// tests.
+    pub fn to_instance(&self) -> Instance {
+        let mut b = InstanceBuilder::new(Switch::uniform(self.ports, self.ports, 1));
+        for a in &self.arrivals {
+            b.unit_flow(a.src, a.dst, a.release);
+        }
+        b.build()
+            .expect("validated trace respects model invariants")
+    }
+}
+
+/// Streaming replay of an [`ArrivalTrace`]: implements [`FlowSource`], so
+/// a trace drives the engine exactly like a synthetic generator. The
+/// trace is shared via [`Arc`], so many replays (one per policy, say) pay
+/// for one load.
+pub struct TraceSource {
+    trace: Arc<ArrivalTrace>,
+    next: usize,
+    horizon: Option<u64>,
+}
+
+impl TraceSource {
+    /// Replay the whole trace.
+    pub fn new(trace: Arc<ArrivalTrace>) -> TraceSource {
+        TraceSource {
+            trace,
+            next: 0,
+            horizon: None,
+        }
+    }
+
+    /// Replay only the arrivals with `release < horizon` (`None` = all).
+    pub fn with_horizon(trace: Arc<ArrivalTrace>, horizon: Option<u64>) -> TraceSource {
+        TraceSource {
+            trace,
+            next: 0,
+            horizon,
+        }
+    }
+}
+
+impl FlowSource for TraceSource {
+    fn m_in(&self) -> usize {
+        self.trace.ports
+    }
+
+    fn m_out(&self) -> usize {
+        self.trace.ports
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let a = *self.trace.arrivals.get(self.next)?;
+        if let Some(h) = self.horizon {
+            if a.release >= h {
+                return None;
+            }
+        }
+        self.next += 1;
+        Some(a)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        match self.horizon {
+            None => Some(self.trace.len()),
+            // Counting under a horizon would cost a scan; let the engine
+            // size its buffers lazily instead.
+            Some(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(release: u64, src: u32, dst: u32) -> Arrival {
+        Arrival {
+            id: 0,
+            src,
+            dst,
+            release,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let trace = ArrivalTrace::new(4, vec![arr(0, 0, 1), arr(0, 3, 2), arr(5, 1, 1)]).unwrap();
+        let text = trace.to_jsonl();
+        assert!(text.starts_with("{\"ports\":4}\n"));
+        let back = ArrivalTrace::from_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.horizon(), 6);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn ids_are_sequence_numbers() {
+        let trace = ArrivalTrace::new(2, vec![arr(0, 0, 0), arr(1, 1, 1)]).unwrap();
+        let ids: Vec<u64> = trace.arrivals.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        assert!(matches!(
+            ArrivalTrace::from_jsonl(""),
+            Err(ScenarioError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(matches!(
+            ArrivalTrace::from_jsonl("{\"release\":0,\"src\":0,\"dst\":0}\n"),
+            Err(ScenarioError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            ArrivalTrace::from_jsonl("{\"ports\":0}\n"),
+            Err(ScenarioError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn header_errors_cite_the_real_line_past_blanks() {
+        assert!(matches!(
+            ArrivalTrace::from_jsonl("\n\nnot a header\n"),
+            Err(ScenarioError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_port_is_rejected_with_line() {
+        let text = "{\"ports\":2}\n{\"release\":0,\"src\":0,\"dst\":1}\n{\"release\":1,\"src\":2,\"dst\":0}\n";
+        assert!(matches!(
+            ArrivalTrace::from_jsonl(text),
+            Err(ScenarioError::PortOutOfRange {
+                line: 3,
+                port: 2,
+                ports: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn unsorted_releases_are_rejected() {
+        let text = "{\"ports\":2}\n{\"release\":4,\"src\":0,\"dst\":1}\n{\"release\":3,\"src\":1,\"dst\":0}\n";
+        assert!(matches!(
+            ArrivalTrace::from_jsonl(text),
+            Err(ScenarioError::UnsortedRelease {
+                line: 3,
+                prev: 4,
+                next: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn garbage_line_is_rejected_with_line_number() {
+        let text = "{\"ports\":2}\n{\"release\":0,\"src\":0,\"dst\":1}\nnot json\n";
+        assert!(matches!(
+            ArrivalTrace::from_jsonl(text),
+            Err(ScenarioError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn source_respects_contract_and_horizon() {
+        let trace =
+            Arc::new(ArrivalTrace::new(3, vec![arr(0, 0, 1), arr(2, 1, 2), arr(7, 2, 0)]).unwrap());
+        let mut s = TraceSource::new(trace.clone());
+        assert_eq!(s.m_in(), 3);
+        assert_eq!(s.len_hint(), Some(3));
+        let all: Vec<Arrival> = std::iter::from_fn(|| s.next_arrival()).collect();
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].release <= w[1].release));
+        assert!(all.windows(2).all(|w| w[0].id < w[1].id));
+
+        let mut s = TraceSource::with_horizon(trace, Some(3));
+        let cut: Vec<Arrival> = std::iter::from_fn(|| s.next_arrival()).collect();
+        assert_eq!(cut.len(), 2, "horizon drops the release-7 arrival");
+    }
+
+    #[test]
+    fn to_instance_matches_trace_order() {
+        let trace = ArrivalTrace::new(2, vec![arr(0, 0, 1), arr(4, 1, 0)]).unwrap();
+        let inst = trace.to_instance();
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.flows[1].release, 4);
+        assert!(inst.is_unit_demand());
+    }
+}

@@ -2,54 +2,58 @@
 //!
 //! Datacenter ports fail and recover; a scheduler built on per-round
 //! matchings adapts naturally by excluding dead ports from the waiting
-//! graph. [`run_policy_with_failures`] executes any
-//! [`fss_online::OnlinePolicy`] under an outage plan and the test-suite
-//! asserts both safety (nothing scheduled across a dead port) and
-//! liveness (everything completes once ports recover).
+//! graph. The plan types ([`Outage`], [`FailurePlan`]) live in `fss-core`
+//! and are re-exported here; execution streams through the engine's
+//! failure-aware drive ([`fss_engine::run_stream_failures_with`]), so
+//! scenario runs never materialize their workload. The historical batch
+//! loop is kept as [`run_policy_with_failures_legacy`] — the reference
+//! implementation the streaming path is differentially tested against.
 
 use fss_core::prelude::*;
+use fss_engine::InstanceSource;
 use fss_online::{OnlinePolicy, QueueState, WaitingFlow};
 
-/// One port outage: the port is unusable during `[from, to)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Outage {
-    /// Which side of the switch.
-    pub side: PortSide,
-    /// Port index.
-    pub port: u32,
-    /// First dead round.
-    pub from: u64,
-    /// First live round again.
-    pub to: u64,
-}
-
-/// A set of outages.
-#[derive(Debug, Clone, Default)]
-pub struct FailurePlan {
-    /// The outages (may overlap).
-    pub outages: Vec<Outage>,
-}
-
-impl FailurePlan {
-    /// Is the given port usable at round `t`?
-    pub fn is_up(&self, side: PortSide, port: u32, t: u64) -> bool {
-        !self
-            .outages
-            .iter()
-            .any(|o| o.side == side && o.port == port && t >= o.from && t < o.to)
-    }
-
-    /// Latest recovery round over all outages (0 when none).
-    pub fn last_recovery(&self) -> u64 {
-        self.outages.iter().map(|o| o.to).max().unwrap_or(0)
-    }
-}
+pub use fss_core::{FailurePlan, Outage};
 
 /// Run `policy` online while injecting the outage plan. Flows incident on
 /// a dead port are hidden from the policy for the affected rounds; all
 /// flows still complete (every outage ends). Unit capacities and demands,
 /// like the base runner.
-pub fn run_policy_with_failures<P: OnlinePolicy>(
+///
+/// Streams the instance through the engine's failure drive; the schedule
+/// is round-for-round identical to
+/// [`run_policy_with_failures_legacy`]'s.
+pub fn run_policy_with_failures<P: OnlinePolicy + ?Sized>(
+    inst: &Instance,
+    policy: &mut P,
+    plan: &FailurePlan,
+) -> Schedule {
+    assert!(
+        inst.switch.is_unit_capacity(),
+        "failure runner requires unit capacities"
+    );
+    assert!(
+        inst.is_unit_demand(),
+        "failure runner requires unit demands"
+    );
+    let mut rounds = vec![0u64; inst.n()];
+    fss_engine::run_stream_failures_with(
+        InstanceSource::new(inst),
+        policy,
+        plan,
+        |id, _release, round| {
+            rounds[id as usize] = round;
+        },
+    );
+    let sched = Schedule::from_rounds(rounds);
+    debug_assert!(validate::check(inst, &sched, &inst.switch).is_ok());
+    sched
+}
+
+/// The original batch failure runner: the round-by-round loop over a
+/// fully materialized instance. Kept as the reference implementation for
+/// differential testing of the streaming path.
+pub fn run_policy_with_failures_legacy<P: OnlinePolicy + ?Sized>(
     inst: &Instance,
     policy: &mut P,
     plan: &FailurePlan,
@@ -162,6 +166,23 @@ mod tests {
     }
 
     #[test]
+    fn streaming_matches_legacy_runner() {
+        let mut rng = SmallRng::seed_from_u64(64);
+        for _ in 0..6 {
+            let inst = random_instance(&mut rng, &GenParams::unit(4, 25, 6));
+            let plan = FailurePlan {
+                outages: vec![
+                    outage(PortSide::Input, 0, 0, 7),
+                    outage(PortSide::Output, 2, 3, 9),
+                ],
+            };
+            let streamed = run_policy_with_failures(&inst, &mut MinRTime, &plan);
+            let legacy = run_policy_with_failures_legacy(&inst, &mut MinRTime, &plan);
+            assert_eq!(streamed, legacy);
+        }
+    }
+
+    #[test]
     fn nothing_scheduled_across_a_dead_port() {
         let mut rng = SmallRng::seed_from_u64(62);
         let inst = random_instance(&mut rng, &GenParams::unit(3, 15, 2));
@@ -194,21 +215,6 @@ mod tests {
         assert!(sched.rounds()[0] >= 10);
         assert!(sched.rounds()[1] >= 10);
         assert_eq!(sched.rounds()[2], 0, "unaffected flow proceeds normally");
-    }
-
-    #[test]
-    fn overlapping_outages_compose() {
-        let plan = FailurePlan {
-            outages: vec![
-                outage(PortSide::Output, 1, 2, 5),
-                outage(PortSide::Output, 1, 4, 8),
-            ],
-        };
-        assert!(plan.is_up(PortSide::Output, 1, 1));
-        assert!(!plan.is_up(PortSide::Output, 1, 4));
-        assert!(!plan.is_up(PortSide::Output, 1, 7));
-        assert!(plan.is_up(PortSide::Output, 1, 8));
-        assert_eq!(plan.last_recovery(), 8);
     }
 
     #[test]

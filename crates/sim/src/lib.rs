@@ -18,27 +18,43 @@
 //! identical to the legacy loop (available as [`PolicyKind::run_legacy`]
 //! for differential testing) while cutting the cost of the heavy
 //! `M = 4m` cells.
+//!
+//! Workloads are described declaratively by the [`scenario`] layer: a
+//! serializable [`ScenarioSpec`] (ports, horizon, Poisson or trace-replay
+//! arrivals, optional failure plan, seed) is the single construction
+//! point every consumer — engine, saturation sweep, failure runner, bench
+//! registry, CLI — builds its `FlowSource` from. On-disk arrival traces
+//! ([`arrival_trace`]) make any workload exactly replayable.
 
 #![deny(missing_docs)]
 
+pub mod arrival_trace;
 pub mod experiment;
 pub mod failures;
 pub mod report;
 pub mod saturation;
+pub mod scenario;
 pub mod stats;
 pub mod trace;
 pub mod workload;
 
+pub use arrival_trace::{ArrivalTrace, TraceSource};
 pub use experiment::{
     lp_bounds_grid, lp_bounds_grid_parts, run_grid, CellResult, ExperimentConfig, LpBoundParts,
     LpBoundResult, PolicyKind,
 };
-pub use failures::{run_policy_with_failures, FailurePlan, Outage};
+pub use failures::{
+    run_policy_with_failures, run_policy_with_failures_legacy, FailurePlan, Outage,
+};
 pub use report::{
     bench_artifact_name, bench_cell_to_jsonl, bench_report_from_json, bench_report_to_json,
     validate_bench_report, BenchCell, BenchReport, BENCH_SCHEMA_VERSION,
 };
-pub use saturation::{saturation_sweep, stable_intensity, SaturationPoint};
+pub use saturation::{
+    saturation_sweep, saturation_sweep_legacy, stable_intensity, stable_intensity_legacy,
+    SaturationPoint,
+};
+pub use scenario::{run_scenario, run_scenario_with, ArrivalSpec, ScenarioError, ScenarioSpec};
 pub use stats::{response_histogram, response_percentiles, ResponsePercentiles};
 pub use trace::{run_policy_traced, Trace, TraceRound};
 pub use workload::{poisson, poisson_workload, WorkloadParams};

@@ -6,10 +6,20 @@
 //! a uniform random workload is stable for `λ < 1`; real heuristics peel
 //! off earlier. [`saturation_sweep`] measures mean response versus `λ` and
 //! [`stable_intensity`] estimates the knee by bisection.
+//!
+//! Both run through streaming [`ScenarioSpec`]s: each trial is a Poisson
+//! scenario driven through the event-driven engine in `O(peak queue)`
+//! memory, so horizons in the millions of rounds are practical. The
+//! historical materialize-then-run implementations are kept as
+//! [`saturation_sweep_legacy`] / [`stable_intensity_legacy`]; their
+//! results are identical round-for-round (differentially tested) because
+//! a [`PoissonSource`](fss_engine::PoissonSource) with seed `s` draws the
+//! exact same RNG stream as `poisson_workload` with seed `s`.
 
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::experiment::PolicyKind;
+use crate::scenario::{run_scenario, ScenarioSpec};
 use crate::workload::{poisson_workload, WorkloadParams};
 
 /// One sweep point: intensity vs observed responses.
@@ -23,7 +33,25 @@ pub struct SaturationPoint {
     pub max_response: f64,
 }
 
-/// Measure mean/max response across a grid of intensities.
+/// The per-trial RNG seed for a sweep point (shared by the streaming and
+/// legacy paths so their workloads are identical).
+fn trial_seed(seed: u64, lambda: f64, trial: u64) -> u64 {
+    seed ^ (lambda.to_bits().rotate_left(17)) ^ trial
+}
+
+/// The scenario behind trial `k` of a sweep point: `Poisson(λ·m)` on an
+/// `m x m` switch for `rounds` rounds.
+pub fn sweep_scenario(m: usize, lambda: f64, rounds: u64, seed: u64, trial: u64) -> ScenarioSpec {
+    ScenarioSpec::poisson(
+        m,
+        lambda * m as f64,
+        rounds,
+        trial_seed(seed, lambda, trial),
+    )
+}
+
+/// Measure mean/max response across a grid of intensities by streaming
+/// each trial's scenario through the engine.
 pub fn saturation_sweep(
     policy: PolicyKind,
     m: usize,
@@ -38,8 +66,53 @@ pub fn saturation_sweep(
             let mut avg = 0.0;
             let mut max = 0.0;
             for k in 0..trials {
-                let mut rng =
-                    SmallRng::seed_from_u64(seed ^ (lambda.to_bits().rotate_left(17)) ^ k);
+                let spec = sweep_scenario(m, lambda, rounds, seed, k);
+                let stats = run_scenario(&spec, policy).expect("synthetic scenario is valid");
+                avg += stats.mean_response();
+                max += stats.max_response as f64;
+            }
+            SaturationPoint {
+                intensity: lambda,
+                mean_response: avg / trials as f64,
+                max_response: max / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Estimate the largest intensity at which the policy keeps the mean
+/// response under `threshold` (bisection over `[lo, hi]`, 8 steps).
+pub fn stable_intensity(
+    policy: PolicyKind,
+    m: usize,
+    rounds: u64,
+    threshold: f64,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    bisect_knee(threshold, |mid| {
+        saturation_sweep(policy, m, rounds, &[mid], trials, seed)[0].mean_response
+    })
+}
+
+/// The original batch implementation of [`saturation_sweep`]: each trial
+/// materializes an [`Instance`](fss_core::Instance) before running. Kept
+/// as the reference for differential testing of the streaming path.
+pub fn saturation_sweep_legacy(
+    policy: PolicyKind,
+    m: usize,
+    rounds: u64,
+    intensities: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<SaturationPoint> {
+    intensities
+        .iter()
+        .map(|&lambda| {
+            let mut avg = 0.0;
+            let mut max = 0.0;
+            for k in 0..trials {
+                let mut rng = SmallRng::seed_from_u64(trial_seed(seed, lambda, k));
                 let params = WorkloadParams {
                     m,
                     mean_arrivals: lambda * m as f64,
@@ -63,9 +136,9 @@ pub fn saturation_sweep(
         .collect()
 }
 
-/// Estimate the largest intensity at which the policy keeps the mean
-/// response under `threshold` (bisection over `[lo, hi]`, `iters` steps).
-pub fn stable_intensity(
+/// The original batch implementation of [`stable_intensity`], on top of
+/// [`saturation_sweep_legacy`].
+pub fn stable_intensity_legacy(
     policy: PolicyKind,
     m: usize,
     rounds: u64,
@@ -73,11 +146,16 @@ pub fn stable_intensity(
     trials: u64,
     seed: u64,
 ) -> f64 {
+    bisect_knee(threshold, |mid| {
+        saturation_sweep_legacy(policy, m, rounds, &[mid], trials, seed)[0].mean_response
+    })
+}
+
+fn bisect_knee(threshold: f64, mut mean_at: impl FnMut(f64) -> f64) -> f64 {
     let (mut lo, mut hi) = (0.05f64, 1.5f64);
     for _ in 0..8 {
         let mid = 0.5 * (lo + hi);
-        let pt = &saturation_sweep(policy, m, rounds, &[mid], trials, seed)[0];
-        if pt.mean_response <= threshold {
+        if mean_at(mid) <= threshold {
             lo = mid;
         } else {
             hi = mid;
@@ -114,5 +192,25 @@ mod tests {
     fn stable_intensity_is_in_range() {
         let s = stable_intensity(PolicyKind::MaxCard, 5, 10, 3.0, 1, 17);
         assert!(s > 0.05 && s < 1.5);
+    }
+
+    #[test]
+    fn streaming_sweep_equals_legacy_sweep() {
+        for policy in [PolicyKind::MaxCard, PolicyKind::FifoGreedy] {
+            let a = saturation_sweep(policy, 5, 14, &[0.25, 0.8, 1.3], 2, 29);
+            let b = saturation_sweep_legacy(policy, 5, 14, &[0.25, 0.8, 1.3], 2, 29);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.intensity, y.intensity);
+                assert_eq!(x.mean_response, y.mean_response, "{}", policy.name());
+                assert_eq!(x.max_response, y.max_response, "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_knee_equals_legacy_knee() {
+        let a = stable_intensity(PolicyKind::MaxCard, 5, 10, 3.0, 2, 17);
+        let b = stable_intensity_legacy(PolicyKind::MaxCard, 5, 10, 3.0, 2, 17);
+        assert_eq!(a, b);
     }
 }

@@ -31,22 +31,31 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Reconstruct the flow-level schedule encoded by the trace. Panics if
-    /// a flow is dispatched twice or never (diagnostic tool — a malformed
-    /// trace is a bug, not an input error).
-    pub fn to_schedule(&self, n: usize) -> Schedule {
+    /// Reconstruct the flow-level schedule encoded by the trace. Traces
+    /// sit behind user-facing file-loading paths, so malformed input — a
+    /// flow out of range, dispatched twice, or never dispatched — is
+    /// reported as a [`TraceError`] rather than a panic.
+    pub fn to_schedule(&self, n: usize) -> Result<Schedule, TraceError> {
         let mut rounds = vec![u64::MAX; n];
         for r in &self.rounds {
             for &f in &r.dispatched {
-                assert_eq!(rounds[f as usize], u64::MAX, "flow {f} dispatched twice");
+                if f as usize >= n {
+                    return Err(TraceError::FlowOutOfRange { flow: f, n });
+                }
+                if rounds[f as usize] != u64::MAX {
+                    return Err(TraceError::DuplicateDispatch {
+                        flow: f,
+                        first: rounds[f as usize],
+                        second: r.round,
+                    });
+                }
                 rounds[f as usize] = r.round;
             }
         }
-        assert!(
-            rounds.iter().all(|&t| t != u64::MAX),
-            "trace does not cover every flow"
-        );
-        Schedule::from_rounds(rounds)
+        if let Some(flow) = rounds.iter().position(|&t| t == u64::MAX) {
+            return Err(TraceError::MissingFlow { flow: flow as u32 });
+        }
+        Ok(Schedule::from_rounds(rounds))
     }
 
     /// Encode as JSON lines (header line with the policy, then one line
@@ -167,7 +176,7 @@ mod tests {
         let plain = fss_online::run_policy(&inst, &mut MaxCard);
         assert_eq!(sched, plain, "tracing must not change decisions");
         assert_eq!(trace.policy, "MaxCard");
-        assert_eq!(trace.to_schedule(inst.n()), sched);
+        assert_eq!(trace.to_schedule(inst.n()).unwrap(), sched);
     }
 
     #[test]
@@ -190,13 +199,12 @@ mod tests {
     fn replayed_schedule_is_feasible() {
         let inst = inst();
         let (sched, trace) = run_policy_traced(&inst, &mut MaxCard);
-        let replayed = trace.to_schedule(inst.n());
+        let replayed = trace.to_schedule(inst.n()).unwrap();
         validate::check(&inst, &replayed, &inst.switch).unwrap();
         assert_eq!(replayed, sched);
     }
 
     #[test]
-    #[should_panic(expected = "dispatched twice")]
     fn duplicate_dispatch_detected() {
         let trace = Trace {
             policy: "bogus".into(),
@@ -213,6 +221,41 @@ mod tests {
                 },
             ],
         };
-        let _ = trace.to_schedule(1);
+        assert_eq!(
+            trace.to_schedule(1),
+            Err(TraceError::DuplicateDispatch {
+                flow: 0,
+                first: 0,
+                second: 1
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_and_missing_flows_detected() {
+        let trace = Trace {
+            policy: "bogus".into(),
+            rounds: vec![TraceRound {
+                round: 0,
+                dispatched: vec![5],
+                queue_after: 0,
+            }],
+        };
+        assert_eq!(
+            trace.to_schedule(2),
+            Err(TraceError::FlowOutOfRange { flow: 5, n: 2 })
+        );
+        let trace = Trace {
+            policy: "bogus".into(),
+            rounds: vec![TraceRound {
+                round: 0,
+                dispatched: vec![0],
+                queue_after: 0,
+            }],
+        };
+        assert_eq!(
+            trace.to_schedule(2),
+            Err(TraceError::MissingFlow { flow: 1 })
+        );
     }
 }

@@ -78,7 +78,10 @@ fn main() {
         println!("  {line}");
     }
     let restored = flow_switch::sim::Trace::from_jsonl(&jsonl).expect("parse");
-    assert_eq!(restored.to_schedule(inst.n()), sched_mc);
+    let replayed = restored
+        .to_schedule(inst.n())
+        .expect("round-tripped trace covers every flow");
+    assert_eq!(replayed, sched_mc);
     println!("trace replay reproduces the schedule exactly.");
     let _ = trace_mr;
 }

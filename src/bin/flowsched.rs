@@ -10,15 +10,21 @@
 //! flowsched online   -i inst.json --policy maxweight         -o sched.json
 //! flowsched stats    -i inst.json -s sched.json
 //! flowsched stream   --m 150 --rate 600 --rounds 100 --mode incremental
+//! flowsched stream   --scenario spec.json --mode maxcard
+//! flowsched trace    --m 8 --rate 6 --rounds 12 --seed 7 -o trace.jsonl
 //! flowsched bench    --smoke --filter fig6 --jobs 4 --out target/experiments
+//! flowsched bench    --trace examples/sample_trace.jsonl
+//! flowsched bench    --diff OLD.json NEW.json --tolerance 30
 //! ```
 //!
 //! Instances and schedules are the serde JSON forms of
-//! [`fss_core::Instance`] and [`fss_core::Schedule`].
+//! [`fss_core::Instance`] and [`fss_core::Schedule`]; scenarios are
+//! [`fss_sim::ScenarioSpec`] files and traces the JSONL
+//! [`fss_sim::ArrivalTrace`] format.
 
 use std::process::ExitCode;
 
-use flow_switch::engine::{BuiltinPolicy, EngineMode, PoissonSource};
+use flow_switch::engine::{BuiltinPolicy, EngineMode};
 use flow_switch::offline::art::solve_art;
 use flow_switch::offline::mrt::{solve_mrt, RoundingEngine};
 
@@ -43,24 +49,41 @@ const USAGE: &str = "usage:
   flowsched solve    -i INSTANCE --objective art|mrt [--c C] [-o FILE]
   flowsched online   -i INSTANCE --policy maxcard|minrtime|maxweight|fifo [-o FILE]
   flowsched stats    -i INSTANCE -s SCHEDULE
-  flowsched stream   [--m M] [--rate R] [--rounds T] [--seed S]
+  flowsched stream   [--m M] [--rate R] [--rounds T] [--seed S] [--scenario SPEC.json]
                      [--mode incremental|maxcard|minrtime|maxweight|fifo]
-  flowsched bench    [--filter ID] [--smoke|--paper] [--jobs N]
-                     [--out DIR] [--trials N] [--list]
+  flowsched trace    (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S]) -o FILE
+  flowsched bench    [--filter ID] [--trace FILE.jsonl] [--smoke|--paper]
+                     [--jobs N] [--out DIR] [--trials N] [--list]
+  flowsched bench    --diff OLD.json NEW.json [--tolerance PCT]
 
-stream drives a Poisson workload (R mean arrivals/round on an MxM unit
-switch for T rounds) through the event-driven engine without
-materializing an instance, and reports aggregate response statistics.
+stream drives a workload through the event-driven engine without
+materializing an instance and reports aggregate response statistics.
+The workload is a Poisson stream (R mean arrivals/round on an MxM unit
+switch for T rounds) or, with --scenario, any ScenarioSpec JSON file
+(Poisson or trace-replay arrivals, optional failure plan).
+
+trace freezes a workload into an arrival-trace JSONL file for exact
+replay: either the given scenario file or a Poisson workload described
+by --m/--rate/--rounds/--seed.
 
 bench runs the experiment registry through the parallel orchestrator:
 cells execute on a work-stealing thread pool (--jobs caps the workers),
 per-cell results stream to <out>/BENCH_cells.jsonl, and each experiment
 writes an aggregated BENCH_<id>.json artifact. --filter selects by exact
-id or substring; --smoke uses CI-sized grids; --list prints the registry
-and exits.";
+id or substring; --trace FILE replays an arrival trace through every
+policy as the trace_replay experiment (alone unless --filter is also
+given); --smoke uses CI-sized grids; --list prints the registry and
+exits. --diff compares two BENCH artifacts of the same experiment and
+exits nonzero when a cell vanished or slowed down more than PCT percent
+(default 30) in flows/s.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
+    // `bench --diff OLD NEW` takes two positional paths; route it before
+    // the flag parser (which expects key/value pairs only).
+    if cmd == "bench" && args.iter().any(|a| a == "--diff") {
+        return bench_diff(&args[1..]);
+    }
     let opts = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "gen" => gen(&opts),
@@ -69,6 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "online" => online(&opts),
         "stats" => stats(&opts),
         "stream" => stream(&opts),
+        "trace" => trace(&opts),
         "bench" => bench(&opts),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -254,6 +278,47 @@ fn stats(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `bench --diff OLD NEW [--tolerance PCT]`: compare two BENCH artifacts
+/// and fail (exit nonzero) on regressions.
+fn bench_diff(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tolerance = fss_bench::DEFAULT_TOLERANCE_PCT;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--diff" => {}
+            "--tolerance" | "--tol" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| format!("bad value for --tolerance: {v}"))?;
+                if !(0.0..=100.0).contains(&tolerance) {
+                    return Err(format!("--tolerance must be in [0, 100], got {tolerance}"));
+                }
+            }
+            path if !path.starts_with('-') => paths.push(path),
+            other => return Err(format!("unknown bench --diff flag '{other}'")),
+        }
+    }
+    let [old, new] = paths.as_slice() else {
+        return Err("bench --diff needs exactly two artifact paths (OLD.json NEW.json)".into());
+    };
+    let diff = fss_bench::diff_artifacts(
+        std::path::Path::new(old),
+        std::path::Path::new(new),
+        tolerance,
+    )?;
+    print!("{}", fss_bench::render_diff(&diff));
+    if diff.passes() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} regression(s) against {old} (tolerance {tolerance}%)",
+            diff.regressions()
+        ))
+    }
+}
+
 fn bench(flags: &Flags) -> Result<(), String> {
     if flags.get("list").is_some() {
         println!("registered experiments:");
@@ -278,6 +343,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
                     .map_err(|_| format!("bad value for --trials: {v}"))?,
             ),
         },
+        trace: flags.get("trace").map(std::path::PathBuf::from),
     };
     let started = std::time::Instant::now();
     let reports = fss_bench::run_bench(&opts)?;
@@ -297,11 +363,41 @@ fn bench(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn stream(flags: &Flags) -> Result<(), String> {
+/// Build the Poisson `ScenarioSpec` described by `--m/--rate/--rounds/
+/// --seed` (the defaults mirror the pre-scenario `stream` flags).
+fn poisson_spec_from_flags(flags: &Flags) -> Result<fss_sim::ScenarioSpec, String> {
     let m: usize = flags.parsed("m", 150)?;
     let rate: f64 = flags.parsed("rate", m as f64)?;
     let rounds: u64 = flags.parsed("rounds", 100)?;
     let seed: u64 = flags.parsed("seed", 42)?;
+    let spec = fss_sim::ScenarioSpec::poisson(m, rate, rounds, seed);
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// Load `--scenario FILE` if given, else the Poisson spec from the flags.
+fn spec_from_flags(flags: &Flags) -> Result<fss_sim::ScenarioSpec, String> {
+    match flags.get("scenario") {
+        Some(path) => fss_sim::ScenarioSpec::load(path).map_err(|e| e.to_string()),
+        None => poisson_spec_from_flags(flags),
+    }
+}
+
+fn trace(flags: &Flags) -> Result<(), String> {
+    let spec = spec_from_flags(flags)?;
+    let out = flags.required("o")?;
+    let trace = spec.dump_trace().map_err(|e| e.to_string())?;
+    trace.save(out).map_err(|e| e.to_string())?;
+    let (n, ports, horizon) = (trace.len(), trace.ports, trace.horizon());
+    eprintln!("wrote {out}: {n} arrivals on a {ports}x{ports} switch over {horizon} rounds");
+    Ok(())
+}
+
+fn stream(flags: &Flags) -> Result<(), String> {
+    let spec = spec_from_flags(flags)?;
+    if !spec.is_bounded() {
+        return Err("scenario is unbounded; give poisson arrivals a horizon".into());
+    }
     let mode = match flags.get("mode").unwrap_or("incremental") {
         "incremental" => EngineMode::Incremental,
         name => match BuiltinPolicy::parse(name) {
@@ -309,19 +405,45 @@ fn stream(flags: &Flags) -> Result<(), String> {
             None => return Err(format!("unknown mode '{name}'")),
         },
     };
-    if m == 0 || !rate.is_finite() || rate < 0.0 {
-        return Err("stream needs --m >= 1 and a finite --rate >= 0".into());
-    }
-    let source = PoissonSource::new(m, rate, Some(rounds), seed);
     let start = std::time::Instant::now();
-    let stats = flow_switch::engine::run_stream(source, mode);
+    let (stats, mode_name) =
+        match (&spec.failures, mode) {
+            (Some(_), EngineMode::Incremental) => return Err(
+                "scenario has a failure plan; pick a policy mode (maxcard|minrtime|maxweight|fifo)"
+                    .into(),
+            ),
+            (Some(_), EngineMode::Exact(b)) => {
+                let policy = match b {
+                    BuiltinPolicy::MaxCard => fss_sim::PolicyKind::MaxCard,
+                    BuiltinPolicy::MinRTime => fss_sim::PolicyKind::MinRTime,
+                    BuiltinPolicy::MaxWeight => fss_sim::PolicyKind::MaxWeight,
+                    BuiltinPolicy::FifoGreedy => fss_sim::PolicyKind::FifoGreedy,
+                };
+                (
+                    fss_sim::run_scenario(&spec, policy).map_err(|e| e.to_string())?,
+                    format!("failures/{}", b.name()),
+                )
+            }
+            (None, mode) => {
+                let source = spec.source().map_err(|e| e.to_string())?;
+                let mode_name = match mode {
+                    EngineMode::Incremental => "incremental".to_string(),
+                    EngineMode::Exact(b) => format!("exact/{}", b.name()),
+                };
+                (flow_switch::engine::run_stream(source, mode), mode_name)
+            }
+        };
     let elapsed = start.elapsed();
-    let mode_name = match mode {
-        EngineMode::Incremental => "incremental".to_string(),
-        EngineMode::Exact(b) => format!("exact/{}", b.name()),
-    };
     println!("mode             : {mode_name}");
-    println!("switch           : {m}x{m}, Poisson({rate}) x {rounds} rounds, seed {seed}");
+    match &spec.arrivals {
+        fss_sim::ArrivalSpec::Poisson { rate } => {
+            let (m, rounds, seed) = (spec.ports, spec.horizon.unwrap_or(0), spec.seed);
+            println!("switch           : {m}x{m}, Poisson({rate}) x {rounds} rounds, seed {seed}");
+        }
+        fss_sim::ArrivalSpec::Trace { path } => {
+            println!("workload         : trace replay of {path}")
+        }
+    }
     println!("flows            : {}", stats.dispatched);
     println!("active rounds    : {}", stats.active_rounds);
     println!("makespan         : {}", stats.makespan);

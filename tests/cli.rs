@@ -239,3 +239,187 @@ fn bench_smoke_fig6_writes_schema_valid_artifact() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no experiment matches"));
 }
+
+#[test]
+fn trace_generate_stream_and_bench_replay() {
+    let dir = std::env::temp_dir()
+        .join("flowsched-cli-tests")
+        .join("trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+
+    // Freeze a Poisson workload into a trace file.
+    let out = flowsched(&[
+        "trace",
+        "--m",
+        "6",
+        "--rate",
+        "4",
+        "--rounds",
+        "10",
+        "--seed",
+        "3",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.starts_with("{\"ports\":6}"), "{text}");
+
+    // Replay it through `stream --scenario`.
+    let spec = dir.join("spec.json");
+    std::fs::write(
+        &spec,
+        format!(
+            "{{\"ports\": 0, \"arrivals\": {{\"trace\": {{\"path\": {:?}}}}}}}",
+            trace.to_str().unwrap()
+        ),
+    )
+    .unwrap();
+    let out = flowsched(&[
+        "stream",
+        "--scenario",
+        spec.to_str().unwrap(),
+        "--mode",
+        "maxcard",
+    ]);
+    assert!(
+        out.status.success(),
+        "stream --scenario failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = String::from_utf8_lossy(&out.stdout);
+    assert!(log.contains("trace replay"), "{log}");
+
+    // Replay it through the bench registry and self-diff the artifact.
+    let out = flowsched(&[
+        "bench",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "bench --trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let artifact = dir.join("BENCH_trace_replay.json");
+    let report =
+        fss_sim::bench_report_from_json(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
+    assert_eq!(report.experiment, "trace_replay");
+    assert_eq!(report.cells.len(), 4);
+
+    let out = flowsched(&[
+        "bench",
+        "--diff",
+        artifact.to_str().unwrap(),
+        artifact.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "self-diff must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS: 0 regression(s)"));
+}
+
+#[test]
+fn bench_diff_flags_regressions_and_bad_input() {
+    let dir = std::env::temp_dir()
+        .join("flowsched-cli-tests")
+        .join("diff");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Build a pair of artifacts where `new` is 10x slower on one cell.
+    let cell = |wall: f64| {
+        format!(
+            "{{\"cell_id\": \"x/a\", \"params\": [], \"metrics\": [[\"m\", 1.0]], \
+             \"wall_s\": {wall}, \"flows\": 1000, \"engine_mode\": \"engine\"}}"
+        )
+    };
+    let report = |wall: f64| {
+        format!(
+            "{{\"schema_version\": 1, \"experiment\": \"x\", \"description\": \"d\", \
+             \"smoke\": true, \"jobs\": 1, \"total_wall_s\": 1.0, \"cells\": [{}]}}",
+            cell(wall)
+        )
+    };
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, report(0.1)).unwrap();
+    std::fs::write(&new, report(1.0)).unwrap();
+
+    let out = flowsched(&[
+        "bench",
+        "--diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "10x slowdown must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+
+    // A huge tolerance lets it pass.
+    let out = flowsched(&[
+        "bench",
+        "--diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--tolerance",
+        "95",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Wrong arity and unreadable files error cleanly.
+    let out = flowsched(&["bench", "--diff", old.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly two"));
+    let out = flowsched(&["bench", "--diff", "nope.json", "also-nope.json"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stream_scenario_with_failures_requires_policy_mode() {
+    let dir = std::env::temp_dir()
+        .join("flowsched-cli-tests")
+        .join("scenario");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("failures.json");
+    std::fs::write(
+        &spec,
+        r#"{"ports": 8, "horizon": 40, "arrivals": {"poisson": {"rate": 5.0}},
+            "failures": {"outages": [{"side": "Input", "port": 1, "from": 0, "to": 10}]},
+            "seed": 2}"#,
+    )
+    .unwrap();
+
+    // Default (incremental) mode cannot honor a failure plan.
+    let out = flowsched(&["stream", "--scenario", spec.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failure plan"));
+
+    // A policy mode runs it through the failure drive.
+    let out = flowsched(&[
+        "stream",
+        "--scenario",
+        spec.to_str().unwrap(),
+        "--mode",
+        "minrtime",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("failures/MinRTime"));
+}
