@@ -9,13 +9,14 @@
 //! * `incremental` — `fss_engine::run_incremental` (support-graph
 //!   matching maintained across rounds).
 //!
-//! A `MinRTime` pair at `M = 4m` shows the policy-routed path (engine and
-//! legacy run the same Hungarian solve; the engine must not regress it).
+//! A `MinRTime` trio at `M = 4m` shows the weighted path: the from-scratch
+//! batch Hungarian (`BatchMinRTime`) vs the engine's incremental weighted
+//! drive (see `weighted_matching.rs` for the full weighted grid).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fss_core::Instance;
 use fss_engine::{run_builtin, run_incremental, BuiltinPolicy};
-use fss_online::{run_policy, MaxCard, MinRTime};
+use fss_online::{run_policy, BatchMinRTime, MaxCard, MinRTime};
 use fss_sim::{poisson_workload, WorkloadParams};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::hint::black_box;
@@ -42,7 +43,7 @@ fn bench_maxcard(c: &mut Criterion) {
         let inst = cell(mult as f64 * M_SWITCH as f64);
         let label = format!("M={}m_n={}", mult, inst.n());
         group.bench_with_input(BenchmarkId::new("legacy", &label), &inst, |b, inst| {
-            b.iter(|| black_box(run_policy(inst, &mut MaxCard)))
+            b.iter(|| black_box(run_policy(inst, &mut MaxCard::default())))
         });
         group.bench_with_input(BenchmarkId::new("engine", &label), &inst, |b, inst| {
             b.iter(|| black_box(run_builtin(inst, BuiltinPolicy::MaxCard)))
@@ -60,10 +61,13 @@ fn bench_minrtime_heaviest_cell(c: &mut Criterion) {
     let inst = cell(4.0 * M_SWITCH as f64);
     let label = format!("M=4m_n={}", inst.n());
     group.bench_with_input(BenchmarkId::new("legacy", &label), &inst, |b, inst| {
-        b.iter(|| black_box(run_policy(inst, &mut MinRTime)))
+        b.iter(|| black_box(run_policy(inst, &mut BatchMinRTime::default())))
     });
     group.bench_with_input(BenchmarkId::new("engine", &label), &inst, |b, inst| {
         b.iter(|| black_box(run_builtin(inst, BuiltinPolicy::MinRTime)))
+    });
+    group.bench_with_input(BenchmarkId::new("loop+inc", &label), &inst, |b, inst| {
+        b.iter(|| black_box(run_policy(inst, &mut MinRTime::default())))
     });
     group.finish();
 }

@@ -35,7 +35,7 @@ fn bench_rho_search(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("minrtime_heuristic", format!("{cong}")),
             &inst,
-            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MinRTime))),
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MinRTime::default()))),
         );
     }
     group.finish();

@@ -29,22 +29,22 @@ fn bench_policies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("MaxCard", format!("{cong}")),
             &inst,
-            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MaxCard))),
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MaxCard::default()))),
         );
         group.bench_with_input(
             BenchmarkId::new("MinRTime", format!("{cong}")),
             &inst,
-            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MinRTime))),
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MinRTime::default()))),
         );
         group.bench_with_input(
             BenchmarkId::new("MaxWeight", format!("{cong}")),
             &inst,
-            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MaxWeight))),
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut MaxWeight::default()))),
         );
         group.bench_with_input(
             BenchmarkId::new("FifoGreedy", format!("{cong}")),
             &inst,
-            |b, inst| b.iter(|| black_box(run_policy(inst, &mut FifoGreedy))),
+            |b, inst| b.iter(|| black_box(run_policy(inst, &mut FifoGreedy::default()))),
         );
     }
     group.finish();

@@ -32,10 +32,15 @@ pub fn saturation() -> Experiment {
 }
 
 fn build(scale: &Scale) -> Vec<CellSpec> {
+    // Full tier runs the ROADMAP's long-horizon grid: sweeps stream at
+    // `O(peak queue)` memory and the weighted policies now repair their
+    // matchings incrementally, so `T = 5_000` arrival rounds per point
+    // is affordable (the knee estimate sharpens as `T` grows). Smoke
+    // stays CI-sized.
     let (m, rounds, trials) = if scale.smoke {
         (6usize, 10u64, scale.trials_or(2, 2))
     } else {
-        (20, 40, scale.trials_or(4, 4))
+        (20, 5_000, scale.trials_or(4, 4))
     };
     let mut cells = Vec::new();
     for policy in POLICIES {

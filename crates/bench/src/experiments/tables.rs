@@ -280,9 +280,15 @@ pub fn table_gaps() -> Experiment {
                         let (opt, _) = min_max_response(&f4b);
                         let mut metrics = vec![("offline_opt_rho".into(), opt as f64)];
                         for (name, sched) in [
-                            ("online_MaxCard", run_policy(&f4b, &mut MaxCard)),
-                            ("online_MinRTime", run_policy(&f4b, &mut MinRTime)),
-                            ("online_MaxWeight", run_policy(&f4b, &mut MaxWeight)),
+                            ("online_MaxCard", run_policy(&f4b, &mut MaxCard::default())),
+                            (
+                                "online_MinRTime",
+                                run_policy(&f4b, &mut MinRTime::default()),
+                            ),
+                            (
+                                "online_MaxWeight",
+                                run_policy(&f4b, &mut MaxWeight::default()),
+                            ),
                         ] {
                             let m = metrics::evaluate(&f4b, &sched);
                             metrics.push((name.into(), m.max_response as f64));

@@ -20,6 +20,12 @@
 //!   matching of the waiting *support graph* across rounds and repairs it
 //!   with augmenting paths rooted only at ports dirtied by
 //!   arrivals/departures;
+//! * [`wmatcher`] — the weighted sibling: an
+//!   [`IncrementalWeightedMatcher`] that carries Hungarian dual
+//!   potentials and the max-weight assignment across rounds for the
+//!   MinRTime/MaxWeight policies, re-solving only rows dirtied by
+//!   arrivals, dispatches, and outage windows (the batch Hungarian stays
+//!   as the differential-test oracle);
 //! * [`exact`] — an exact-parity core reproducing the legacy runner's
 //!   decisions round-for-round (differentially tested), with a
 //!   dedup-compressed Hopcroft–Karp fast path for MaxCard.
@@ -45,15 +51,17 @@ pub mod outage;
 pub mod queue;
 pub mod source;
 pub mod stream;
+pub mod wmatcher;
 
 use fss_core::prelude::*;
-use fss_online::{FifoGreedy, MaxWeight, MinRTime, OnlinePolicy};
+use fss_online::{FifoGreedy, OnlinePolicy, WeightModel};
 
 pub use events::{EventKind, EventQueue};
 pub use matcher::IncrementalMatcher;
 pub use queue::ShardedQueues;
 pub use source::{poisson, Arrival, FlowSource, InstanceSource, PoissonSource};
 pub use stream::StreamStats;
+pub use wmatcher::IncrementalWeightedMatcher;
 
 use exact::Selector;
 
@@ -90,6 +98,17 @@ impl BuiltinPolicy {
             "maxweight" => Some(BuiltinPolicy::MaxWeight),
             "fifo" | "fifogreedy" => Some(BuiltinPolicy::FifoGreedy),
             _ => None,
+        }
+    }
+
+    /// The weight model of this policy's cell graph, when it is one of
+    /// the weighted heuristics (the engine's incremental-weighted drive
+    /// covers exactly these).
+    pub fn weight_model(self) -> Option<WeightModel> {
+        match self {
+            BuiltinPolicy::MinRTime => Some(WeightModel::MinRTime),
+            BuiltinPolicy::MaxWeight => Some(WeightModel::MaxWeight),
+            BuiltinPolicy::MaxCard | BuiltinPolicy::FifoGreedy => None,
         }
     }
 }
@@ -135,14 +154,32 @@ pub fn run_policy<P: OnlinePolicy>(inst: &Instance, policy: &mut P) -> Schedule 
 }
 
 /// Run a built-in policy over a batch instance through the engine,
-/// using the MaxCard fast path where it applies.
+/// using the MaxCard and incremental-weighted fast paths where they
+/// apply.
 pub fn run_builtin(inst: &Instance, policy: BuiltinPolicy) -> Schedule {
     match policy {
         BuiltinPolicy::MaxCard => run_selector(inst, &mut Selector::MaxCard),
-        BuiltinPolicy::MinRTime => run_policy(inst, &mut MinRTime),
-        BuiltinPolicy::MaxWeight => run_policy(inst, &mut MaxWeight),
-        BuiltinPolicy::FifoGreedy => run_policy(inst, &mut FifoGreedy),
+        BuiltinPolicy::MinRTime => run_weighted(inst, WeightModel::MinRTime),
+        BuiltinPolicy::MaxWeight => run_weighted(inst, WeightModel::MaxWeight),
+        BuiltinPolicy::FifoGreedy => run_policy(inst, &mut FifoGreedy::default()),
     }
+}
+
+/// Run a weighted cell model over a batch instance through the
+/// incremental-weighted drive ([`wmatcher`]). For the built-in models
+/// this produces the same schedule as [`run_policy`] with the matching
+/// `fss_online` policy — round-for-round (differentially tested) — while
+/// repairing the weighted matching incrementally instead of re-solving
+/// it per round.
+pub fn run_weighted(inst: &Instance, model: WeightModel) -> Schedule {
+    assert_unit(inst);
+    let mut rounds = vec![0u64; inst.n()];
+    stream::drive_weighted(InstanceSource::new(inst), model, |id, _release, round| {
+        rounds[id as usize] = round;
+    });
+    let sched = Schedule::from_rounds(rounds);
+    debug_assert!(validate::check(inst, &sched, &inst.switch).is_ok());
+    sched
 }
 
 /// Run the incremental matcher over a batch instance. Every round
@@ -183,15 +220,13 @@ pub fn run_stream_with<S: FlowSource>(
             stream::drive_exact(source, &mut Selector::MaxCard, on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::MinRTime) => {
-            let mut p = MinRTime;
-            stream::drive_exact(source, &mut Selector::Policy(&mut p), on_dispatch)
+            stream::drive_weighted(source, WeightModel::MinRTime, on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::MaxWeight) => {
-            let mut p = MaxWeight;
-            stream::drive_exact(source, &mut Selector::Policy(&mut p), on_dispatch)
+            stream::drive_weighted(source, WeightModel::MaxWeight, on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::FifoGreedy) => {
-            let mut p = FifoGreedy;
+            let mut p = FifoGreedy::default();
             stream::drive_exact(source, &mut Selector::Policy(&mut p), on_dispatch)
         }
     }
@@ -245,11 +280,17 @@ mod tests {
                 let engine = run_builtin(&inst, b);
                 let legacy = match b {
                     BuiltinPolicy::MaxCard => {
-                        fss_online::run_policy(&inst, &mut fss_online::MaxCard)
+                        fss_online::run_policy(&inst, &mut fss_online::MaxCard::default())
                     }
-                    BuiltinPolicy::MinRTime => fss_online::run_policy(&inst, &mut MinRTime),
-                    BuiltinPolicy::MaxWeight => fss_online::run_policy(&inst, &mut MaxWeight),
-                    BuiltinPolicy::FifoGreedy => fss_online::run_policy(&inst, &mut FifoGreedy),
+                    BuiltinPolicy::MinRTime => {
+                        fss_online::run_policy(&inst, &mut fss_online::MinRTime::default())
+                    }
+                    BuiltinPolicy::MaxWeight => {
+                        fss_online::run_policy(&inst, &mut fss_online::MaxWeight::default())
+                    }
+                    BuiltinPolicy::FifoGreedy => {
+                        fss_online::run_policy(&inst, &mut FifoGreedy::default())
+                    }
                 };
                 assert_eq!(engine, legacy, "policy {} seed {seed}", b.name());
             }

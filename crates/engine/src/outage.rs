@@ -37,6 +37,7 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
     let mut ids: Vec<u64> = Vec::new(); // full 64-bit ids, parallel to `waiting`
     let mut usable: Vec<usize> = Vec::new();
     let mut visible: Vec<WaitingFlow> = Vec::new();
+    let mut picked: Vec<usize> = Vec::new();
     let mut used_in = vec![false; m_in];
     let mut used_out = vec![false; m_out];
 
@@ -117,7 +118,7 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
         selection.dedup();
         used_in.fill(false);
         used_out.fill(false);
-        let mut picked: Vec<usize> = Vec::with_capacity(selection.len());
+        picked.clear();
         for &k in &selection {
             let w = &visible[k];
             assert!(
@@ -171,10 +172,15 @@ mod tests {
             ],
         };
         let mut seen = std::collections::HashSet::new();
-        let stats = drive_failures(source, &mut MaxCard, &plan, |id, release, round| {
-            assert!(round >= release, "dispatch before release");
-            assert!(seen.insert(id), "flow {id} dispatched twice");
-        });
+        let stats = drive_failures(
+            source,
+            &mut MaxCard::default(),
+            &plan,
+            |id, release, round| {
+                assert!(round >= release, "dispatch before release");
+                assert!(seen.insert(id), "flow {id} dispatched twice");
+            },
+        );
         assert_eq!(stats.arrived, stats.dispatched);
         assert_eq!(stats.dispatched as usize, seen.len());
     }
@@ -191,13 +197,18 @@ mod tests {
         while let Some(a) = probe.next_arrival() {
             srcs.push(a.src);
         }
-        drive_failures(source, &mut MaxCard, &plan, |id, _release, round| {
-            let src = srcs[id as usize];
-            assert!(
-                plan.is_up(PortSide::Input, src, round),
-                "flow {id} crossed dead input {src} at round {round}"
-            );
-        });
+        drive_failures(
+            source,
+            &mut MaxCard::default(),
+            &plan,
+            |id, _release, round| {
+                let src = srcs[id as usize];
+                assert!(
+                    plan.is_up(PortSide::Input, src, round),
+                    "flow {id} crossed dead input {src} at round {round}"
+                );
+            },
+        );
     }
 
     #[test]
@@ -231,9 +242,14 @@ mod tests {
             outages: vec![outage(PortSide::Input, 0, 0, recovery)],
         };
         let mut dispatched_at = None;
-        let stats = drive_failures(OneFlow(false), &mut MaxCard, &plan, |_, _, round| {
-            dispatched_at = Some(round);
-        });
+        let stats = drive_failures(
+            OneFlow(false),
+            &mut MaxCard::default(),
+            &plan,
+            |_, _, round| {
+                dispatched_at = Some(round);
+            },
+        );
         assert_eq!(dispatched_at, Some(recovery));
         assert_eq!(stats.dispatched, 1);
         assert_eq!(stats.makespan, recovery + 1);
@@ -242,9 +258,12 @@ mod tests {
     #[test]
     fn empty_source_is_a_noop() {
         let source = PoissonSource::new(3, 0.0, Some(10), 1);
-        let stats = drive_failures(source, &mut MaxCard, &FailurePlan::default(), |_, _, _| {
-            panic!("nothing to dispatch")
-        });
+        let stats = drive_failures(
+            source,
+            &mut MaxCard::default(),
+            &FailurePlan::default(),
+            |_, _, _| panic!("nothing to dispatch"),
+        );
         assert_eq!(stats, StreamStats::default());
     }
 }

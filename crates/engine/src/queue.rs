@@ -129,6 +129,16 @@ impl ShardedQueues {
         was_empty
     }
 
+    /// The oldest waiting flow of `(src, dst)` without dequeuing it —
+    /// what [`ShardedQueues::pop_oldest`] would return. The cell-FIFO
+    /// order makes this the flow with the smallest `(release, id)`, i.e.
+    /// the representative edge the weighted policies dispatch.
+    #[inline]
+    pub fn peek_oldest(&self, src: u32, dst: u32) -> Option<&QueuedFlow> {
+        let head = self.head[self.cell(src, dst)];
+        (head != NIL).then(|| &self.slab[head as usize])
+    }
+
     /// Dequeue the oldest flow of `(src, dst)`; returns it plus `true`
     /// when the cell is now empty (support edge vanished). Panics on an
     /// empty cell — callers dispatch only matched (hence occupied) cells.

@@ -5,9 +5,13 @@
 //! matching of its waiting graph every round.
 
 use fss_core::prelude::*;
-use fss_engine::{run_builtin, run_incremental, run_policy, BuiltinPolicy};
-use fss_matching::{max_cardinality_matching, BipartiteGraph};
-use fss_online::{AgedMaxWeight, FifoGreedy, MaxCard, MaxWeight, MinRTime, RandomMatching};
+use fss_engine::{run_builtin, run_incremental, run_policy, BuiltinPolicy, InstanceSource};
+use fss_matching::{max_cardinality_matching, max_weight_matching, total_weight, BipartiteGraph};
+use fss_online::weighted::GAMMA_DENOM;
+use fss_online::{
+    AgedMaxWeight, FifoGreedy, MaxCard, MaxWeight, MinRTime, OnlinePolicy, QueueState,
+    RandomMatching, WeightModel,
+};
 use proptest::prelude::*;
 
 /// Strategy: a unit-demand instance on an `m x m` unit switch with
@@ -25,12 +29,100 @@ fn unit_instance() -> impl Strategy<Value = Instance> {
     })
 }
 
+/// Strategy: an instance plus an arbitrary outage plan over its ports.
+fn instance_and_plan() -> impl Strategy<Value = (Instance, FailurePlan)> {
+    (
+        unit_instance(),
+        proptest::collection::vec((0u32..2, 0u32..6, 0u64..15, 1u64..12), 0..4),
+    )
+        .prop_map(|(inst, outages)| {
+            let m = inst.switch.num_inputs() as u32;
+            let plan = FailurePlan {
+                outages: outages
+                    .into_iter()
+                    .map(|(side, port, from, len)| Outage {
+                        side: if side == 0 {
+                            PortSide::Input
+                        } else {
+                            PortSide::Output
+                        },
+                        port: port % m,
+                        from,
+                        to: from + len,
+                    })
+                    .collect(),
+            };
+            (inst, plan)
+        })
+}
+
+/// Wraps an incremental weighted policy and cross-checks every round's
+/// selection against the batch Hungarian oracle on the same waiting
+/// graph: the selection must be a vertex-disjoint matching whose total
+/// weight (under the policy's integer weight model) equals the
+/// from-scratch optimum.
+struct OracleChecked {
+    inner: Box<dyn OnlinePolicy>,
+    model: WeightModel,
+    rounds_checked: u64,
+}
+
+impl OnlinePolicy for OracleChecked {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let sel = self.inner.choose(state);
+        let scale = (state.m_in.min(state.m_out) + 1) as i64;
+        let in_q = state.in_queue_sizes();
+        let out_q = state.out_queue_sizes();
+        let weight_of = |k: usize| -> i64 {
+            let w = &state.waiting[k];
+            let age = (state.round - w.release) as i64;
+            let q = i64::from(in_q[w.src as usize]) + i64::from(out_q[w.dst as usize]);
+            match self.model {
+                WeightModel::MinRTime => age * scale + 1,
+                WeightModel::MaxWeight => q,
+                WeightModel::AgedMaxWeight { gamma_q } => (q + 1) * GAMMA_DENOM + gamma_q * age,
+            }
+        };
+        // Feasibility: vertex-disjoint within the selection.
+        let mut used_in = vec![false; state.m_in];
+        let mut used_out = vec![false; state.m_out];
+        for &k in &sel {
+            let w = &state.waiting[k];
+            assert!(
+                !used_in[w.src as usize] && !used_out[w.dst as usize],
+                "round {}: selection is not a matching",
+                state.round
+            );
+            used_in[w.src as usize] = true;
+            used_out[w.dst as usize] = true;
+        }
+        // Weight parity with the batch Hungarian.
+        let g = state.graph();
+        let weights: Vec<f64> = (0..state.waiting.len())
+            .map(|k| weight_of(k) as f64)
+            .collect();
+        let best = total_weight(&max_weight_matching(&g, &weights), &weights) as i64;
+        let got: i64 = sel.iter().map(|&k| weight_of(k)).sum();
+        assert_eq!(
+            got, best,
+            "round {}: incremental weight {} != batch optimum {}",
+            state.round, got, best
+        );
+        self.rounds_checked += 1;
+        sel
+    }
+}
+
 fn legacy(inst: &Instance, kind: BuiltinPolicy) -> Schedule {
     match kind {
-        BuiltinPolicy::MaxCard => fss_online::run_policy(inst, &mut MaxCard),
-        BuiltinPolicy::MinRTime => fss_online::run_policy(inst, &mut MinRTime),
-        BuiltinPolicy::MaxWeight => fss_online::run_policy(inst, &mut MaxWeight),
-        BuiltinPolicy::FifoGreedy => fss_online::run_policy(inst, &mut FifoGreedy),
+        BuiltinPolicy::MaxCard => fss_online::run_policy(inst, &mut MaxCard::default()),
+        BuiltinPolicy::MinRTime => fss_online::run_policy(inst, &mut MinRTime::default()),
+        BuiltinPolicy::MaxWeight => fss_online::run_policy(inst, &mut MaxWeight::default()),
+        BuiltinPolicy::FifoGreedy => fss_online::run_policy(inst, &mut FifoGreedy::default()),
     }
 }
 
@@ -67,6 +159,48 @@ proptest! {
         let e2 = run_policy(&inst, &mut RandomMatching::new(7));
         let l2 = fss_online::run_policy(&inst, &mut RandomMatching::new(7));
         prop_assert_eq!(e2, l2);
+    }
+
+    /// Exact-parity of the incremental weighted matching, checked
+    /// *inside* every round: across randomized dynamic
+    /// arrival/dispatch/outage sequences the incremental policies'
+    /// selections stay feasible matchings with total weight equal to the
+    /// batch Hungarian's optimum on the same waiting graph (the batch
+    /// path is the oracle, per cell weights of the integer models).
+    #[test]
+    fn weighted_selections_match_batch_hungarian_under_outages(
+        (inst, plan) in instance_and_plan(),
+    ) {
+        for model in [
+            WeightModel::MinRTime,
+            WeightModel::MaxWeight,
+            WeightModel::AgedMaxWeight { gamma_q: 1536 },
+        ] {
+            let mut checked = match model {
+                WeightModel::MinRTime => OracleChecked {
+                    inner: Box::new(MinRTime::default()),
+                    model,
+                    rounds_checked: 0,
+                },
+                WeightModel::MaxWeight => OracleChecked {
+                    inner: Box::new(MaxWeight::default()),
+                    model,
+                    rounds_checked: 0,
+                },
+                WeightModel::AgedMaxWeight { .. } => OracleChecked {
+                    inner: Box::new(AgedMaxWeight::new(1.5)),
+                    model,
+                    rounds_checked: 0,
+                },
+            };
+            let stats = fss_engine::run_stream_failures(
+                InstanceSource::new(&inst),
+                &mut checked,
+                &plan,
+            );
+            prop_assert_eq!(stats.arrived, stats.dispatched, "stream must drain");
+            prop_assert!(checked.rounds_checked > 0, "oracle never consulted");
+        }
     }
 
     /// The incremental matcher's defining property, replayed from the

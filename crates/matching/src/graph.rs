@@ -10,6 +10,13 @@ pub struct BipartiteGraph {
     edges: Vec<(u32, u32)>,
 }
 
+impl Default for BipartiteGraph {
+    /// An empty `0 x 0` graph (resize with [`BipartiteGraph::reset`]).
+    fn default() -> Self {
+        BipartiteGraph::new(0, 0)
+    }
+}
+
 impl BipartiteGraph {
     /// An empty graph with `nl` left and `nr` right vertices.
     pub fn new(nl: usize, nr: usize) -> Self {
@@ -18,6 +25,14 @@ impl BipartiteGraph {
             nr,
             edges: Vec::new(),
         }
+    }
+
+    /// Drop all edges and change dimensions, keeping the edge storage —
+    /// the reuse path for per-round graph rebuilds.
+    pub fn reset(&mut self, nl: usize, nr: usize) {
+        self.nl = nl;
+        self.nr = nr;
+        self.edges.clear();
     }
 
     /// Build directly from an edge list.

@@ -33,22 +33,16 @@ pub fn max_weight_matching(g: &BipartiteGraph, weights: &[f64]) -> Vec<usize> {
 
     // Dense weight matrix: best parallel edge per pair; 0 elsewhere
     // (matching a pair with no edge is harmless: weight 0 = unmatched).
+    // `w` and `best_edge` are updated together from the same comparison,
+    // so the matrix value and its representative edge can never disagree;
+    // among equal-weight parallel edges the first occurrence wins.
     let mut w = vec![vec![0.0f64; k]; k];
     let mut best_edge = vec![vec![usize::MAX; k]; k];
     for (e, &(u, v)) in g.edges().iter().enumerate() {
         let (u, v) = (u as usize, v as usize);
-        if weights[e] > w[u][v] || best_edge[u][v] == usize::MAX {
-            w[u][v] = w[u][v].max(weights[e]);
-            if weights[e] >= w[u][v] {
-                best_edge[u][v] = e;
-            }
-        }
-    }
-    // (Re-scan so best_edge always holds the argmax, also for ties.)
-    for (e, &(u, v)) in g.edges().iter().enumerate() {
-        let (u, v) = (u as usize, v as usize);
         if best_edge[u][v] == usize::MAX || weights[e] > weights[best_edge[u][v]] {
             best_edge[u][v] = e;
+            w[u][v] = weights[e];
         }
     }
 
@@ -157,6 +151,41 @@ mod tests {
         let g = BipartiteGraph::from_edges(1, 1, vec![(0, 0), (0, 0), (0, 0)]);
         let m = max_weight_matching(&g, &[1.0, 7.0, 3.0]);
         assert_eq!(m, vec![1]);
+    }
+
+    #[test]
+    fn parallel_edges_of_unequal_weight_collapse_consistently() {
+        // Regression: the dense collapse must pick the argmax edge no
+        // matter the insertion order — the old two-step update could let
+        // an edge raise `w` without claiming `best_edge` (or vice versa).
+        for order in [
+            vec![5.0, 3.0, 4.0],
+            vec![3.0, 5.0, 4.0],
+            vec![4.0, 3.0, 5.0],
+            vec![0.0, 5.0, 3.0],
+            vec![5.0, 0.0, 0.0],
+        ] {
+            let g = BipartiteGraph::from_edges(2, 2, vec![(0, 0), (0, 0), (0, 0), (1, 1)]);
+            let mut weights = order.clone();
+            weights.push(2.0); // the (1,1) edge
+            let m = max_weight_matching(&g, &weights);
+            let heaviest = (0..3)
+                .max_by(|&a, &b| weights[a].partial_cmp(&weights[b]).unwrap())
+                .unwrap();
+            assert!(
+                m.contains(&heaviest),
+                "order {order:?}: expected edge {heaviest} in {m:?}"
+            );
+            assert!(m.contains(&3), "order {order:?}: (1,1) must be matched");
+            assert!((total_weight(&m, &weights) - (weights[heaviest] + 2.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_edge_ties_prefer_the_first_occurrence() {
+        let g = BipartiteGraph::from_edges(1, 2, vec![(0, 0), (0, 0), (0, 1)]);
+        let m = max_weight_matching(&g, &[6.0, 6.0, 1.0]);
+        assert_eq!(m, vec![0], "equal parallel weights: first edge represents");
     }
 
     #[test]

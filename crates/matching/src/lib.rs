@@ -25,10 +25,12 @@ pub mod greedy;
 pub mod hopcroft_karp;
 pub mod hungarian;
 pub mod koenig;
+pub mod scratch;
 
 pub use bmatching::decompose_into_b_matchings;
 pub use graph::BipartiteGraph;
 pub use greedy::greedy_matching;
 pub use hopcroft_karp::max_cardinality_matching;
-pub use hungarian::max_weight_matching;
+pub use hungarian::{max_weight_matching, total_weight};
 pub use koenig::edge_coloring;
+pub use scratch::HungarianScratch;

@@ -1,9 +1,19 @@
 //! Online policies: the paper's heuristics (§5.2) behind a common trait.
+//!
+//! The weighted heuristics (**MinRTime**, **MaxWeight**) run on the
+//! incremental matching core of [`crate::weighted`]: they carry dual
+//! potentials and the assignment across rounds and repair only what the
+//! round's arrivals/dispatches dirtied, instead of re-solving a dense
+//! Hungarian from scratch. The original from-scratch implementations are
+//! kept as [`BatchMinRTime`] / [`BatchMaxWeight`] — the differential-test
+//! oracles and benchmark baselines.
 
 use fss_core::FlowId;
 use fss_matching::{
     greedy_matching, max_cardinality_matching, max_weight_matching, BipartiteGraph,
 };
+
+use crate::weighted::{choose_with, WeightModel, WeightedSelector};
 
 /// A flow currently waiting in the open queue `E(G_t)`.
 #[derive(Debug, Clone, Copy)]
@@ -34,35 +44,62 @@ pub struct QueueState<'a> {
 impl QueueState<'_> {
     /// Build the bipartite waiting graph; edge `k` is `waiting[k]`.
     pub fn graph(&self) -> BipartiteGraph {
-        let mut g = BipartiteGraph::new(self.m_in, self.m_out);
+        let mut g = BipartiteGraph::default();
+        self.graph_into(&mut g);
+        g
+    }
+
+    /// Fill `g` with the waiting graph, reusing its edge storage (the
+    /// allocation-free form of [`QueueState::graph`] for per-round use).
+    pub fn graph_into(&self, g: &mut BipartiteGraph) {
+        g.reset(self.m_in, self.m_out);
         for w in self.waiting {
             g.add_edge(w.src, w.dst);
         }
-        g
     }
 
     /// Queue length per input port (released-but-unscheduled flows).
     pub fn in_queue_sizes(&self) -> Vec<u32> {
-        let mut q = vec![0u32; self.m_in];
+        let mut q = Vec::new();
+        self.in_queue_sizes_into(&mut q);
+        q
+    }
+
+    /// Fill `q` with the per-input-port queue lengths, reusing storage.
+    pub fn in_queue_sizes_into(&self, q: &mut Vec<u32>) {
+        q.clear();
+        q.resize(self.m_in, 0);
         for w in self.waiting {
             q[w.src as usize] += 1;
         }
-        q
     }
 
     /// Queue length per output port.
     pub fn out_queue_sizes(&self) -> Vec<u32> {
-        let mut q = vec![0u32; self.m_out];
+        let mut q = Vec::new();
+        self.out_queue_sizes_into(&mut q);
+        q
+    }
+
+    /// Fill `q` with the per-output-port queue lengths, reusing storage.
+    pub fn out_queue_sizes_into(&self, q: &mut Vec<u32>) {
+        q.clear();
+        q.resize(self.m_out, 0);
         for w in self.waiting {
             q[w.dst as usize] += 1;
         }
-        q
     }
 }
 
 /// An online scheduling policy: each round, pick indices into
 /// `state.waiting` that form a matching (unit capacities — the paper's
 /// experimental setting). The runner validates the selection.
+///
+/// Policies may be stateful (the incremental ones are): the round loops
+/// call `choose` with nondecreasing rounds over one instance's lifetime,
+/// and a policy value should not be reused across instances unless its
+/// implementation documents that it re-synchronizes (the weighted
+/// policies here reset themselves when the clock moves backwards).
 pub trait OnlinePolicy {
     /// Short display name (used in experiment tables).
     fn name(&self) -> &'static str;
@@ -73,8 +110,10 @@ pub trait OnlinePolicy {
 /// **MaxCard**: a maximum-cardinality matching of `G_t` — keeps the most
 /// ports busy; the paper expects it to do well on average response time
 /// but poorly on maximum response time.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct MaxCard;
+#[derive(Debug, Default, Clone)]
+pub struct MaxCard {
+    g: BipartiteGraph,
+}
 
 impl OnlinePolicy for MaxCard {
     fn name(&self) -> &'static str {
@@ -82,7 +121,8 @@ impl OnlinePolicy for MaxCard {
     }
 
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
-        max_cardinality_matching(&state.graph())
+        state.graph_into(&mut self.g);
+        max_cardinality_matching(&self.g)
     }
 }
 
@@ -91,8 +131,13 @@ impl OnlinePolicy for MaxCard {
 /// time. Among equal-weight matchings, a uniform `+1` bonus per edge makes
 /// the policy prefer higher cardinality (the paper leaves the tie-break
 /// unspecified).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct MinRTime;
+///
+/// Incremental: maintains the weighted matching across rounds (see
+/// [`crate::weighted`]); [`BatchMinRTime`] is the from-scratch original.
+#[derive(Debug, Default, Clone)]
+pub struct MinRTime {
+    sel: Option<WeightedSelector>,
+}
 
 impl OnlinePolicy for MinRTime {
     fn name(&self) -> &'static str {
@@ -100,22 +145,20 @@ impl OnlinePolicy for MinRTime {
     }
 
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
-        let g = state.graph();
-        let scale = (state.waiting.len() + 1) as f64;
-        let weights: Vec<f64> = state
-            .waiting
-            .iter()
-            .map(|w| (state.round - w.release) as f64 * scale + 1.0)
-            .collect();
-        max_weight_matching(&g, &weights)
+        choose_with(&mut self.sel, WeightModel::MinRTime, state)
     }
 }
 
 /// **MaxWeight**: maximum-weight matching with weight = sum of queue sizes
 /// at the edge's endpoints — drains the most congested ports; the paper's
 /// compromise pick for keeping both objectives low.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct MaxWeight;
+///
+/// Incremental: maintains the weighted matching across rounds (see
+/// [`crate::weighted`]); [`BatchMaxWeight`] is the from-scratch original.
+#[derive(Debug, Default, Clone)]
+pub struct MaxWeight {
+    sel: Option<WeightedSelector>,
+}
 
 impl OnlinePolicy for MaxWeight {
     fn name(&self) -> &'static str {
@@ -123,23 +166,18 @@ impl OnlinePolicy for MaxWeight {
     }
 
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
-        let g = state.graph();
-        let in_q = state.in_queue_sizes();
-        let out_q = state.out_queue_sizes();
-        let weights: Vec<f64> = state
-            .waiting
-            .iter()
-            .map(|w| f64::from(in_q[w.src as usize] + out_q[w.dst as usize]))
-            .collect();
-        max_weight_matching(&g, &weights)
+        choose_with(&mut self.sel, WeightModel::MaxWeight, state)
     }
 }
 
 /// FIFO-greedy baseline: scan waiting flows oldest first and take each one
 /// whose ports are still free. Not one of the paper's trio; serves as a
 /// cheap sanity floor in the experiments.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct FifoGreedy;
+#[derive(Debug, Default, Clone)]
+pub struct FifoGreedy {
+    g: BipartiteGraph,
+    order: Vec<usize>,
+}
 
 impl OnlinePolicy for FifoGreedy {
     fn name(&self) -> &'static str {
@@ -147,10 +185,73 @@ impl OnlinePolicy for FifoGreedy {
     }
 
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
-        let g = state.graph();
-        let mut order: Vec<usize> = (0..state.waiting.len()).collect();
-        order.sort_by_key(|&k| (state.waiting[k].release, state.waiting[k].id));
-        greedy_matching(&g, &order)
+        state.graph_into(&mut self.g);
+        self.order.clear();
+        self.order.extend(0..state.waiting.len());
+        self.order
+            .sort_by_key(|&k| (state.waiting[k].release, state.waiting[k].id));
+        greedy_matching(&self.g, &self.order)
+    }
+}
+
+/// The original from-scratch MinRTime: rebuilds the waiting multigraph
+/// and solves a dense `O(k^3)` Hungarian every round, with the legacy
+/// round-varying weight scale `|waiting| + 1`.
+///
+/// Kept as the differential-test oracle and benchmark baseline for the
+/// incremental [`MinRTime`]; prefer the incremental policy everywhere
+/// else.
+#[derive(Debug, Default, Clone)]
+pub struct BatchMinRTime {
+    g: BipartiteGraph,
+    weights: Vec<f64>,
+}
+
+impl OnlinePolicy for BatchMinRTime {
+    fn name(&self) -> &'static str {
+        "MinRTime"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        state.graph_into(&mut self.g);
+        let scale = (state.waiting.len() + 1) as f64;
+        self.weights.clear();
+        self.weights.extend(
+            state
+                .waiting
+                .iter()
+                .map(|w| (state.round - w.release) as f64 * scale + 1.0),
+        );
+        max_weight_matching(&self.g, &self.weights)
+    }
+}
+
+/// The original from-scratch MaxWeight (see [`BatchMinRTime`]).
+#[derive(Debug, Default, Clone)]
+pub struct BatchMaxWeight {
+    g: BipartiteGraph,
+    weights: Vec<f64>,
+    in_q: Vec<u32>,
+    out_q: Vec<u32>,
+}
+
+impl OnlinePolicy for BatchMaxWeight {
+    fn name(&self) -> &'static str {
+        "MaxWeight"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        state.graph_into(&mut self.g);
+        state.in_queue_sizes_into(&mut self.in_q);
+        state.out_queue_sizes_into(&mut self.out_q);
+        self.weights.clear();
+        self.weights.extend(
+            state
+                .waiting
+                .iter()
+                .map(|w| f64::from(self.in_q[w.src as usize] + self.out_q[w.dst as usize])),
+        );
+        max_weight_matching(&self.g, &self.weights)
     }
 }
 
@@ -179,16 +280,17 @@ mod tests {
     #[test]
     fn maxcard_takes_maximum_matching() {
         let w = [wf(0, 0, 0, 0), wf(1, 0, 1, 0), wf(2, 1, 0, 0)];
-        let sel = MaxCard.choose(&state(&w, 0));
+        let sel = MaxCard::default().choose(&state(&w, 0));
         assert_eq!(sel.len(), 2); // (0,1)+(1,0) or equivalent
     }
 
     #[test]
     fn minrtime_prefers_older_flows() {
-        // Two conflicting flows; the older one must win.
+        // Two conflicting flows; the older one must win — in both the
+        // incremental policy and the batch oracle.
         let w = [wf(0, 0, 0, 5), wf(1, 0, 0, 1)];
-        let sel = MinRTime.choose(&state(&w, 6));
-        assert_eq!(sel, vec![1]);
+        assert_eq!(MinRTime::default().choose(&state(&w, 6)), vec![1]);
+        assert_eq!(BatchMinRTime::default().choose(&state(&w, 6)), vec![1]);
     }
 
     #[test]
@@ -196,8 +298,8 @@ mod tests {
         // All flows same age: the +1 bonus must still produce a maximum
         // matching rather than an empty one (all weights zero otherwise).
         let w = [wf(0, 0, 0, 3), wf(1, 1, 1, 3), wf(2, 2, 2, 3)];
-        let sel = MinRTime.choose(&state(&w, 3));
-        assert_eq!(sel.len(), 3);
+        assert_eq!(MinRTime::default().choose(&state(&w, 3)).len(), 3);
+        assert_eq!(BatchMinRTime::default().choose(&state(&w, 3)).len(), 3);
     }
 
     #[test]
@@ -210,17 +312,21 @@ mod tests {
             wf(2, 0, 2, 0),
             wf(3, 1, 1, 0),
         ];
-        let sel = MaxWeight.choose(&state(&w, 0));
-        // Some edge at input 0 must be selected.
-        assert!(sel.iter().any(|&k| w[k].src == 0));
-        // And the matching is maximal enough to include (1,1) too.
-        assert!(sel.iter().any(|&k| w[k].src == 1));
+        for sel in [
+            MaxWeight::default().choose(&state(&w, 0)),
+            BatchMaxWeight::default().choose(&state(&w, 0)),
+        ] {
+            // Some edge at input 0 must be selected.
+            assert!(sel.iter().any(|&k| w[k].src == 0));
+            // And the matching is maximal enough to include (1,1) too.
+            assert!(sel.iter().any(|&k| w[k].src == 1));
+        }
     }
 
     #[test]
     fn fifo_scans_by_release() {
         let w = [wf(0, 0, 0, 4), wf(1, 0, 0, 2)];
-        let sel = FifoGreedy.choose(&state(&w, 5));
+        let sel = FifoGreedy::default().choose(&state(&w, 5));
         assert_eq!(sel, vec![1]);
     }
 
@@ -230,5 +336,19 @@ mod tests {
         let s = state(&w, 0);
         assert_eq!(s.in_queue_sizes(), vec![2, 1, 0]);
         assert_eq!(s.out_queue_sizes(), vec![0, 2, 1]);
+        let mut buf = vec![9u32; 7];
+        s.in_queue_sizes_into(&mut buf);
+        assert_eq!(buf, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn incremental_weighted_policies_reset_across_instances() {
+        // Reusing a policy value on a fresh instance (round restarts at
+        // 0) must not panic or leak state.
+        let mut p = MinRTime::default();
+        let w = [wf(0, 0, 0, 9)];
+        assert_eq!(p.choose(&state(&w, 9)), vec![0]);
+        let w2 = [wf(0, 1, 1, 0), wf(1, 2, 2, 0)];
+        assert_eq!(p.choose(&state(&w2, 0)).len(), 2);
     }
 }

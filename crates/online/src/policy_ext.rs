@@ -16,21 +16,28 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use fss_matching::{greedy_matching, max_weight_matching};
+use fss_matching::{greedy_matching, max_weight_matching, BipartiteGraph};
 
 use crate::policy::{OnlinePolicy, QueueState};
+use crate::weighted::{choose_with, WeightModel, WeightedSelector, GAMMA_DENOM};
 
 /// Greedy maximal matching over a uniformly shuffled edge order.
 /// Deterministic per (seed, round): reproducible experiments.
 #[derive(Debug, Clone)]
 pub struct RandomMatching {
     seed: u64,
+    g: BipartiteGraph,
+    order: Vec<usize>,
 }
 
 impl RandomMatching {
     /// Create with an explicit seed.
     pub fn new(seed: u64) -> Self {
-        RandomMatching { seed }
+        RandomMatching {
+            seed,
+            g: BipartiteGraph::default(),
+            order: Vec::new(),
+        }
     }
 }
 
@@ -46,27 +53,42 @@ impl OnlinePolicy for RandomMatching {
     }
 
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
-        let g = state.graph();
-        let mut order: Vec<usize> = (0..state.waiting.len()).collect();
+        state.graph_into(&mut self.g);
+        self.order.clear();
+        self.order.extend(0..state.waiting.len());
         let mut rng = SmallRng::seed_from_u64(self.seed ^ state.round.rotate_left(13));
-        order.shuffle(&mut rng);
-        greedy_matching(&g, &order)
+        self.order.shuffle(&mut rng);
+        greedy_matching(&self.g, &self.order)
     }
 }
 
 /// MaxWeight with linear aging: `weight = queues + gamma * age + 1`.
-#[derive(Debug, Clone, Copy)]
+///
+/// Incremental (see [`crate::weighted`]): the aging coefficient is
+/// quantized to `1/1024`ths so the weights stay integral, which is what
+/// lets the matching carry over from round to round exactly.
+/// [`BatchAgedMaxWeight`] keeps the original float-weighted from-scratch
+/// solve as the differential oracle.
+#[derive(Debug, Clone)]
 pub struct AgedMaxWeight {
-    /// Aging coefficient γ (0 recovers MaxWeight behavior, with the +1
-    /// cardinality bonus).
-    pub gamma: f64,
+    gamma: f64,
+    sel: Option<WeightedSelector>,
 }
 
 impl AgedMaxWeight {
-    /// Create with an aging coefficient.
+    /// Create with an aging coefficient (quantized to `1/1024`ths).
     pub fn new(gamma: f64) -> Self {
         assert!(gamma >= 0.0, "aging coefficient must be nonnegative");
-        AgedMaxWeight { gamma }
+        AgedMaxWeight { gamma, sel: None }
+    }
+
+    /// The aging coefficient γ (as configured, before quantization).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    fn gamma_q(&self) -> i64 {
+        (self.gamma * GAMMA_DENOM as f64).round() as i64
     }
 }
 
@@ -82,19 +104,57 @@ impl OnlinePolicy for AgedMaxWeight {
     }
 
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
-        let g = state.graph();
-        let in_q = state.in_queue_sizes();
-        let out_q = state.out_queue_sizes();
-        let weights: Vec<f64> = state
-            .waiting
-            .iter()
-            .map(|w| {
-                f64::from(in_q[w.src as usize] + out_q[w.dst as usize])
-                    + self.gamma * (state.round - w.release) as f64
-                    + 1.0
-            })
-            .collect();
-        max_weight_matching(&g, &weights)
+        let model = WeightModel::AgedMaxWeight {
+            gamma_q: self.gamma_q(),
+        };
+        choose_with(&mut self.sel, model, state)
+    }
+}
+
+/// The original from-scratch AgedMaxWeight: float weights
+/// `queues + γ·age + 1`, dense Hungarian per round. Differential oracle
+/// for [`AgedMaxWeight`].
+#[derive(Debug, Clone)]
+pub struct BatchAgedMaxWeight {
+    /// Aging coefficient γ (0 recovers MaxWeight behavior, with the +1
+    /// cardinality bonus).
+    pub gamma: f64,
+    g: BipartiteGraph,
+    weights: Vec<f64>,
+    in_q: Vec<u32>,
+    out_q: Vec<u32>,
+}
+
+impl BatchAgedMaxWeight {
+    /// Create with an aging coefficient.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma >= 0.0, "aging coefficient must be nonnegative");
+        BatchAgedMaxWeight {
+            gamma,
+            g: BipartiteGraph::default(),
+            weights: Vec::new(),
+            in_q: Vec::new(),
+            out_q: Vec::new(),
+        }
+    }
+}
+
+impl OnlinePolicy for BatchAgedMaxWeight {
+    fn name(&self) -> &'static str {
+        "AgedMaxWeight"
+    }
+
+    fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        state.graph_into(&mut self.g);
+        state.in_queue_sizes_into(&mut self.in_q);
+        state.out_queue_sizes_into(&mut self.out_q);
+        self.weights.clear();
+        self.weights.extend(state.waiting.iter().map(|w| {
+            f64::from(self.in_q[w.src as usize] + self.out_q[w.dst as usize])
+                + self.gamma * (state.round - w.release) as f64
+                + 1.0
+        }));
+        max_weight_matching(&self.g, &self.weights)
     }
 }
 
@@ -149,6 +209,7 @@ mod tests {
             run_policy(&inst, &mut AgedMaxWeight::default()),
             run_policy(&inst, &mut AgedMaxWeight::new(0.0)),
             run_policy(&inst, &mut AgedMaxWeight::new(100.0)),
+            run_policy(&inst, &mut BatchAgedMaxWeight::new(0.7)),
         ] {
             validate::check(&inst, &sched, &inst.switch).unwrap();
         }
@@ -178,6 +239,8 @@ mod tests {
             m_out: 1,
         };
         let sel = AgedMaxWeight::new(1000.0).choose(&state);
+        assert_eq!(sel, vec![1]);
+        let sel = BatchAgedMaxWeight::new(1000.0).choose(&state);
         assert_eq!(sel, vec![1]);
     }
 

@@ -328,7 +328,7 @@ mod tests {
                 .collect(),
         );
         let r = run_preemptive(&sized, &mut OldestFirstMatching);
-        let plain = crate::run_policy(&base, &mut crate::MinRTime);
+        let plain = crate::run_policy(&base, &mut crate::MinRTime::default());
         let pm = fss_core::metrics::evaluate(&base, &plain);
         // Same policy logic on unit sizes: identical totals.
         assert_eq!(r.total_response, pm.total_response);

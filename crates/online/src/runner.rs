@@ -100,10 +100,10 @@ mod tests {
     use rand::{rngs::SmallRng, SeedableRng};
 
     fn all_policies_run(inst: &Instance) {
-        let s1 = run_policy(inst, &mut MaxCard);
-        let s2 = run_policy(inst, &mut MinRTime);
-        let s3 = run_policy(inst, &mut MaxWeight);
-        let s4 = run_policy(inst, &mut FifoGreedy);
+        let s1 = run_policy(inst, &mut MaxCard::default());
+        let s2 = run_policy(inst, &mut MinRTime::default());
+        let s3 = run_policy(inst, &mut MaxWeight::default());
+        let s4 = run_policy(inst, &mut FifoGreedy::default());
         for s in [&s1, &s2, &s3, &s4] {
             validate::check(inst, s, &inst.switch).unwrap();
         }
@@ -114,7 +114,7 @@ mod tests {
         let inst = InstanceBuilder::new(Switch::uniform(2, 2, 1))
             .build()
             .unwrap();
-        assert!(run_policy(&inst, &mut MaxCard).is_empty());
+        assert!(run_policy(&inst, &mut MaxCard::default()).is_empty());
     }
 
     #[test]
@@ -135,10 +135,10 @@ mod tests {
         let p = GenParams::unit(4, 25, 5);
         let inst = random_instance(&mut rng, &p);
         for s in [
-            run_policy(&inst, &mut MaxCard),
-            run_policy(&inst, &mut MinRTime),
-            run_policy(&inst, &mut MaxWeight),
-            run_policy(&inst, &mut FifoGreedy),
+            run_policy(&inst, &mut MaxCard::default()),
+            run_policy(&inst, &mut MinRTime::default()),
+            run_policy(&inst, &mut MaxWeight::default()),
+            run_policy(&inst, &mut FifoGreedy::default()),
         ] {
             assert!(s.makespan() <= inst.max_release() + inst.n() as u64);
         }
@@ -154,8 +154,8 @@ mod tests {
         b.unit_flow(0, 1, 0);
         b.unit_flow(1, 0, 0);
         let inst = b.build().unwrap();
-        let mc = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MaxCard));
-        let ff = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut FifoGreedy));
+        let mc = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MaxCard::default()));
+        let ff = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut FifoGreedy::default()));
         assert!(mc.total_response <= ff.total_response);
     }
 
@@ -168,7 +168,7 @@ mod tests {
             b.unit_flow(0, 1, t);
         }
         let inst = b.build().unwrap();
-        let s = run_policy(&inst, &mut MinRTime);
+        let s = run_policy(&inst, &mut MinRTime::default());
         let m = fss_core::metrics::evaluate(&inst, &s);
         // Input port 0 receives 2 flows per round: queue grows linearly,
         // but MinRTime serves oldest-first so max response stays ~n.
@@ -181,6 +181,6 @@ mod tests {
         let inst = InstanceBuilder::new(Switch::uniform(2, 2, 2))
             .build()
             .unwrap();
-        let _ = run_policy(&inst, &mut MaxCard);
+        let _ = run_policy(&inst, &mut MaxCard::default());
     }
 }

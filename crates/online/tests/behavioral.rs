@@ -33,7 +33,7 @@ proptest! {
     /// total released before its completion).
     #[test]
     fn minrtime_no_starvation(inst in stream_instance()) {
-        let sched = run_policy(&inst, &mut MinRTime);
+        let sched = run_policy(&inst, &mut MinRTime::default());
         let m = fss_core::metrics::evaluate(&inst, &sched);
         prop_assert!(m.max_response <= inst.n() as u64 + 1,
             "a flow starved: max response {} with n = {}", m.max_response, inst.n());
@@ -75,10 +75,10 @@ fn policies_identical_on_conflict_free_load() {
     let inst = b.build().unwrap();
     let expected = inst.n() as u64; // every response = 1
     for sched in [
-        run_policy(&inst, &mut MaxCard),
-        run_policy(&inst, &mut MinRTime),
-        run_policy(&inst, &mut MaxWeight),
-        run_policy(&inst, &mut FifoGreedy),
+        run_policy(&inst, &mut MaxCard::default()),
+        run_policy(&inst, &mut MinRTime::default()),
+        run_policy(&inst, &mut MaxWeight::default()),
+        run_policy(&inst, &mut FifoGreedy::default()),
     ] {
         let m = fss_core::metrics::evaluate(&inst, &sched);
         assert_eq!(m.total_response, expected);
@@ -97,8 +97,8 @@ fn minrtime_dominates_on_the_aging_adversary() {
         b.unit_flow(0, ((t + 1) % 4) as u32, t);
     }
     let inst = b.build().unwrap();
-    let mr = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MinRTime));
-    let mc = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MaxCard));
+    let mr = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MinRTime::default()));
+    let mc = fss_core::metrics::evaluate(&inst, &run_policy(&inst, &mut MaxCard::default()));
     assert!(
         mr.max_response <= mc.max_response,
         "MinRTime {} should not lose to MaxCard {} on max response here",

@@ -72,10 +72,10 @@ impl PolicyKind {
     /// implementation for differential testing.
     pub fn run_legacy(self, inst: &Instance) -> Schedule {
         match self {
-            PolicyKind::MaxCard => run_policy(inst, &mut MaxCard),
-            PolicyKind::MinRTime => run_policy(inst, &mut MinRTime),
-            PolicyKind::MaxWeight => run_policy(inst, &mut MaxWeight),
-            PolicyKind::FifoGreedy => run_policy(inst, &mut FifoGreedy),
+            PolicyKind::MaxCard => run_policy(inst, &mut MaxCard::default()),
+            PolicyKind::MinRTime => run_policy(inst, &mut MinRTime::default()),
+            PolicyKind::MaxWeight => run_policy(inst, &mut MaxWeight::default()),
+            PolicyKind::FifoGreedy => run_policy(inst, &mut FifoGreedy::default()),
         }
     }
 }

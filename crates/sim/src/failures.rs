@@ -160,8 +160,9 @@ mod tests {
     fn no_failures_matches_plain_runner() {
         let mut rng = SmallRng::seed_from_u64(61);
         let inst = random_instance(&mut rng, &GenParams::unit(4, 20, 5));
-        let plain = fss_online::run_policy(&inst, &mut MaxCard);
-        let with = run_policy_with_failures(&inst, &mut MaxCard, &FailurePlan::default());
+        let plain = fss_online::run_policy(&inst, &mut MaxCard::default());
+        let with =
+            run_policy_with_failures(&inst, &mut MaxCard::default(), &FailurePlan::default());
         assert_eq!(plain, with);
     }
 
@@ -176,8 +177,8 @@ mod tests {
                     outage(PortSide::Output, 2, 3, 9),
                 ],
             };
-            let streamed = run_policy_with_failures(&inst, &mut MinRTime, &plan);
-            let legacy = run_policy_with_failures_legacy(&inst, &mut MinRTime, &plan);
+            let streamed = run_policy_with_failures(&inst, &mut MinRTime::default(), &plan);
+            let legacy = run_policy_with_failures_legacy(&inst, &mut MinRTime::default(), &plan);
             assert_eq!(streamed, legacy);
         }
     }
@@ -189,7 +190,7 @@ mod tests {
         let plan = FailurePlan {
             outages: vec![outage(PortSide::Input, 0, 0, 6)],
         };
-        let sched = run_policy_with_failures(&inst, &mut MinRTime, &plan);
+        let sched = run_policy_with_failures(&inst, &mut MinRTime::default(), &plan);
         for (i, f) in inst.flows.iter().enumerate() {
             let t = sched.rounds()[i];
             assert!(
@@ -211,7 +212,7 @@ mod tests {
         let plan = FailurePlan {
             outages: vec![outage(PortSide::Input, 0, 0, 10)],
         };
-        let sched = run_policy_with_failures(&inst, &mut MaxCard, &plan);
+        let sched = run_policy_with_failures(&inst, &mut MaxCard::default(), &plan);
         assert!(sched.rounds()[0] >= 10);
         assert!(sched.rounds()[1] >= 10);
         assert_eq!(sched.rounds()[2], 0, "unaffected flow proceeds normally");
@@ -233,7 +234,7 @@ mod tests {
             })
             .collect();
         let plan = FailurePlan { outages };
-        let sched = run_policy_with_failures(&inst, &mut MaxCard, &plan);
+        let sched = run_policy_with_failures(&inst, &mut MaxCard::default(), &plan);
         assert!(sched.rounds().iter().all(|&t| t >= 4));
         validate::check(&inst, &sched, &inst.switch).unwrap();
     }
@@ -242,7 +243,10 @@ mod tests {
     fn failures_increase_response_times() {
         let mut rng = SmallRng::seed_from_u64(63);
         let inst = random_instance(&mut rng, &GenParams::unit(3, 18, 3));
-        let base = fss_core::metrics::evaluate(&inst, &fss_online::run_policy(&inst, &mut MaxCard));
+        let base = fss_core::metrics::evaluate(
+            &inst,
+            &fss_online::run_policy(&inst, &mut MaxCard::default()),
+        );
         let plan = FailurePlan {
             outages: vec![
                 outage(PortSide::Input, 0, 0, 8),
@@ -251,7 +255,7 @@ mod tests {
         };
         let degraded = fss_core::metrics::evaluate(
             &inst,
-            &run_policy_with_failures(&inst, &mut MaxCard, &plan),
+            &run_policy_with_failures(&inst, &mut MaxCard::default(), &plan),
         );
         assert!(degraded.total_response >= base.total_response);
     }

@@ -432,18 +432,30 @@ pub fn run_scenario_with(
             on_dispatch,
         )),
         Some(plan) => Ok(match policy {
-            PolicyKind::MaxCard => {
-                fss_engine::run_stream_failures_with(source, &mut MaxCard, plan, on_dispatch)
-            }
-            PolicyKind::MinRTime => {
-                fss_engine::run_stream_failures_with(source, &mut MinRTime, plan, on_dispatch)
-            }
-            PolicyKind::MaxWeight => {
-                fss_engine::run_stream_failures_with(source, &mut MaxWeight, plan, on_dispatch)
-            }
-            PolicyKind::FifoGreedy => {
-                fss_engine::run_stream_failures_with(source, &mut FifoGreedy, plan, on_dispatch)
-            }
+            PolicyKind::MaxCard => fss_engine::run_stream_failures_with(
+                source,
+                &mut MaxCard::default(),
+                plan,
+                on_dispatch,
+            ),
+            PolicyKind::MinRTime => fss_engine::run_stream_failures_with(
+                source,
+                &mut MinRTime::default(),
+                plan,
+                on_dispatch,
+            ),
+            PolicyKind::MaxWeight => fss_engine::run_stream_failures_with(
+                source,
+                &mut MaxWeight::default(),
+                plan,
+                on_dispatch,
+            ),
+            PolicyKind::FifoGreedy => fss_engine::run_stream_failures_with(
+                source,
+                &mut FifoGreedy::default(),
+                plan,
+                on_dispatch,
+            ),
         }),
     }
 }
@@ -580,7 +592,8 @@ mod tests {
         let spec = ScenarioSpec::poisson(4, 2.0, 10, 21).with_failures(plan.clone());
         let inst = spec.instance().unwrap();
         let stats = run_scenario(&spec, PolicyKind::MaxCard).unwrap();
-        let sched = crate::failures::run_policy_with_failures(&inst, &mut MaxCard, &plan);
+        let sched =
+            crate::failures::run_policy_with_failures(&inst, &mut MaxCard::default(), &plan);
         let met = fss_core::metrics::evaluate(&inst, &sched);
         assert_eq!(stats.dispatched as usize, met.n);
         assert_eq!(stats.total_response, u128::from(met.total_response));

@@ -172,8 +172,8 @@ mod tests {
     #[test]
     fn trace_matches_untraced_run() {
         let inst = inst();
-        let (sched, trace) = run_policy_traced(&inst, &mut MaxCard);
-        let plain = fss_online::run_policy(&inst, &mut MaxCard);
+        let (sched, trace) = run_policy_traced(&inst, &mut MaxCard::default());
+        let plain = fss_online::run_policy(&inst, &mut MaxCard::default());
         assert_eq!(sched, plain, "tracing must not change decisions");
         assert_eq!(trace.policy, "MaxCard");
         assert_eq!(trace.to_schedule(inst.n()).unwrap(), sched);
@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn jsonl_round_trip() {
         let inst = inst();
-        let (_, trace) = run_policy_traced(&inst, &mut MinRTime);
+        let (_, trace) = run_policy_traced(&inst, &mut MinRTime::default());
         let text = trace.to_jsonl();
         let back = Trace::from_jsonl(&text).unwrap();
         assert_eq!(trace, back);
@@ -191,14 +191,14 @@ mod tests {
     #[test]
     fn queue_after_decreases_to_zero() {
         let inst = inst();
-        let (_, trace) = run_policy_traced(&inst, &mut MaxCard);
+        let (_, trace) = run_policy_traced(&inst, &mut MaxCard::default());
         assert_eq!(trace.rounds.last().unwrap().queue_after, 0);
     }
 
     #[test]
     fn replayed_schedule_is_feasible() {
         let inst = inst();
-        let (sched, trace) = run_policy_traced(&inst, &mut MaxCard);
+        let (sched, trace) = run_policy_traced(&inst, &mut MaxCard::default());
         let replayed = trace.to_schedule(inst.n()).unwrap();
         validate::check(&inst, &replayed, &inst.switch).unwrap();
         assert_eq!(replayed, sched);

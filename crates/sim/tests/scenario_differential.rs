@@ -56,10 +56,10 @@ fn instance_and_plan() -> impl Strategy<Value = (Instance, FailurePlan)> {
 }
 
 fn with_each_policy(mut f: impl FnMut(&mut dyn OnlinePolicy, &'static str)) {
-    f(&mut MaxCard, "MaxCard");
-    f(&mut MinRTime, "MinRTime");
-    f(&mut MaxWeight, "MaxWeight");
-    f(&mut FifoGreedy, "FifoGreedy");
+    f(&mut MaxCard::default(), "MaxCard");
+    f(&mut MinRTime::default(), "MinRTime");
+    f(&mut MaxWeight::default(), "MaxWeight");
+    f(&mut FifoGreedy::default(), "FifoGreedy");
 }
 
 proptest! {
@@ -153,6 +153,30 @@ fn replay_trace(trace: &ArrivalTrace, policy: PolicyKind, rounds_by_id: &mut [u6
 }
 
 #[test]
+fn run_scenario_weighted_schedules_equal_legacy_loop() {
+    // Round-for-round parity of the incremental weighted engine path:
+    // a Poisson scenario streamed through `run_scenario` must dispatch
+    // every flow in exactly the round the legacy `fss_online::run_policy`
+    // loop does, for both weighted heuristics.
+    for policy in [PolicyKind::MinRTime, PolicyKind::MaxWeight] {
+        for seed in [1u64, 9, 33, 0xbeef] {
+            let spec = ScenarioSpec::poisson(7, 9.0, 16, seed);
+            let inst = spec.instance().unwrap();
+            let mut rounds = vec![0u64; inst.n()];
+            let stats =
+                run_scenario_with(&spec, policy, |id, _r, t| rounds[id as usize] = t).unwrap();
+            assert_eq!(stats.dispatched as usize, inst.n());
+            let streamed = Schedule::from_rounds(rounds);
+            let legacy = match policy {
+                PolicyKind::MinRTime => fss_online::run_policy(&inst, &mut MinRTime::default()),
+                _ => fss_online::run_policy(&inst, &mut MaxWeight::default()),
+            };
+            assert_eq!(streamed, legacy, "{} seed {seed}", policy.name());
+        }
+    }
+}
+
+#[test]
 fn stable_intensity_streaming_equals_legacy() {
     for policy in [PolicyKind::MaxCard, PolicyKind::FifoGreedy] {
         let a = stable_intensity(policy, 5, 12, 3.0, 2, 99);
@@ -188,8 +212,10 @@ fn scenario_failure_runs_match_batch_failure_runner() {
         let stats = run_scenario_with(&spec, policy, |id, _r, t| rounds[id as usize] = t).unwrap();
         let streamed = Schedule::from_rounds(rounds);
         let batch = match policy {
-            PolicyKind::MaxCard => run_policy_with_failures_legacy(&inst, &mut MaxCard, &plan),
-            _ => run_policy_with_failures_legacy(&inst, &mut MinRTime, &plan),
+            PolicyKind::MaxCard => {
+                run_policy_with_failures_legacy(&inst, &mut MaxCard::default(), &plan)
+            }
+            _ => run_policy_with_failures_legacy(&inst, &mut MinRTime::default(), &plan),
         };
         assert_eq!(streamed, batch, "{}", policy.name());
         assert_eq!(stats.dispatched as usize, inst.n());

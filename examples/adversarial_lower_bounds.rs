@@ -20,9 +20,9 @@ fn main() {
     let (opt, _) = min_max_response(&inst);
     println!("Figure 4(b): offline optimal max response = {opt} (Lemma 5.2 says 2)");
     for (name, sched) in [
-        ("MaxCard", run_policy(&inst, &mut MaxCard)),
-        ("MinRTime", run_policy(&inst, &mut MinRTime)),
-        ("MaxWeight", run_policy(&inst, &mut MaxWeight)),
+        ("MaxCard", run_policy(&inst, &mut MaxCard::default())),
+        ("MinRTime", run_policy(&inst, &mut MinRTime::default())),
+        ("MaxWeight", run_policy(&inst, &mut MaxWeight::default())),
     ] {
         let m = metrics::evaluate(&inst, &sched);
         println!("  {name:<10} online max response = {}", m.max_response);
@@ -37,9 +37,9 @@ fn main() {
             inst.n()
         );
         for (name, sched) in [
-            ("MaxCard", run_policy(&inst, &mut MaxCard)),
-            ("MinRTime", run_policy(&inst, &mut MinRTime)),
-            ("MaxWeight", run_policy(&inst, &mut MaxWeight)),
+            ("MaxCard", run_policy(&inst, &mut MaxCard::default())),
+            ("MinRTime", run_policy(&inst, &mut MinRTime::default())),
+            ("MaxWeight", run_policy(&inst, &mut MaxWeight::default())),
         ] {
             let m = metrics::evaluate(&inst, &sched);
             println!(

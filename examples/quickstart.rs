@@ -43,9 +43,9 @@ fn main() {
 
     // Online heuristics (paper §5.2).
     for (name, sched) in [
-        ("MaxCard", run_policy(&inst, &mut MaxCard)),
-        ("MinRTime", run_policy(&inst, &mut MinRTime)),
-        ("MaxWeight", run_policy(&inst, &mut MaxWeight)),
+        ("MaxCard", run_policy(&inst, &mut MaxCard::default())),
+        ("MinRTime", run_policy(&inst, &mut MinRTime::default())),
+        ("MaxWeight", run_policy(&inst, &mut MaxWeight::default())),
     ] {
         let m = metrics::evaluate(&inst, &sched);
         println!(

@@ -82,8 +82,13 @@ fn main() {
             },
         ],
     };
-    let healthy = flow_switch::online::run_policy(&unit_inst, &mut flow_switch::online::MaxWeight);
-    let degraded = run_policy_with_failures(&unit_inst, &mut flow_switch::online::MaxWeight, &plan);
+    let healthy =
+        flow_switch::online::run_policy(&unit_inst, &mut flow_switch::online::MaxWeight::default());
+    let degraded = run_policy_with_failures(
+        &unit_inst,
+        &mut flow_switch::online::MaxWeight::default(),
+        &plan,
+    );
     let hm = metrics::evaluate(&unit_inst, &healthy);
     let dm = metrics::evaluate(&unit_inst, &degraded);
     println!("failure injection (input 0 down rounds 2-7, output 3 down 5-11):");

@@ -32,8 +32,8 @@ fn main() {
         params.mean_arrivals / params.m as f64
     );
 
-    let (sched_mc, trace_mc) = run_policy_traced(&inst, &mut MaxCard);
-    let (sched_mr, trace_mr) = run_policy_traced(&inst, &mut MinRTime);
+    let (sched_mc, trace_mc) = run_policy_traced(&inst, &mut MaxCard::default());
+    let (sched_mr, trace_mr) = run_policy_traced(&inst, &mut MinRTime::default());
 
     for (name, sched) in [("MaxCard", &sched_mc), ("MinRTime", &sched_mr)] {
         validate::check(&inst, sched, &inst.switch).expect("feasible");

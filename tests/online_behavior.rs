@@ -30,9 +30,9 @@ fn heuristics_within_small_factor_of_lp_on_poisson_workloads() {
         let lp_avg = art_lp_lower_bound(&inst, None).unwrap() / inst.n() as f64;
         let lp_max = min_feasible_rho(&inst, None).unwrap() as f64;
         for (name, sched) in [
-            ("MaxCard", run_policy(&inst, &mut MaxCard)),
-            ("MinRTime", run_policy(&inst, &mut MinRTime)),
-            ("MaxWeight", run_policy(&inst, &mut MaxWeight)),
+            ("MaxCard", run_policy(&inst, &mut MaxCard::default())),
+            ("MinRTime", run_policy(&inst, &mut MinRTime::default())),
+            ("MaxWeight", run_policy(&inst, &mut MaxWeight::default())),
         ] {
             let m = metrics::evaluate(&inst, &sched);
             assert!(
@@ -57,9 +57,9 @@ fn figure_4b_no_policy_beats_offline_bound() {
     let (opt, _) = min_max_response(&inst);
     assert_eq!(opt, 2);
     for sched in [
-        run_policy(&inst, &mut MaxCard),
-        run_policy(&inst, &mut MinRTime),
-        run_policy(&inst, &mut MaxWeight),
+        run_policy(&inst, &mut MaxCard::default()),
+        run_policy(&inst, &mut MinRTime::default()),
+        run_policy(&inst, &mut MaxWeight::default()),
     ] {
         let m = metrics::evaluate(&inst, &sched);
         assert!(m.max_response >= 2);
@@ -76,8 +76,8 @@ fn figure_4a_ratio_grows_with_stream_length() {
     let short = figure_4a(t, 24);
     let long = figure_4a(t, 96);
     let ratio = |inst: &Instance| {
-        let online =
-            metrics::evaluate(inst, &run_policy(inst, &mut MinRTime)).total_response as f64;
+        let online = metrics::evaluate(inst, &run_policy(inst, &mut MinRTime::default()))
+            .total_response as f64;
         // Offline cost of the Lemma 5.1 strategy: (0,1) flows respond in
         // 1, (0,0) flows wait ~T, dashed flows respond in 1.
         let offline: f64 = (2 * t + (t * t) / 2 + (inst.n() as u64 - 2 * t)) as f64;
@@ -118,7 +118,7 @@ fn online_policies_are_work_conserving_under_load() {
         rounds: 4,
     };
     let inst = poisson_workload(&mut rng, &params);
-    let sched = run_policy(&inst, &mut MaxCard);
+    let sched = run_policy(&inst, &mut MaxCard::default());
     // With m=5 ports, at most 5 flows per round; heavy load should fill
     // most rounds to near capacity until the queue drains.
     let mut per_round = std::collections::HashMap::new();

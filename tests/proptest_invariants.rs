@@ -84,9 +84,9 @@ proptest! {
     #[test]
     fn online_policies_feasible_and_complete(inst in unit_instance()) {
         for sched in [
-            run_policy(&inst, &mut MaxCard),
-            run_policy(&inst, &mut MinRTime),
-            run_policy(&inst, &mut MaxWeight),
+            run_policy(&inst, &mut MaxCard::default()),
+            run_policy(&inst, &mut MinRTime::default()),
+            run_policy(&inst, &mut MaxWeight::default()),
         ] {
             prop_assert!(validate::check(&inst, &sched, &inst.switch).is_ok());
             prop_assert_eq!(sched.len(), inst.n());
