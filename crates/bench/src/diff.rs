@@ -34,7 +34,11 @@ pub struct CellDelta {
     /// Throughput change in percent (negative = slower; 0 when either
     /// side has no throughput).
     pub speed_change_pct: f64,
-    /// Did this cell slow down beyond the tolerance?
+    /// Do the cells disagree on any metric (a value changed, or a
+    /// metric appeared/vanished)? Gates only under `--strict-metrics`.
+    pub metric_drift: bool,
+    /// Did this cell regress (throughput beyond tolerance, or metric
+    /// drift in strict mode)?
     pub regressed: bool,
 }
 
@@ -45,17 +49,22 @@ pub struct DiffReport {
     pub experiment: String,
     /// Flows/s drop (in percent) beyond which a cell regresses.
     pub tolerance_pct: f64,
+    /// Whether metric drift gates (the sharded-vs-single-process
+    /// differential mode: metric values are seed-deterministic, so any
+    /// drift there is a correctness bug, while timing is noise).
+    pub strict_metrics: bool,
     /// Cells present in both reports, in old-report order.
     pub cells: Vec<CellDelta>,
     /// Cell ids present only in the old report (each is a regression:
     /// coverage was lost).
     pub missing: Vec<String>,
-    /// Cell ids present only in the new report (informational).
+    /// Cell ids present only in the new report (reported explicitly as
+    /// added; never a regression).
     pub added: Vec<String>,
 }
 
 impl DiffReport {
-    /// Number of regressions: vanished cells plus throughput drops.
+    /// Number of regressions: vanished cells plus regressed cells.
     pub fn regressions(&self) -> usize {
         self.missing.len() + self.cells.iter().filter(|c| c.regressed).count()
     }
@@ -69,6 +78,21 @@ impl DiffReport {
 /// Compare two in-memory reports. `tolerance_pct` bounds the acceptable
 /// flows/s drop per cell (e.g. `30.0` allows down to 70% of old speed).
 pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) -> DiffReport {
+    diff_reports_opts(old, new, tolerance_pct, false)
+}
+
+/// [`diff_reports`] with strict-metrics mode: any metric value drift
+/// regresses, independent of throughput. Pair with `tolerance_pct =
+/// 100` to gate *only* on coverage + values — the right setting for
+/// comparing a multi-worker merged artifact against a single-process
+/// run, where per-cell wall clocks are incomparable but every metric
+/// must match exactly.
+pub fn diff_reports_opts(
+    old: &BenchReport,
+    new: &BenchReport,
+    tolerance_pct: f64,
+    strict_metrics: bool,
+) -> DiffReport {
     let find = |cells: &[BenchCell], id: &str| -> Option<usize> {
         cells.iter().position(|c| c.cell_id == id)
     };
@@ -85,6 +109,11 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) ->
             .iter()
             .filter_map(|(name, old_v)| nc.metric(name).map(|new_v| (name.clone(), *old_v, new_v)))
             .collect();
+        // Drift: a value changed, or the metric sets differ at all
+        // (metrics.len() below counts only the common names).
+        let metric_drift = metrics.len() != oc.metrics.len()
+            || oc.metrics.len() != nc.metrics.len()
+            || metrics.iter().any(|(_, o, n)| o != n);
         let (old_fps, new_fps) = (oc.flows_per_s(), nc.flows_per_s());
         let (speed_change_pct, regressed) = if old_fps > 0.0 && new_fps > 0.0 {
             let pct = (new_fps - old_fps) / old_fps * 100.0;
@@ -102,7 +131,8 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) ->
             old_flows_per_s: old_fps,
             new_flows_per_s: new_fps,
             speed_change_pct,
-            regressed,
+            metric_drift,
+            regressed: regressed || (strict_metrics && metric_drift),
         });
     }
     let added = new
@@ -114,6 +144,7 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) ->
     DiffReport {
         experiment: old.experiment.clone(),
         tolerance_pct,
+        strict_metrics,
         cells,
         missing,
         added,
@@ -126,6 +157,17 @@ pub fn diff_artifacts(
     old_path: &Path,
     new_path: &Path,
     tolerance_pct: f64,
+) -> Result<DiffReport, String> {
+    diff_artifacts_opts(old_path, new_path, tolerance_pct, false)
+}
+
+/// [`diff_artifacts`] with strict-metrics mode (see
+/// [`diff_reports_opts`]).
+pub fn diff_artifacts_opts(
+    old_path: &Path,
+    new_path: &Path,
+    tolerance_pct: f64,
+    strict_metrics: bool,
 ) -> Result<DiffReport, String> {
     let read = |path: &Path| -> Result<BenchReport, String> {
         let text =
@@ -140,17 +182,22 @@ pub fn diff_artifacts(
             old.experiment, new.experiment
         ));
     }
-    Ok(diff_reports(&old, &new, tolerance_pct))
+    Ok(diff_reports_opts(&old, &new, tolerance_pct, strict_metrics))
 }
 
 /// Render a diff as an aligned table plus a verdict line.
 pub fn render_diff(diff: &DiffReport) -> String {
     use std::fmt::Write as _;
     let mut out = format!(
-        "{} — {} cell(s) compared, tolerance {:.0}%\n",
+        "{} — {} cell(s) compared, tolerance {:.0}%{}\n",
         diff.experiment,
         diff.cells.len(),
-        diff.tolerance_pct
+        diff.tolerance_pct,
+        if diff.strict_metrics {
+            ", strict metrics"
+        } else {
+            ""
+        }
     );
     for c in &diff.cells {
         let _ = write!(out, "{:<40}", c.cell_id);
@@ -161,6 +208,9 @@ pub fn render_diff(diff: &DiffReport) -> String {
             } else {
                 let _ = write!(out, "  {name}={old_v:.4}->{new_v:.4} ({delta:+.4})");
             }
+        }
+        if diff.strict_metrics && c.metric_drift {
+            let _ = write!(out, "  [METRIC DRIFT]");
         }
         if c.old_flows_per_s > 0.0 || c.new_flows_per_s > 0.0 {
             let _ = write!(
@@ -178,13 +228,15 @@ pub fn render_diff(diff: &DiffReport) -> String {
         let _ = writeln!(out, "{id:<40}  MISSING in new report (regression)");
     }
     for id in &diff.added {
-        let _ = writeln!(out, "{id:<40}  added in new report");
+        let _ = writeln!(out, "{id:<40}  ADDED in new report (new coverage)");
     }
     let _ = writeln!(
         out,
-        "{}: {} regression(s)",
+        "{}: {} regression(s), {} cell(s) missing, {} cell(s) added",
         if diff.passes() { "PASS" } else { "FAIL" },
-        diff.regressions()
+        diff.regressions(),
+        diff.missing.len(),
+        diff.added.len()
     );
     out
 }
@@ -207,14 +259,14 @@ mod tests {
     }
 
     fn cell(id: &str, metric: f64, wall_s: f64, flows: u64) -> BenchCell {
-        BenchCell {
-            cell_id: id.into(),
-            params: vec![],
-            metrics: vec![("avg_response".into(), metric)],
+        BenchCell::new(
+            id,
+            vec![],
+            vec![("avg_response".into(), metric)],
             wall_s,
             flows,
-            engine_mode: "engine".into(),
-        }
+            "engine",
+        )
     }
 
     #[test]
@@ -256,6 +308,32 @@ mod tests {
         assert_eq!(diff.missing, vec!["fig6/b".to_string()]);
         assert_eq!(diff.added, vec!["fig6/c".to_string()]);
         assert_eq!(diff.regressions(), 1);
+        // Added cells are reported explicitly, not silently dropped:
+        // named in a body line AND counted in the verdict.
+        let rendered = render_diff(&diff);
+        assert!(
+            rendered.contains("fig6/c") && rendered.contains("ADDED in new report"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("1 cell(s) added"), "{rendered}");
+        assert!(rendered.contains("1 cell(s) missing"), "{rendered}");
+    }
+
+    #[test]
+    fn added_cells_never_gate_and_self_diff_reports_zero_added() {
+        let old = report(vec![cell("fig6/a", 2.0, 0.5, 10)]);
+        let new = report(vec![
+            cell("fig6/a", 2.0, 0.5, 10),
+            cell("fig6/new1", 1.0, 0.5, 10),
+            cell("fig6/new2", 1.0, 0.5, 0),
+        ]);
+        let diff = diff_reports(&old, &new, 30.0);
+        assert!(diff.passes(), "new coverage is not a regression");
+        assert_eq!(diff.added.len(), 2);
+        let rendered = render_diff(&diff);
+        assert!(rendered.contains("2 cell(s) added"), "{rendered}");
+        let self_diff = diff_reports(&new, &new, 30.0);
+        assert!(render_diff(&self_diff).contains("0 cell(s) added"));
     }
 
     #[test]
@@ -264,8 +342,37 @@ mod tests {
         let new = report(vec![cell("fig6/a", 2.5, 0.5, 10)]);
         let diff = diff_reports(&old, &new, 30.0);
         assert!(diff.passes());
+        assert!(diff.cells[0].metric_drift, "drift is still recorded");
         let rendered = render_diff(&diff);
         assert!(rendered.contains("2.0000->2.5000"), "{rendered}");
+    }
+
+    #[test]
+    fn strict_metrics_gates_on_value_drift_but_never_on_timing() {
+        let old = report(vec![cell("fig6/a", 2.0, 0.5, 1000)]);
+        // Same metrics, wildly different timing: strict mode at full
+        // tolerance passes (the sharded-vs-single-process setting).
+        let new = report(vec![cell("fig6/a", 2.0, 50.0, 1000)]);
+        let diff = diff_reports_opts(&old, &new, 100.0, true);
+        assert!(diff.passes(), "timing noise must not gate in strict mode");
+
+        // A drifted value gates, whatever the throughput did.
+        let drifted = report(vec![cell("fig6/a", 2.0001, 0.5, 1000)]);
+        let diff = diff_reports_opts(&old, &drifted, 100.0, true);
+        assert!(!diff.passes());
+        assert!(diff.cells[0].metric_drift && diff.cells[0].regressed);
+        let rendered = render_diff(&diff);
+        assert!(rendered.contains("METRIC DRIFT"), "{rendered}");
+        assert!(rendered.contains("strict metrics"), "{rendered}");
+
+        // So does a vanished metric, even with identical shared values.
+        let mut fewer = report(vec![cell("fig6/a", 2.0, 0.5, 1000)]);
+        fewer.cells[0].metrics.clear();
+        let diff = diff_reports_opts(&old, &fewer, 100.0, true);
+        assert!(!diff.passes(), "metric sets must match in strict mode");
+
+        // Without strict mode the same drift only reports.
+        assert!(diff_reports(&old, &drifted, 100.0).passes());
     }
 
     #[test]

@@ -77,10 +77,16 @@ fn heuristic_cell(
     };
     CellSpec::new(
         format!("{exp}/{}/M{}/T{t}", policy.name(), fmt_m(ma)),
+        // `m` and `trials` are tier-dependent but absent from the cell
+        // id, so they must be params: fingerprints (the checkpoint /
+        // shard-assignment key) hash the params, and cells from
+        // different tiers must never collide.
         vec![
             ("policy", policy.name().to_string()),
             ("M", fmt_m(ma)),
             ("T", t.to_string()),
+            ("m", base.m.to_string()),
+            ("trials", base.trials.to_string()),
         ],
         move || {
             let cell = run_grid(&cfg).pop().expect("singleton grid yields a cell");
@@ -120,7 +126,12 @@ fn lp_cell(
     };
     CellSpec::new(
         format!("{exp}/lp/M{}/T{t}", fmt_m(ma)),
-        vec![("M", fmt_m(ma)), ("T", t.to_string())],
+        vec![
+            ("M", fmt_m(ma)),
+            ("T", t.to_string()),
+            ("m", base.m.to_string()),
+            ("trials", lp_trials.to_string()),
+        ],
         move || {
             let b = lp_bounds_grid_parts(&cfg, window, parts)
                 .pop()

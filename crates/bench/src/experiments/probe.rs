@@ -79,8 +79,14 @@ pub fn open_problem_probe() -> Experiment {
         id: "open_problem_probe",
         description: "paper §6 probe — worst exact rho over degree-bounded request sequences",
         build: Box::new(|scale| {
-            let (trials, m, rounds) = if scale.smoke {
-                (scale.trials_or(5, 5), 3usize, 4u64)
+            // The paper tier samples many more sequences: the probe's
+            // value is the worst case observed, which sharpens with
+            // sample count. `sequences` is already a param, so tiers
+            // get distinct fingerprints.
+            let (trials, m, rounds) = if scale.paper {
+                (scale.tiered_trials(5, 60, 200), 3usize, 5u64)
+            } else if scale.smoke {
+                (scale.trials_or(5, 5), 3, 4)
             } else {
                 (scale.trials_or(60, 60), 3, 5)
             };

@@ -36,9 +36,14 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
     // `O(peak queue)` memory and the weighted policies now repair their
     // matchings incrementally, so `T = 5_000` arrival rounds per point
     // is affordable (the knee estimate sharpens as `T` grows). Smoke
-    // stays CI-sized.
-    let (m, rounds, trials) = if scale.smoke {
-        (6usize, 10u64, scale.trials_or(2, 2))
+    // stays CI-sized; the paper tier pushes the horizon into the
+    // hundreds of thousands of rounds at the paper's 10 trials — a
+    // multi-hour budget that expects the checkpointed distributed
+    // runner (`bench --workers N --resume`).
+    let (m, rounds, trials) = if scale.paper {
+        (20usize, 100_000u64, scale.tiered_trials(2, 4, 10))
+    } else if scale.smoke {
+        (6, 10, scale.trials_or(2, 2))
     } else {
         (20, 5_000, scale.trials_or(4, 4))
     };
@@ -47,9 +52,14 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
         for &lambda in &INTENSITIES {
             cells.push(CellSpec::new(
                 format!("saturation/{}/lam{lambda}", policy.name()),
+                // m/T/trials are tier-dependent and not in the id, so
+                // they are params: tiers must not share fingerprints.
                 vec![
                     ("policy", policy.name().to_string()),
                     ("lambda", lambda.to_string()),
+                    ("m", m.to_string()),
+                    ("T", rounds.to_string()),
+                    ("trials", trials.to_string()),
                 ],
                 move || {
                     let pt = saturation_sweep(policy, m, rounds, &[lambda], trials, 0x5a7)
@@ -68,7 +78,12 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
         }
         cells.push(CellSpec::new(
             format!("saturation/knee/{}", policy.name()),
-            vec![("policy", policy.name().to_string())],
+            vec![
+                ("policy", policy.name().to_string()),
+                ("m", m.to_string()),
+                ("T", rounds.to_string()),
+                ("trials", trials.min(2).to_string()),
+            ],
             move || {
                 let knee = stable_intensity(policy, m, rounds, 4.0, trials.min(2), 0x5a8);
                 CellOutcome {

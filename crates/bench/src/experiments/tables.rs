@@ -37,12 +37,14 @@ pub fn table_art() -> Experiment {
         id: "table_art",
         description: "Theorem 1 validation — FS-ART cost vs LP (1)-(4) across capacity factors",
         build: Box::new(|scale| {
-            let sizes: Vec<usize> = if scale.smoke {
+            let sizes: Vec<usize> = if scale.paper {
+                vec![20, 40, 80, 120, 160]
+            } else if scale.smoke {
                 vec![12, 20]
             } else {
                 vec![20, 40, 80, 120]
             };
-            let trials = scale.trials_or(1, 3);
+            let trials = scale.tiered_trials(1, 3, 10);
             let mut cells = Vec::new();
             for &n in &sizes {
                 let m = (n / 5).clamp(3, 12);
@@ -53,6 +55,7 @@ pub fn table_art() -> Experiment {
                             ("n", n.to_string()),
                             ("m", m.to_string()),
                             ("c", c.to_string()),
+                            ("trials", trials.to_string()),
                         ],
                         move || art_cell(n, m, c, trials),
                     ));
@@ -105,18 +108,24 @@ pub fn table_mrt() -> Experiment {
         id: "table_mrt",
         description: "Theorem 3 validation — FS-MRT augmentation vs the 2*dmax-1 budget",
         build: Box::new(|scale| {
-            let ns: Vec<usize> = if scale.smoke {
+            let ns: Vec<usize> = if scale.paper {
+                vec![15, 30, 60, 90]
+            } else if scale.smoke {
                 vec![10]
             } else {
                 vec![15, 30, 60]
             };
-            let trials = scale.trials_or(2, 5);
+            let trials = scale.tiered_trials(2, 5, 10);
             let mut cells = Vec::new();
             for &n in &ns {
                 for &dmax in &[1u32, 2, 3, 5] {
                     cells.push(CellSpec::new(
                         format!("table_mrt/n{n}/dmax{dmax}"),
-                        vec![("n", n.to_string()), ("dmax", dmax.to_string())],
+                        vec![
+                            ("n", n.to_string()),
+                            ("dmax", dmax.to_string()),
+                            ("trials", trials.to_string()),
+                        ],
                         move || mrt_cell(n, dmax, trials),
                     ));
                 }
@@ -174,18 +183,24 @@ pub fn table_amrt() -> Experiment {
         id: "table_amrt",
         description: "Lemma 5.3 validation — online AMRT vs offline rho* and the load budget",
         build: Box::new(|scale| {
-            let configs: Vec<(usize, u64)> = if scale.smoke {
+            let configs: Vec<(usize, u64)> = if scale.paper {
+                vec![(12, 4), (24, 8), (48, 16), (96, 32)]
+            } else if scale.smoke {
                 vec![(10, 4)]
             } else {
                 vec![(12, 4), (24, 8), (48, 16)]
             };
-            let trials = scale.trials_or(2, 5);
+            let trials = scale.tiered_trials(2, 5, 10);
             configs
                 .into_iter()
                 .map(|(n, span)| {
                     CellSpec::new(
                         format!("table_amrt/n{n}/span{span}"),
-                        vec![("n", n.to_string()), ("release_span", span.to_string())],
+                        vec![
+                            ("n", n.to_string()),
+                            ("release_span", span.to_string()),
+                            ("trials", trials.to_string()),
+                        ],
                         move || amrt_cell(n, span, trials),
                     )
                 })
@@ -312,12 +327,14 @@ pub fn table_rounding_ablation() -> Experiment {
         id: "table_rounding_ablation",
         description: "rounding ablation — IterativeRelaxation vs BeckFiala augmentation and time",
         build: Box::new(|scale| {
-            let configs: Vec<(usize, u32)> = if scale.smoke {
+            let configs: Vec<(usize, u32)> = if scale.paper {
+                vec![(15, 1), (30, 1), (30, 3), (60, 3), (90, 3)]
+            } else if scale.smoke {
                 vec![(10, 1)]
             } else {
                 vec![(15, 1), (30, 1), (30, 3), (60, 3)]
             };
-            let trials = scale.trials_or(2, 5);
+            let trials = scale.tiered_trials(2, 5, 10);
             let mut cells = Vec::new();
             for &(n, dmax) in &configs {
                 for engine in [
@@ -334,6 +351,7 @@ pub fn table_rounding_ablation() -> Experiment {
                             ("n", n.to_string()),
                             ("dmax", dmax.to_string()),
                             ("engine", name.to_string()),
+                            ("trials", trials.to_string()),
                         ],
                         move || rounding_cell(n, dmax, engine, trials),
                     ));
@@ -394,17 +412,23 @@ pub fn table_window_ablation() -> Experiment {
         id: "table_window_ablation",
         description: "ART window ablation — total response vs realization window h",
         build: Box::new(|scale| {
-            let ns: Vec<usize> = if scale.smoke {
+            let ns: Vec<usize> = if scale.paper {
+                vec![24, 48, 96, 144]
+            } else if scale.smoke {
                 vec![16]
             } else {
                 vec![24, 48, 96]
             };
-            let trials = scale.trials_or(2, 5);
+            let trials = scale.tiered_trials(2, 5, 10);
             ns.into_iter()
                 .map(|n| {
                     CellSpec::new(
                         format!("table_window_ablation/n{n}"),
-                        vec![("n", n.to_string()), ("c", "2".to_string())],
+                        vec![
+                            ("n", n.to_string()),
+                            ("c", "2".to_string()),
+                            ("trials", trials.to_string()),
+                        ],
                         move || window_cell(n, trials),
                     )
                 })
@@ -462,12 +486,14 @@ pub fn table_coflow() -> Experiment {
         id: "table_coflow",
         description: "co-flow extension — SEBF/FIFO/Fair vs the bottleneck lower bound",
         build: Box::new(|scale| {
-            let configs: Vec<(usize, usize, usize)> = if scale.smoke {
+            let configs: Vec<(usize, usize, usize)> = if scale.paper {
+                vec![(6, 4, 6), (8, 8, 10), (12, 12, 20), (16, 16, 28)]
+            } else if scale.smoke {
                 vec![(4, 3, 4)]
             } else {
                 vec![(6, 4, 6), (8, 8, 10), (12, 12, 20)]
             };
-            let trials = scale.trials_or(2, 10);
+            let trials = scale.tiered_trials(2, 10, 10);
             configs
                 .into_iter()
                 .map(|(m, k, w)| {
@@ -477,6 +503,7 @@ pub fn table_coflow() -> Experiment {
                             ("m", m.to_string()),
                             ("coflows", k.to_string()),
                             ("max_width", w.to_string()),
+                            ("trials", trials.to_string()),
                         ],
                         move || coflow_cell(m, k, w, trials),
                     )

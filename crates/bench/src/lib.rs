@@ -31,15 +31,22 @@
 
 use std::path::PathBuf;
 
+pub mod cells;
 pub mod diff;
 pub mod experiments;
 pub mod orchestrator;
 pub mod registry;
 
-pub use diff::{
-    diff_artifacts, diff_reports, render_diff, CellDelta, DiffReport, DEFAULT_TOLERANCE_PCT,
+pub use cells::{
+    assemble_reports, execute_cell, flatten, scale_of, select_experiments, write_reports, FlatCell,
 };
-pub use orchestrator::{list_experiments, run_bench, BenchOptions, CELLS_STREAM_NAME};
+pub use diff::{
+    diff_artifacts, diff_artifacts_opts, diff_reports, diff_reports_opts, render_diff, CellDelta,
+    DiffReport, DEFAULT_TOLERANCE_PCT,
+};
+pub use orchestrator::{
+    list_experiments, registry_cell_counts, run_bench, BenchOptions, CELLS_STREAM_NAME,
+};
 pub use registry::{registry, select, CellOutcome, CellSpec, Experiment, ExperimentBuilder, Scale};
 
 /// Command-line options shared by the per-experiment binaries.

@@ -13,13 +13,13 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use fss_sim::report::{
-    bench_artifact_name, bench_cell_to_jsonl, bench_report_to_json, validate_bench_report,
-    BenchCell, BenchReport, BENCH_SCHEMA_VERSION,
-};
+use fss_sim::report::{bench_cell_to_jsonl, BenchCell, BenchReport};
 use rayon::prelude::*;
 
-use crate::registry::{select, CellSpec, Scale};
+use crate::cells::{
+    assemble_reports, execute_cell, flatten, scale_of, select_experiments, write_reports,
+};
+use crate::registry::Scale;
 
 /// File the orchestrator streams per-cell results into, in completion
 /// order (one compact JSON object per line).
@@ -66,26 +66,7 @@ impl Default for BenchOptions {
 /// also been written to `<out_dir>/BENCH_<experiment>.json`, and every
 /// cell streamed to `<out_dir>/BENCH_cells.jsonl` as it completed.
 pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
-    // `--trace` without a filter runs the trace replay alone; with a
-    // filter the replay joins the selected registry experiments.
-    let mut selected = match (&opts.filter, &opts.trace) {
-        (None, Some(_)) => Vec::new(),
-        (filter, _) => select(filter.as_deref()),
-    };
-    if selected.is_empty() && (opts.filter.is_some() || opts.trace.is_none()) {
-        return Err(format!(
-            "no experiment matches filter {:?}; known ids: {}",
-            opts.filter.as_deref().unwrap_or("<all>"),
-            crate::registry::registry()
-                .iter()
-                .map(|e| e.id)
-                .collect::<Vec<_>>()
-                .join(", ")
-        ));
-    }
-    if let Some(path) = &opts.trace {
-        selected.push(crate::experiments::trace_replay::trace_replay(path)?);
-    }
+    let selected = select_experiments(opts)?;
     // Always install the cap: `0` restores the shim's automatic default
     // (RAYON_NUM_THREADS / available parallelism), so a jobs=0 run after
     // a capped one isn't stuck on the previous cap.
@@ -94,27 +75,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
         .build_global()
         .map_err(|e| e.to_string())?;
     let jobs = rayon::current_num_threads() as u64;
-    let scale = Scale {
-        smoke: opts.smoke,
-        paper: opts.paper,
-        trials: opts.trials,
-    };
-
-    // Expand to the flat cell list the executor balances over.
-    struct FlatCell {
-        exp: usize,
-        idx: usize,
-        spec: CellSpec,
-    }
-    let mut flat: Vec<FlatCell> = Vec::new();
-    for (exp, e) in selected.iter().enumerate() {
-        for (idx, spec) in (e.build)(&scale).into_iter().enumerate() {
-            flat.push(FlatCell { exp, idx, spec });
-        }
-    }
-    if flat.is_empty() {
-        return Err("selected experiments expanded to zero cells".into());
-    }
+    let flat = flatten(&selected, &scale_of(opts))?;
 
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| format!("create {}: {e}", opts.out_dir.display()))?;
@@ -127,19 +88,10 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
     // each as it finishes (completion order), keep (exp, idx) so the
     // aggregate reports come out in declaration order.
     let started = Instant::now();
-    let mut executed: Vec<(usize, usize, BenchCell)> = flat
+    let executed: Vec<(usize, usize, BenchCell)> = flat
         .par_iter()
         .map(|fc| {
-            let t0 = Instant::now();
-            let outcome = (fc.spec.run)();
-            let cell = BenchCell {
-                cell_id: fc.spec.id.clone(),
-                params: fc.spec.params.clone(),
-                metrics: outcome.metrics,
-                wall_s: t0.elapsed().as_secs_f64(),
-                flows: outcome.flows,
-                engine_mode: outcome.engine_mode.to_string(),
-            };
+            let cell = execute_cell(fc);
             let line = bench_cell_to_jsonl(&cell);
             {
                 let mut w = stream.lock().expect("jsonl writer");
@@ -155,30 +107,33 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
         .flush()
         .map_err(|e| format!("flush {}: {e}", stream_path.display()))?;
 
-    executed.sort_by_key(|&(exp, idx, _)| (exp, idx));
-    let mut reports = Vec::with_capacity(selected.len());
-    for (exp, e) in selected.iter().enumerate() {
-        let cells: Vec<BenchCell> = executed
-            .iter()
-            .filter(|&&(x, _, _)| x == exp)
-            .map(|(_, _, c)| c.clone())
-            .collect();
-        let report = BenchReport {
-            schema_version: BENCH_SCHEMA_VERSION,
-            experiment: e.id.to_string(),
-            description: e.description.to_string(),
-            smoke: opts.smoke,
-            jobs,
-            total_wall_s,
-            cells,
-        };
-        validate_bench_report(&report)?;
-        let path = opts.out_dir.join(bench_artifact_name(e.id));
-        std::fs::write(&path, bench_report_to_json(&report))
-            .map_err(|err| format!("write {}: {err}", path.display()))?;
-        reports.push(report);
-    }
+    let reports = assemble_reports(&selected, opts.smoke, jobs, total_wall_s, executed)?;
+    write_reports(&reports, &opts.out_dir)?;
     Ok(reports)
+}
+
+/// Per-experiment cell counts at every registry tier, for shard
+/// planning (`flowsched bench --list`): `(id, description, [smoke,
+/// full, paper])`.
+pub fn registry_cell_counts() -> Vec<(&'static str, &'static str, [usize; 3])> {
+    crate::registry::registry()
+        .iter()
+        .map(|e| {
+            let count = |smoke: bool, paper: bool| {
+                (e.build)(&Scale {
+                    smoke,
+                    paper,
+                    trials: None,
+                })
+                .len()
+            };
+            (
+                e.id,
+                e.description,
+                [count(true, false), count(false, false), count(false, true)],
+            )
+        })
+        .collect()
 }
 
 /// List `(id, description)` for every registered experiment.

@@ -20,10 +20,11 @@ use crate::experiments;
 pub struct Scale {
     /// CI-sized grids (the old bins' `--quick`).
     pub smoke: bool,
-    /// The paper's full 150x150 heuristic grids (the old figure bins'
-    /// `--paper`; takes precedence over `smoke`). Only the figure
-    /// experiments have a distinct paper scale — the tables and sweeps
-    /// run their full grids.
+    /// Paper-exact grids and trial counts (takes precedence over
+    /// `smoke`): the 150x150 heuristic figure grids, 10 trials per cell
+    /// across the tables, and the long-horizon saturation sweep. Sized
+    /// for multi-hour budgets — pair with the distributed runner's
+    /// checkpointed `bench --workers N [--resume]` runs.
     pub paper: bool,
     /// Override trials per cell (the old bins' `--trials N`).
     pub trials: Option<u64>,
@@ -39,6 +40,29 @@ impl Scale {
                 full_default
             })
             .max(1)
+    }
+
+    /// Trials with a distinct default per tier (smoke / full / paper).
+    pub fn tiered_trials(&self, smoke: u64, full: u64, paper: u64) -> u64 {
+        let default = if self.paper {
+            paper
+        } else if self.smoke {
+            smoke
+        } else {
+            full
+        };
+        self.trials.unwrap_or(default).max(1)
+    }
+
+    /// Human name of the selected tier.
+    pub fn tier_name(&self) -> &'static str {
+        if self.paper {
+            "paper"
+        } else if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
     }
 }
 

@@ -1,0 +1,43 @@
+//! # fss-dist — the distributed sharded bench runner
+//!
+//! Scales the experiment registry past what one process can finish in
+//! one sitting: a **coordinator** shards the flattened cell list across
+//! `flowsched bench-worker` child **processes** over a stdin/stdout
+//! JSONL protocol, merges the per-cell results into the same
+//! schema-versioned `BENCH_<experiment>.json` artifacts the in-process
+//! orchestrator writes, and checkpoints every finished cell into
+//! `BENCH_cells.jsonl` so interrupted runs resume instead of restarting
+//! — the piece that makes the registry's `--paper` tier (150x150 grids,
+//! 10 trials, 100k-round saturation horizons) feasible on real
+//! machines.
+//!
+//! Design (after worker/coordinator dataflow systems like
+//! TimelyDataflow): the shard assignment is a dumb deterministic
+//! round-robin deal and the progress log is append-only. Because every
+//! cell runner derives its RNG streams from the cell's own values, the
+//! merged artifact is cell-for-cell identical to a single-process run
+//! no matter how cells were sharded, reassigned, or resumed — only
+//! wall-clock fields differ. `tests/dist_bench.rs` (workspace root)
+//! asserts exactly that, end to end, against real child processes.
+//!
+//! * [`proto`] — the wire protocol (handshake, assignment, results,
+//!   heartbeats) and the serializable [`proto::RunConfig`];
+//! * [`partition`] — the deterministic round-robin deal;
+//! * [`worker`] — the executor loop behind `flowsched bench-worker`,
+//!   generic over its transport so tests drive it in-process;
+//! * [`coordinator`] — process spawning, checkpoint replay, result
+//!   merging, dead-worker reassignment, artifact assembly.
+//!
+//! Entry points: `flowsched bench --workers N [--resume]` (CLI) or
+//! [`run_dist`] (library).
+
+#![deny(missing_docs)]
+
+pub mod coordinator;
+pub mod partition;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{run_dist, DistOptions, DistSummary};
+pub use proto::{MsgKind, RunConfig, WireMsg, PROTO_VERSION};
+pub use worker::{run_worker, worker_main};

@@ -1,0 +1,67 @@
+//! Deterministic shard assignment.
+//!
+//! Cells are dealt round-robin: shard `s` of `n` gets items
+//! `s, s+n, s+2n, ...` of the pending list. Dumb on purpose — the
+//! assignment is reproducible from the cell list alone (no load
+//! estimation, no negotiation), per-shard imbalance is at most one
+//! cell, and because cell *runners* are deterministic the merged result
+//! is identical however the shards are cut. Dynamic balance across
+//! heavy cells comes from the list already being flat (an experiment's
+//! heavy and light cells interleave across shards) and from
+//! reassignment when a worker dies.
+
+/// Deal `count` items round-robin across `shards` non-empty-capable
+/// shards: returns `shards` index lists (some possibly empty when
+/// `count < shards`). Panics if `shards == 0`.
+pub fn round_robin(count: usize, shards: usize) -> Vec<Vec<usize>> {
+    assert!(shards > 0, "cannot partition across zero shards");
+    let mut out = vec![Vec::with_capacity(count.div_ceil(shards)); shards];
+    for i in 0..count {
+        out[i % shards].push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        for count in [0usize, 1, 2, 7, 16] {
+            for shards in [1usize, 2, 3, 5, 8] {
+                let parts = round_robin(count, shards);
+                assert_eq!(parts.len(), shards);
+                let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..count).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn imbalance_is_at_most_one() {
+        let parts = round_robin(17, 5);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 17);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(round_robin(9, 4), round_robin(9, 4));
+        assert_eq!(
+            round_robin(5, 2),
+            vec![vec![0, 2, 4], vec![1, 3]],
+            "the dealing order is part of the protocol contract"
+        );
+    }
+
+    #[test]
+    fn more_shards_than_items_leaves_trailing_shards_empty() {
+        let parts = round_robin(2, 4);
+        assert_eq!(parts[0], vec![0]);
+        assert_eq!(parts[1], vec![1]);
+        assert!(parts[2].is_empty() && parts[3].is_empty());
+    }
+}

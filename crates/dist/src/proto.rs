@@ -1,0 +1,296 @@
+//! The coordinator/worker wire protocol: newline-delimited JSON
+//! messages over the worker's stdin (coordinator → worker) and stdout
+//! (worker → coordinator).
+//!
+//! The protocol is deliberately dumb — TimelyDataflow-style systems
+//! show that at this scale a deterministic shard assignment plus an
+//! append-only progress log beats any clever dynamic protocol:
+//!
+//! ```text
+//! coordinator → worker   Hello    { proto, worker, config, fail_after }
+//! worker → coordinator   Ready    { proto, cells }           (universe size check)
+//! coordinator → worker   Assign   { assign: [fingerprints] } (repeatable)
+//! worker → coordinator   Result   { cell }                   (one per executed cell)
+//! worker → coordinator   Heartbeat                           (periodic liveness)
+//! coordinator → worker   Shutdown
+//! worker → coordinator   Done                                (clean goodbye)
+//! worker → coordinator   Error    { error }                  (protocol/registry failure)
+//! ```
+//!
+//! Every message is one [`WireMsg`]: a `kind` tag plus optional payload
+//! fields (always serialized, `null` when absent — the in-tree serde
+//! shim has no field defaults, so readers require every field present).
+//! Workers never touch the filesystem; the coordinator owns the
+//! `BENCH_cells.jsonl` checkpoint stream and the merged artifacts.
+
+use fss_bench::BenchOptions;
+use fss_sim::report::BenchCell;
+use serde::{Deserialize, Serialize};
+
+/// Protocol version; both sides must agree exactly. Bump on any change
+/// to [`WireMsg`] / [`RunConfig`] shape or semantics.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Message discriminator (serialized as the variant name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// Coordinator → worker: handshake carrying the run configuration.
+    Hello,
+    /// Worker → coordinator: handshake reply with the universe size.
+    Ready,
+    /// Coordinator → worker: execute these fingerprints, in order.
+    Assign,
+    /// Worker → coordinator: one executed cell.
+    Result,
+    /// Worker → coordinator: periodic liveness signal.
+    Heartbeat,
+    /// Coordinator → worker: finish up and exit cleanly.
+    Shutdown,
+    /// Worker → coordinator: clean goodbye after `Shutdown`.
+    Done,
+    /// Worker → coordinator: fatal worker-side failure (best effort —
+    /// a crashed worker sends nothing and is detected by pipe EOF).
+    Error,
+}
+
+/// The subset of [`BenchOptions`] a worker needs to expand the *same*
+/// flat cell list as the coordinator. Serializable, so it travels in
+/// the `Hello` message; paths are passed through as strings (workers
+/// inherit the coordinator's working directory).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Experiment filter (exact id, else substring; `None` = all).
+    pub filter: Option<String>,
+    /// CI-sized grids.
+    pub smoke: bool,
+    /// Paper-scale grids (overrides `smoke`).
+    pub paper: bool,
+    /// Trials-per-cell override.
+    pub trials: Option<u64>,
+    /// Arrival-trace path for the `trace_replay` experiment.
+    pub trace: Option<String>,
+}
+
+impl RunConfig {
+    /// Extract the worker-relevant options from a bench run.
+    pub fn from_bench(opts: &BenchOptions) -> Result<RunConfig, String> {
+        let trace = match &opts.trace {
+            None => None,
+            Some(p) => Some(
+                p.to_str()
+                    .ok_or_else(|| format!("non-UTF-8 trace path {}", p.display()))?
+                    .to_string(),
+            ),
+        };
+        Ok(RunConfig {
+            filter: opts.filter.clone(),
+            smoke: opts.smoke,
+            paper: opts.paper,
+            trials: opts.trials,
+            trace,
+        })
+    }
+
+    /// Rebuild [`BenchOptions`] on the worker side. Workers never write
+    /// artifacts, so `out_dir` is irrelevant (set to the temp dir), and
+    /// `jobs` stays 0 here because the coordinator forwards the
+    /// per-worker thread cap through the `RAYON_NUM_THREADS`
+    /// environment instead (cells can fan out internally via rayon;
+    /// cross-cell parallelism is the coordinator's worker count).
+    pub fn to_bench(&self) -> BenchOptions {
+        BenchOptions {
+            filter: self.filter.clone(),
+            smoke: self.smoke,
+            paper: self.paper,
+            jobs: 0,
+            out_dir: std::env::temp_dir(),
+            trials: self.trials,
+            trace: self.trace.as_ref().map(std::path::PathBuf::from),
+        }
+    }
+}
+
+/// One protocol message: a `kind` tag plus the union of all payload
+/// fields (unused ones `None`). See the module docs for which fields
+/// each kind carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireMsg {
+    /// Which message this is.
+    pub kind: MsgKind,
+    /// `Hello`/`Ready`: protocol version.
+    pub proto: Option<u32>,
+    /// `Hello`: this worker's index (stable, for logs and fault
+    /// injection).
+    pub worker: Option<u64>,
+    /// `Hello`: the run configuration to expand the registry from.
+    pub config: Option<RunConfig>,
+    /// `Hello`: fault injection — crash (no goodbye) after this many
+    /// results. Used by tests and the CI kill-mid-run job.
+    pub fail_after: Option<u64>,
+    /// `Ready`: size of the worker's expanded cell universe (must match
+    /// the coordinator's, or the binaries/registries have diverged).
+    pub cells: Option<u64>,
+    /// `Assign`: fingerprints of the cells to execute.
+    pub assign: Option<Vec<String>>,
+    /// `Result`: the executed cell.
+    pub cell: Option<BenchCell>,
+    /// `Error`: what went wrong.
+    pub error: Option<String>,
+}
+
+impl WireMsg {
+    fn base(kind: MsgKind) -> WireMsg {
+        WireMsg {
+            kind,
+            proto: None,
+            worker: None,
+            config: None,
+            fail_after: None,
+            cells: None,
+            assign: None,
+            cell: None,
+            error: None,
+        }
+    }
+
+    /// Build a `Hello` handshake.
+    pub fn hello(worker: u64, config: RunConfig, fail_after: Option<u64>) -> WireMsg {
+        WireMsg {
+            proto: Some(PROTO_VERSION),
+            worker: Some(worker),
+            config: Some(config),
+            fail_after,
+            ..WireMsg::base(MsgKind::Hello)
+        }
+    }
+
+    /// Build a `Ready` handshake reply.
+    pub fn ready(cells: u64) -> WireMsg {
+        WireMsg {
+            proto: Some(PROTO_VERSION),
+            cells: Some(cells),
+            ..WireMsg::base(MsgKind::Ready)
+        }
+    }
+
+    /// Build an `Assign` batch.
+    pub fn assign(fingerprints: Vec<String>) -> WireMsg {
+        WireMsg {
+            assign: Some(fingerprints),
+            ..WireMsg::base(MsgKind::Assign)
+        }
+    }
+
+    /// Build a `Result` carrying one executed cell.
+    pub fn result(cell: BenchCell) -> WireMsg {
+        WireMsg {
+            cell: Some(cell),
+            ..WireMsg::base(MsgKind::Result)
+        }
+    }
+
+    /// Build a `Heartbeat`.
+    pub fn heartbeat() -> WireMsg {
+        WireMsg::base(MsgKind::Heartbeat)
+    }
+
+    /// Build a `Shutdown`.
+    pub fn shutdown() -> WireMsg {
+        WireMsg::base(MsgKind::Shutdown)
+    }
+
+    /// Build a `Done` goodbye.
+    pub fn done() -> WireMsg {
+        WireMsg::base(MsgKind::Done)
+    }
+
+    /// Build an `Error` report.
+    pub fn error(message: impl Into<String>) -> WireMsg {
+        WireMsg {
+            error: Some(message.into()),
+            ..WireMsg::base(MsgKind::Error)
+        }
+    }
+
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("wire messages contain only finite numbers")
+    }
+
+    /// Parse one JSONL line.
+    pub fn parse(line: &str) -> Result<WireMsg, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad protocol line: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> RunConfig {
+        RunConfig {
+            filter: Some("fig6".into()),
+            smoke: true,
+            paper: false,
+            trials: Some(2),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn every_message_kind_round_trips_through_jsonl() {
+        let cell = BenchCell::new(
+            "fig6/MaxCard/M50/T10",
+            vec![("M".into(), "50".into())],
+            vec![("avg_response".into(), 3.25)],
+            0.5,
+            100,
+            "engine",
+        );
+        let msgs = vec![
+            WireMsg::hello(3, sample_config(), Some(2)),
+            WireMsg::ready(42),
+            WireMsg::assign(vec!["aa".into(), "bb".into()]),
+            WireMsg::result(cell),
+            WireMsg::heartbeat(),
+            WireMsg::shutdown(),
+            WireMsg::done(),
+            WireMsg::error("boom"),
+        ];
+        for msg in msgs {
+            let line = msg.to_line();
+            assert!(!line.contains('\n'), "JSONL messages must be single-line");
+            let parsed = WireMsg::parse(&line).expect("round trip");
+            assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_truncation() {
+        assert!(WireMsg::parse("not json").is_err());
+        let line = WireMsg::heartbeat().to_line();
+        assert!(WireMsg::parse(&line[..line.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn run_config_round_trips_through_bench_options() {
+        let config = sample_config();
+        let opts = config.to_bench();
+        assert_eq!(opts.filter.as_deref(), Some("fig6"));
+        assert!(opts.smoke);
+        assert_eq!(opts.trials, Some(2));
+        let back = RunConfig::from_bench(&opts).unwrap();
+        assert_eq!(back, config);
+
+        let with_trace = BenchOptions {
+            trace: Some(std::path::PathBuf::from("examples/sample_trace.jsonl")),
+            ..BenchOptions::default()
+        };
+        let config = RunConfig::from_bench(&with_trace).unwrap();
+        assert_eq!(config.trace.as_deref(), Some("examples/sample_trace.jsonl"));
+        assert_eq!(
+            config.to_bench().trace.as_deref(),
+            Some(std::path::Path::new("examples/sample_trace.jsonl"))
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! The worker side of the protocol: `flowsched bench-worker`.
+//!
+//! A worker is a dumb executor. It reads `Hello`, expands the *same*
+//! flat cell list the coordinator did (same binary, same registry, same
+//! fingerprints), answers `Ready` with the universe size so version
+//! skew is caught at handshake time, then executes `Assign`ed
+//! fingerprints one at a time, streaming each `Result` back as soon as
+//! the cell finishes. A background thread heartbeats so the coordinator
+//! can tell "long LP cell" from "hung worker" in its logs. Workers
+//! never touch the filesystem — checkpointing is the coordinator's job.
+//!
+//! The loop is generic over its transport (`BufRead` in, `Write` out),
+//! so tests drive it in-process over byte buffers; production wires it
+//! to stdin/stdout via [`worker_main`].
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fss_bench::{execute_cell, flatten, scale_of, select_experiments, FlatCell};
+
+use crate::proto::{MsgKind, WireMsg, PROTO_VERSION};
+
+/// How often the background thread emits `Heartbeat` messages.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Error marker for injected crashes (`fail_after` in `Hello`): the
+/// worker dies *without* a protocol goodbye, like a `kill -9`, so the
+/// coordinator's EOF/reassignment path — not the polite `Error` path —
+/// is what gets exercised.
+pub const INJECTED_CRASH: &str = "injected worker crash (fail_after reached)";
+
+fn send<W: Write>(output: &Mutex<W>, msg: &WireMsg) -> Result<(), String> {
+    let mut w = output.lock().map_err(|_| "output mutex poisoned")?;
+    writeln!(w, "{}", msg.to_line()).map_err(|e| format!("write to coordinator: {e}"))?;
+    w.flush().map_err(|e| format!("flush to coordinator: {e}"))
+}
+
+/// Read the next message, skipping blank lines; `None` on EOF.
+fn read_msg<R: BufRead>(input: &mut R) -> Result<Option<WireMsg>, String> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = input
+            .read_line(&mut line)
+            .map_err(|e| format!("read from coordinator: {e}"))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return WireMsg::parse(trimmed).map(Some);
+    }
+}
+
+/// Run the worker protocol over the given transport until `Shutdown`,
+/// EOF, or a fatal error. On error (other than an injected crash) a
+/// best-effort `Error` message is sent before returning.
+pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
+    mut input: R,
+    output: W,
+) -> Result<(), String> {
+    let output = Arc::new(Mutex::new(output));
+
+    // Handshake: Hello carries the config; Ready answers with the
+    // universe size.
+    let hello = match read_msg(&mut input)? {
+        Some(m) if m.kind == MsgKind::Hello => m,
+        Some(m) => return Err(format!("expected Hello, got {:?}", m.kind)),
+        None => return Err("EOF before Hello".into()),
+    };
+    if hello.proto != Some(PROTO_VERSION) {
+        let err = format!(
+            "protocol version mismatch: coordinator speaks {:?}, worker speaks {PROTO_VERSION}",
+            hello.proto
+        );
+        let _ = send(&output, &WireMsg::error(&err));
+        return Err(err);
+    }
+    let config = hello.config.ok_or("Hello carried no run config")?;
+    let fail_after = hello.fail_after;
+
+    let universe = (|| -> Result<Vec<FlatCell>, String> {
+        let opts = config.to_bench();
+        let selected = select_experiments(&opts)?;
+        flatten(&selected, &scale_of(&opts))
+    })();
+    let universe = match universe {
+        Ok(u) => u,
+        Err(e) => {
+            let err = format!("worker could not expand the cell universe: {e}");
+            let _ = send(&output, &WireMsg::error(&err));
+            return Err(err);
+        }
+    };
+    let index: HashMap<&str, &FlatCell> = universe
+        .iter()
+        .map(|fc| (fc.fingerprint.as_str(), fc))
+        .collect();
+    send(&output, &WireMsg::ready(universe.len() as u64))?;
+
+    // Heartbeats: cells can run for minutes (paper-tier LP solves), so
+    // liveness comes from a background thread, not the result stream.
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let output = Arc::clone(&output);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let slice = Duration::from_millis(50);
+            let slices = (HEARTBEAT_INTERVAL.as_millis() / slice.as_millis()).max(1) as u32;
+            'outer: loop {
+                for _ in 0..slices {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'outer;
+                    }
+                    std::thread::sleep(slice);
+                }
+                if send(&output, &WireMsg::heartbeat()).is_err() {
+                    break; // coordinator is gone; the main loop will see it too
+                }
+            }
+        })
+    };
+
+    let result = (|| -> Result<(), String> {
+        let mut executed = 0u64;
+        while let Some(msg) = read_msg(&mut input)? {
+            match msg.kind {
+                MsgKind::Assign => {
+                    for fp in msg.assign.unwrap_or_default() {
+                        let fc = index.get(fp.as_str()).ok_or_else(|| {
+                            format!("assigned unknown fingerprint {fp} (registry skew?)")
+                        })?;
+                        let cell = execute_cell(fc);
+                        send(&output, &WireMsg::result(cell))?;
+                        executed += 1;
+                        if Some(executed) == fail_after {
+                            return Err(INJECTED_CRASH.into());
+                        }
+                    }
+                }
+                MsgKind::Shutdown => {
+                    send(&output, &WireMsg::done())?;
+                    return Ok(());
+                }
+                other => return Err(format!("unexpected {other:?} from coordinator")),
+            }
+        }
+        Ok(()) // EOF: coordinator exited; nothing left to do
+    })();
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    if let Err(e) = &result {
+        if e != INJECTED_CRASH {
+            let _ = send(&output, &WireMsg::error(e));
+        }
+    }
+    result
+}
+
+/// Entry point for the hidden `flowsched bench-worker` subcommand:
+/// run the protocol over stdin/stdout.
+pub fn worker_main() -> Result<(), String> {
+    run_worker(std::io::stdin().lock(), std::io::stdout())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::RunConfig;
+    use fss_sim::report::{cells_eq_modulo_timing, BenchCell};
+    use std::io::Cursor;
+
+    /// A `Write` handle tests can inspect after the worker returns.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn gaps_config() -> RunConfig {
+        RunConfig {
+            filter: Some("table_gaps".into()),
+            smoke: true,
+            paper: false,
+            trials: Some(1),
+            trace: None,
+        }
+    }
+
+    fn gaps_universe() -> Vec<FlatCell> {
+        let opts = gaps_config().to_bench();
+        let selected = select_experiments(&opts).unwrap();
+        flatten(&selected, &scale_of(&opts)).unwrap()
+    }
+
+    fn script(msgs: &[WireMsg]) -> Cursor<Vec<u8>> {
+        let mut text = String::new();
+        for m in msgs {
+            text.push_str(&m.to_line());
+            text.push('\n');
+        }
+        Cursor::new(text.into_bytes())
+    }
+
+    fn drive(msgs: &[WireMsg]) -> (Result<(), String>, Vec<WireMsg>) {
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let result = run_worker(script(msgs), buf.clone());
+        let bytes = buf.0.lock().unwrap().clone();
+        let out = String::from_utf8(bytes).unwrap();
+        let parsed = out
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| WireMsg::parse(l).expect("worker emits valid protocol lines"))
+            .collect();
+        (result, parsed)
+    }
+
+    #[test]
+    fn scripted_session_executes_assignments_and_says_goodbye() {
+        let universe = gaps_universe();
+        let fps: Vec<String> = universe.iter().map(|f| f.fingerprint.clone()).collect();
+        let (result, out) = drive(&[
+            WireMsg::hello(0, gaps_config(), None),
+            WireMsg::assign(fps.clone()),
+            WireMsg::shutdown(),
+        ]);
+        result.expect("clean session");
+        // Ignore heartbeats (timing-dependent); the rest is fully
+        // deterministic: Ready, one Result per assigned cell, Done.
+        let solid: Vec<&WireMsg> = out
+            .iter()
+            .filter(|m| m.kind != MsgKind::Heartbeat)
+            .collect();
+        assert_eq!(solid[0].kind, MsgKind::Ready);
+        assert_eq!(solid[0].cells, Some(universe.len() as u64));
+        assert_eq!(solid.last().unwrap().kind, MsgKind::Done);
+        let results: Vec<&BenchCell> = solid
+            .iter()
+            .filter(|m| m.kind == MsgKind::Result)
+            .map(|m| m.cell.as_ref().expect("results carry a cell"))
+            .collect();
+        assert_eq!(results.len(), fps.len());
+        for (fp, cell) in fps.iter().zip(&results) {
+            assert_eq!(
+                &cell.fingerprint, fp,
+                "results come back in assignment order"
+            );
+        }
+        // The cells match a direct in-process execution modulo timing.
+        for (fc, got) in universe.iter().zip(&results) {
+            let want = execute_cell(fc);
+            assert!(cells_eq_modulo_timing(&want, got));
+        }
+    }
+
+    #[test]
+    fn split_assignments_and_eof_without_shutdown_are_fine() {
+        let fps: Vec<String> = gaps_universe()
+            .iter()
+            .map(|f| f.fingerprint.clone())
+            .collect();
+        let (first, rest) = fps.split_at(1);
+        let (result, out) = drive(&[
+            WireMsg::hello(1, gaps_config(), None),
+            WireMsg::assign(first.to_vec()),
+            WireMsg::assign(rest.to_vec()),
+            // no Shutdown: the script just ends (coordinator vanished)
+        ]);
+        result.expect("EOF is a clean exit");
+        let results = out.iter().filter(|m| m.kind == MsgKind::Result).count();
+        assert_eq!(results, fps.len());
+        assert!(!out.iter().any(|m| m.kind == MsgKind::Done));
+    }
+
+    #[test]
+    fn fail_after_crashes_without_goodbye() {
+        let fps: Vec<String> = gaps_universe()
+            .iter()
+            .map(|f| f.fingerprint.clone())
+            .collect();
+        let (result, out) = drive(&[
+            WireMsg::hello(0, gaps_config(), Some(2)),
+            WireMsg::assign(fps.clone()),
+            WireMsg::shutdown(),
+        ]);
+        assert_eq!(result.unwrap_err(), INJECTED_CRASH);
+        let results = out.iter().filter(|m| m.kind == MsgKind::Result).count();
+        assert_eq!(results, 2, "crashed after exactly fail_after results");
+        // Like a kill -9: no Done, no Error message.
+        assert!(!out
+            .iter()
+            .any(|m| m.kind == MsgKind::Done || m.kind == MsgKind::Error));
+    }
+
+    #[test]
+    fn protocol_violations_are_reported() {
+        // Wrong version.
+        let mut bad = WireMsg::hello(0, gaps_config(), None);
+        bad.proto = Some(PROTO_VERSION + 1);
+        let (result, out) = drive(&[bad]);
+        assert!(result.unwrap_err().contains("version mismatch"));
+        assert!(out.iter().any(|m| m.kind == MsgKind::Error));
+
+        // Unknown fingerprint.
+        let (result, out) = drive(&[
+            WireMsg::hello(0, gaps_config(), None),
+            WireMsg::assign(vec!["deadbeefdeadbeef".into()]),
+        ]);
+        assert!(result.unwrap_err().contains("unknown fingerprint"));
+        assert!(out.iter().any(|m| m.kind == MsgKind::Error));
+
+        // Unmatched filter: reported before Ready.
+        let mut cfg = gaps_config();
+        cfg.filter = Some("no-such-experiment".into());
+        let (result, out) = drive(&[WireMsg::hello(0, cfg, None)]);
+        assert!(result.unwrap_err().contains("no experiment matches"));
+        assert!(out.iter().any(|m| m.kind == MsgKind::Error));
+        assert!(!out.iter().any(|m| m.kind == MsgKind::Ready));
+    }
+}

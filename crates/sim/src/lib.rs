@@ -48,7 +48,9 @@ pub use failures::{
 };
 pub use report::{
     bench_artifact_name, bench_cell_to_jsonl, bench_report_from_json, bench_report_to_json,
-    validate_bench_report, BenchCell, BenchReport, BENCH_SCHEMA_VERSION,
+    cell_fingerprint, cells_eq_modulo_timing, parse_cells_jsonl, read_cells_jsonl,
+    reports_eq_modulo_timing, validate_bench_report, BenchCell, BenchReport, CellsReplay,
+    BENCH_SCHEMA_VERSION,
 };
 pub use saturation::{
     saturation_sweep, saturation_sweep_legacy, stable_intensity, stable_intensity_legacy,

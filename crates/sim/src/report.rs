@@ -9,7 +9,40 @@ use crate::experiment::{CellResult, LpBoundResult};
 
 /// Version stamp written into every `BENCH_*.json` artifact. Bump when
 /// the shape of [`BenchReport`] / [`BenchCell`] changes incompatibly.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `fingerprint` field to [`BenchCell`] (the stable cell
+/// identity the distributed runner checkpoints and resumes on).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Stable fingerprint of a cell: a 64-bit FNV-1a hash (hex) over the
+/// cell id and its ordered grid parameters.
+///
+/// Because every cell's RNG seeds are derived from its id/parameter
+/// values (not from run order), the fingerprint pins down the exact
+/// workload: two processes that compute the same fingerprint will
+/// execute the same cell and produce the same metrics. The distributed
+/// runner uses fingerprints as assignment and checkpoint keys, so
+/// scale-dependent knobs (ports, horizon, trials) must appear in the id
+/// or the params — cells from different tiers must never collide.
+pub fn cell_fingerprint(cell_id: &str, params: &[(String, String)]) -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h = (*h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut h = FNV_OFFSET;
+    eat(&mut h, cell_id.as_bytes());
+    eat(&mut h, &[0xff]);
+    for (k, v) in params {
+        eat(&mut h, k.as_bytes());
+        eat(&mut h, &[0x00]);
+        eat(&mut h, v.as_bytes());
+        eat(&mut h, &[0x01]);
+    }
+    format!("{h:016x}")
+}
 
 /// One executed benchmark cell: a single point of an experiment grid.
 ///
@@ -21,6 +54,10 @@ pub const BENCH_SCHEMA_VERSION: u32 = 1;
 pub struct BenchCell {
     /// Unique id within the run, e.g. `fig6/MaxCard/M50/T10`.
     pub cell_id: String,
+    /// Stable identity hash of `(cell_id, params)` — see
+    /// [`cell_fingerprint`]. Checkpoint/resume and shard assignment key
+    /// on this, so validation requires it to match the recomputation.
+    pub fingerprint: String,
     /// Grid coordinates, e.g. `[("policy","MaxCard"),("M","50")]`.
     pub params: Vec<(String, String)>,
     /// Measured objective values, e.g. `[("avg_response", 3.2)]`.
@@ -35,6 +72,28 @@ pub struct BenchCell {
 }
 
 impl BenchCell {
+    /// Build a cell, stamping the fingerprint from `(cell_id, params)`.
+    pub fn new(
+        cell_id: impl Into<String>,
+        params: Vec<(String, String)>,
+        metrics: Vec<(String, f64)>,
+        wall_s: f64,
+        flows: u64,
+        engine_mode: impl Into<String>,
+    ) -> BenchCell {
+        let cell_id = cell_id.into();
+        let fingerprint = cell_fingerprint(&cell_id, &params);
+        BenchCell {
+            cell_id,
+            fingerprint,
+            params,
+            metrics,
+            wall_s,
+            flows,
+            engine_mode: engine_mode.into(),
+        }
+    }
+
     /// Throughput in work units per second (`0.0` when `flows == 0`).
     pub fn flows_per_s(&self) -> f64 {
         if self.flows == 0 {
@@ -150,6 +209,13 @@ pub fn validate_bench_report(report: &BenchReport) -> Result<(), String> {
             return Err(format!("duplicate cell id {}", cell.cell_id));
         }
         seen.push(&cell.cell_id);
+        let expected = cell_fingerprint(&cell.cell_id, &cell.params);
+        if cell.fingerprint != expected {
+            return Err(format!(
+                "cell {}: fingerprint {} does not match recomputed {expected}",
+                cell.cell_id, cell.fingerprint
+            ));
+        }
         if !cell.wall_s.is_finite() || cell.wall_s < 0.0 {
             return Err(format!("cell {}: bad wall_s", cell.cell_id));
         }
@@ -163,6 +229,102 @@ pub fn validate_bench_report(report: &BenchReport) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Timing-insensitive cell equality: everything except `wall_s` (which
+/// is machine- and run-dependent) must match. The distributed runner's
+/// differential tests compare merged multi-worker artifacts against a
+/// single-process run with this.
+pub fn cells_eq_modulo_timing(a: &BenchCell, b: &BenchCell) -> bool {
+    a.cell_id == b.cell_id
+        && a.fingerprint == b.fingerprint
+        && a.params == b.params
+        && a.metrics == b.metrics
+        && a.flows == b.flows
+        && a.engine_mode == b.engine_mode
+}
+
+/// Timing-insensitive report equality: cell-for-cell
+/// [`cells_eq_modulo_timing`] in the same order, ignoring `jobs` and
+/// `total_wall_s` (worker topology and wall clock differ by design
+/// between a sharded and a single-process run).
+pub fn reports_eq_modulo_timing(a: &BenchReport, b: &BenchReport) -> bool {
+    a.schema_version == b.schema_version
+        && a.experiment == b.experiment
+        && a.description == b.description
+        && a.smoke == b.smoke
+        && a.cells.len() == b.cells.len()
+        && a.cells
+            .iter()
+            .zip(&b.cells)
+            .all(|(x, y)| cells_eq_modulo_timing(x, y))
+}
+
+/// Result of replaying a `BENCH_cells.jsonl` checkpoint stream.
+#[derive(Debug, Clone)]
+pub struct CellsReplay {
+    /// Every cell recovered from a fully-written line, in file order.
+    pub cells: Vec<BenchCell>,
+    /// Warning describing a skipped final line that did not parse — the
+    /// signature of a crash mid-write. `None` when every line parsed.
+    pub truncated_tail: Option<String>,
+}
+
+/// Parse a `BENCH_cells.jsonl` stream, tolerating a truncated final
+/// line.
+///
+/// A crash while the orchestrator or coordinator appends to the stream
+/// can leave a partially-written last line; resumable runs must treat
+/// that as "this cell was not checkpointed", not as a corrupt file. So:
+/// an unparseable **final** line is skipped and reported in
+/// [`CellsReplay::truncated_tail`]; an unparseable line anywhere else —
+/// which appends can not produce — is a hard error, as is any cell
+/// whose fingerprint fails validation (a truncated write can not forge
+/// a valid JSON cell, so a mismatch means real corruption).
+pub fn parse_cells_jsonl(text: &str) -> Result<CellsReplay, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+    let mut cells = Vec::new();
+    let mut truncated_tail = None;
+    for (i, line) in lines.iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<BenchCell>(line) {
+            Ok(cell) => {
+                let expected = cell_fingerprint(&cell.cell_id, &cell.params);
+                if cell.fingerprint != expected {
+                    return Err(format!(
+                        "line {}: cell {} carries fingerprint {} but recomputes to {expected}",
+                        i + 1,
+                        cell.cell_id,
+                        cell.fingerprint
+                    ));
+                }
+                cells.push(cell);
+            }
+            Err(e) if Some(i) == last_nonempty => {
+                truncated_tail = Some(format!(
+                    "final line {} does not parse ({e}); treating it as a truncated \
+                     crash tail and skipping it",
+                    i + 1
+                ));
+            }
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok(CellsReplay {
+        cells,
+        truncated_tail,
+    })
+}
+
+/// Read and [`parse_cells_jsonl`] an on-disk checkpoint stream.
+pub fn read_cells_jsonl(path: &std::path::Path) -> Result<CellsReplay, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse_cells_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// Render a report as an aligned ASCII table (one row per cell), for the
@@ -354,26 +516,26 @@ mod tests {
             jobs: 4,
             total_wall_s: 0.25,
             cells: vec![
-                BenchCell {
-                    cell_id: "fig6/MaxCard/M50/T10".into(),
-                    params: vec![
+                BenchCell::new(
+                    "fig6/MaxCard/M50/T10",
+                    vec![
                         ("policy".into(), "MaxCard".into()),
                         ("M".into(), "50".into()),
                         ("T".into(), "10".into()),
                     ],
-                    metrics: vec![("avg_response".into(), 3.25), ("max_response".into(), 9.0)],
-                    wall_s: 0.125,
-                    flows: 500,
-                    engine_mode: "engine".into(),
-                },
-                BenchCell {
-                    cell_id: "fig6/lp/M50/T10".into(),
-                    params: vec![("M".into(), "50".into()), ("T".into(), "10".into())],
-                    metrics: vec![("avg_response_bound".into(), 2.5)],
-                    wall_s: 0.0625,
-                    flows: 0,
-                    engine_mode: "lp".into(),
-                },
+                    vec![("avg_response".into(), 3.25), ("max_response".into(), 9.0)],
+                    0.125,
+                    500,
+                    "engine",
+                ),
+                BenchCell::new(
+                    "fig6/lp/M50/T10",
+                    vec![("M".into(), "50".into()), ("T".into(), "10".into())],
+                    vec![("avg_response_bound".into(), 2.5)],
+                    0.0625,
+                    0,
+                    "lp",
+                ),
             ],
         }
     }
@@ -425,6 +587,111 @@ mod tests {
         let mut r = sample_report();
         r.cells[0].metrics[0].1 = f64::NAN;
         assert!(validate_bench_report(&r).is_err(), "non-finite metric");
+
+        let mut r = sample_report();
+        r.cells[0].fingerprint = "0000000000000000".into();
+        let err = validate_bench_report(&r).expect_err("forged fingerprint");
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_param_sensitive() {
+        let params = vec![("M".to_string(), "50".to_string())];
+        let a = cell_fingerprint("fig6/MaxCard/M50/T10", &params);
+        let b = cell_fingerprint("fig6/MaxCard/M50/T10", &params);
+        assert_eq!(a, b, "deterministic");
+        assert_eq!(a.len(), 16, "16 hex chars");
+        // Any change to id or params moves the fingerprint.
+        assert_ne!(a, cell_fingerprint("fig6/MaxCard/M50/T12", &params));
+        let other = vec![("M".to_string(), "51".to_string())];
+        assert_ne!(a, cell_fingerprint("fig6/MaxCard/M50/T10", &other));
+        // Key/value boundaries are separated: ("ab","c") != ("a","bc").
+        let kv1 = vec![("ab".to_string(), "c".to_string())];
+        let kv2 = vec![("a".to_string(), "bc".to_string())];
+        assert_ne!(cell_fingerprint("x", &kv1), cell_fingerprint("x", &kv2));
+    }
+
+    #[test]
+    fn eq_modulo_timing_ignores_wall_clock_and_topology() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.jobs = 7;
+        b.total_wall_s = 99.0;
+        b.cells[0].wall_s = 42.0;
+        assert!(reports_eq_modulo_timing(&a, &b));
+        b.cells[0].metrics[0].1 += 1.0;
+        assert!(!reports_eq_modulo_timing(&a, &b), "metric drift detected");
+        let mut c = sample_report();
+        c.cells.pop();
+        assert!(!reports_eq_modulo_timing(&a, &c), "cell count detected");
+    }
+
+    #[test]
+    fn jsonl_replay_recovers_full_lines_and_skips_truncated_tail() {
+        let report = sample_report();
+        let full: Vec<String> = report.cells.iter().map(bench_cell_to_jsonl).collect();
+        // Intact stream: everything parses, no warning.
+        let intact = format!("{}\n{}\n", full[0], full[1]);
+        let replay = parse_cells_jsonl(&intact).expect("intact stream");
+        assert_eq!(replay.cells.len(), 2);
+        assert!(replay.truncated_tail.is_none());
+
+        // Crash tail: final line cut mid-JSON is skipped with a warning.
+        let half = &full[1][..full[1].len() / 2];
+        let crashed = format!("{}\n{half}", full[0]);
+        let replay = parse_cells_jsonl(&crashed).expect("crash tail tolerated");
+        assert_eq!(replay.cells.len(), 1);
+        assert_eq!(replay.cells[0].cell_id, report.cells[0].cell_id);
+        let warn = replay.truncated_tail.expect("warning reported");
+        assert!(warn.contains("truncated"), "{warn}");
+
+        // A trailing newline after the truncated tail changes nothing.
+        let replay = parse_cells_jsonl(&format!("{crashed}\n")).expect("tail + newline");
+        assert_eq!(replay.cells.len(), 1);
+        assert!(replay.truncated_tail.is_some());
+
+        // Blank lines are ignored, including after the tail.
+        let replay = parse_cells_jsonl(&format!("{crashed}\n\n  \n")).expect("blank padding");
+        assert_eq!(replay.cells.len(), 1);
+        assert!(replay.truncated_tail.is_some());
+    }
+
+    #[test]
+    fn jsonl_replay_rejects_mid_stream_corruption_and_forged_cells() {
+        let report = sample_report();
+        let full: Vec<String> = report.cells.iter().map(bench_cell_to_jsonl).collect();
+        // Corruption that is NOT the final line can not come from a
+        // truncated append: hard error.
+        let corrupt_middle = format!("{}garbage\n{}\n", &full[0][..10], full[1]);
+        let err = parse_cells_jsonl(&corrupt_middle).expect_err("mid-stream corruption");
+        assert!(err.contains("line 1"), "{err}");
+
+        // A fully-written cell with a forged fingerprint is corruption
+        // even on the final line.
+        let mut forged = report.cells[0].clone();
+        forged.fingerprint = "1111111111111111".into();
+        let text = format!("{}\n{}\n", full[0], bench_cell_to_jsonl(&forged));
+        let err = parse_cells_jsonl(&text).expect_err("forged fingerprint");
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_file_reader_reports_path_on_errors() {
+        let dir = std::env::temp_dir().join("fss-sim-report-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cells.jsonl");
+        let cell = sample_report().cells.remove(0);
+        std::fs::write(
+            &path,
+            format!("{}\n{{\"cell_id", bench_cell_to_jsonl(&cell)),
+        )
+        .unwrap();
+        let replay = read_cells_jsonl(&path).expect("tolerant read");
+        assert_eq!(replay.cells.len(), 1);
+        assert!(replay.truncated_tail.is_some());
+        let missing = dir.join("no-such-stream.jsonl");
+        let err = read_cells_jsonl(&missing).expect_err("missing file");
+        assert!(err.contains("no-such-stream"), "{err}");
     }
 
     #[test]

@@ -37,7 +37,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("flowsched: {msg}");
-            eprintln!("{USAGE}");
+            // The hidden worker subcommand talks to a coordinator, not
+            // a human: its failures go to the coordinator's log, where
+            // the usage text is pure noise.
+            if args.first().map(String::as_str) != Some("bench-worker") {
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -54,7 +59,8 @@ const USAGE: &str = "usage:
   flowsched trace    (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S]) -o FILE
   flowsched bench    [--filter ID] [--trace FILE.jsonl] [--smoke|--paper]
                      [--jobs N] [--out DIR] [--trials N] [--list]
-  flowsched bench    --diff OLD.json NEW.json [--tolerance PCT]
+                     [--workers N] [--resume]
+  flowsched bench    --diff OLD.json NEW.json [--tolerance PCT] [--strict-metrics]
 
 stream drives a workload through the event-driven engine without
 materializing an instance and reports aggregate response statistics.
@@ -72,10 +78,23 @@ per-cell results stream to <out>/BENCH_cells.jsonl, and each experiment
 writes an aggregated BENCH_<id>.json artifact. --filter selects by exact
 id or substring; --trace FILE replays an arrival trace through every
 policy as the trace_replay experiment (alone unless --filter is also
-given); --smoke uses CI-sized grids; --list prints the registry and
-exits. --diff compares two BENCH artifacts of the same experiment and
-exits nonzero when a cell vanished or slowed down more than PCT percent
-(default 30) in flows/s.";
+given); --smoke uses CI-sized grids and --paper the paper-exact grids
+and trial counts; --list prints the registry with per-tier cell counts
+(for shard planning) and exits. --diff compares two BENCH artifacts of
+the same experiment and exits nonzero when a cell vanished or slowed
+down more than PCT percent (default 30) in flows/s; --strict-metrics
+additionally fails on any metric value drift (use with --tolerance 100
+to differential-check a sharded run against a single-process run:
+metric values are seed-deterministic, timing is not).
+
+With --workers N the run is distributed: a coordinator shards the cell
+list across N child worker processes, checkpoints every finished cell
+to <out>/BENCH_cells.jsonl, reassigns the cells of a crashed worker to
+the survivors, and merges the results into the same artifacts a
+single-process run writes (cell-for-cell identical modulo timing).
+--resume replays an existing checkpoint stream first and executes only
+the missing cells — interrupted paper-scale runs pick up where they
+stopped instead of restarting.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -94,6 +113,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "stream" => stream(&opts),
         "trace" => trace(&opts),
         "bench" => bench(&opts),
+        // Hidden: the worker end of `bench --workers N`. Spawned by the
+        // coordinator with the protocol on stdin/stdout; not for
+        // interactive use.
+        "bench-worker" => fss_dist::worker_main(),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -121,7 +144,7 @@ impl Flags {
 }
 
 /// Flags that take no value (present = "true").
-const BOOL_FLAGS: [&str; 3] = ["smoke", "paper", "list"];
+const BOOL_FLAGS: [&str; 4] = ["smoke", "paper", "list", "resume"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Vec::new();
@@ -283,10 +306,12 @@ fn stats(flags: &Flags) -> Result<(), String> {
 fn bench_diff(args: &[String]) -> Result<(), String> {
     let mut paths: Vec<&str> = Vec::new();
     let mut tolerance = fss_bench::DEFAULT_TOLERANCE_PCT;
+    let mut strict_metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--diff" => {}
+            "--strict-metrics" => strict_metrics = true,
             "--tolerance" | "--tol" => {
                 let v = it.next().ok_or("--tolerance needs a value")?;
                 tolerance = v
@@ -303,10 +328,11 @@ fn bench_diff(args: &[String]) -> Result<(), String> {
     let [old, new] = paths.as_slice() else {
         return Err("bench --diff needs exactly two artifact paths (OLD.json NEW.json)".into());
     };
-    let diff = fss_bench::diff_artifacts(
+    let diff = fss_bench::diff_artifacts_opts(
         std::path::Path::new(old),
         std::path::Path::new(new),
         tolerance,
+        strict_metrics,
     )?;
     print!("{}", fss_bench::render_diff(&diff));
     if diff.passes() {
@@ -321,10 +347,23 @@ fn bench_diff(args: &[String]) -> Result<(), String> {
 
 fn bench(flags: &Flags) -> Result<(), String> {
     if flags.get("list").is_some() {
-        println!("registered experiments:");
-        for (id, description) in fss_bench::list_experiments() {
-            println!("  {id:<24} {description}");
+        println!("registered experiments (cells per tier, for shard planning):");
+        println!(
+            "  {:<24} {:>6} {:>6} {:>6}  description",
+            "id", "smoke", "full", "paper"
+        );
+        let counts = fss_bench::registry_cell_counts();
+        for &(id, description, [smoke, full, paper]) in &counts {
+            println!("  {id:<24} {smoke:>6} {full:>6} {paper:>6}  {description}");
         }
+        let total = |i: usize| counts.iter().map(|&(_, _, c)| c[i]).sum::<usize>();
+        println!(
+            "  {:<24} {:>6} {:>6} {:>6}  (bench --workers N shards these across processes)",
+            "total",
+            total(0),
+            total(1),
+            total(2)
+        );
         return Ok(());
     }
     let opts = fss_bench::BenchOptions {
@@ -345,8 +384,26 @@ fn bench(flags: &Flags) -> Result<(), String> {
         },
         trace: flags.get("trace").map(std::path::PathBuf::from),
     };
+    let workers: usize = flags.parsed("workers", 0usize)?;
+    let resume = flags.get("resume").is_some();
     let started = std::time::Instant::now();
-    let reports = fss_bench::run_bench(&opts)?;
+    let (reports, dist_note) = if workers > 0 || resume {
+        let summary = bench_dist(&opts, workers.max(1), resume)?;
+        let note = format!(
+            "dist: {} {}-tier cell(s) = {} from checkpoint + {} executed on {} worker(s), \
+             {} reassigned, {} worker(s) lost",
+            summary.total_cells,
+            fss_bench::scale_of(&opts).tier_name(),
+            summary.skipped,
+            summary.executed,
+            summary.workers_spawned,
+            summary.reassigned,
+            summary.workers_lost,
+        );
+        (summary.reports, Some(note))
+    } else {
+        (fss_bench::run_bench(&opts)?, None)
+    };
     fss_bench::print_reports(&reports, &opts.out_dir);
     let cells: usize = reports.iter().map(|r| r.cells.len()).sum();
     let flows: u64 = reports.iter().map(|r| r.total_flows()).sum();
@@ -356,11 +413,53 @@ fn bench(flags: &Flags) -> Result<(), String> {
         started.elapsed().as_secs_f64(),
         reports.first().map_or(0, |r| r.jobs),
     );
+    if let Some(note) = dist_note {
+        println!("{note}");
+    }
     println!(
         "cell stream: {}",
         opts.out_dir.join(fss_bench::CELLS_STREAM_NAME).display()
     );
     Ok(())
+}
+
+/// Run `bench` through the distributed coordinator: this binary
+/// re-invoked as `bench-worker` is the worker command.
+fn bench_dist(
+    opts: &fss_bench::BenchOptions,
+    workers: usize,
+    resume: bool,
+) -> Result<fss_dist::DistSummary, String> {
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate own binary for worker spawning: {e}"))?;
+    let exe = exe
+        .to_str()
+        .ok_or("own binary path is not valid UTF-8")?
+        .to_string();
+    // Fault injection for CI's kill-a-worker-mid-run job and the
+    // integration tests: FSS_DIST_FAIL_WORKER=<index>:<results> crashes
+    // that worker (no goodbye) after that many results.
+    let fail_worker = match std::env::var("FSS_DIST_FAIL_WORKER") {
+        Err(_) => None,
+        Ok(v) => {
+            let (idx, n) = v
+                .split_once(':')
+                .ok_or("FSS_DIST_FAIL_WORKER must be <worker-index>:<results>")?;
+            Some((
+                idx.parse::<usize>()
+                    .map_err(|_| format!("bad worker index in FSS_DIST_FAIL_WORKER: {idx}"))?,
+                n.parse::<u64>()
+                    .map_err(|_| format!("bad result count in FSS_DIST_FAIL_WORKER: {n}"))?,
+            ))
+        }
+    };
+    fss_dist::run_dist(&fss_dist::DistOptions {
+        bench: opts.clone(),
+        workers,
+        resume,
+        worker_cmd: vec![exe, "bench-worker".to_string()],
+        fail_worker,
+    })
 }
 
 /// Build the Poisson `ScenarioSpec` described by `--m/--rate/--rounds/

@@ -25,13 +25,19 @@
 //! * [`sim`] — the flow-level simulator and the paper's experiment
 //!   runner (heuristic execution routes through [`engine`]);
 //! * [`coflow`] — the co-flow generalization (§6 future work): grouped
-//!   flows, CCT-style metrics, SEBF / FIFO / fair schedulers.
+//!   flows, CCT-style metrics, SEBF / FIFO / fair schedulers;
+//! * [`dist`] — the distributed sharded bench runner: a coordinator
+//!   that shards the experiment registry's cell list across
+//!   `flowsched bench-worker` processes, checkpoints per-cell results
+//!   to `BENCH_cells.jsonl`, and resumes interrupted (paper-scale)
+//!   runs.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and
 //! `flowsched stream` for driving unbounded streaming workloads.
 
 pub use fss_coflow as coflow;
 pub use fss_core as core;
+pub use fss_dist as dist;
 pub use fss_engine as engine;
 pub use fss_lp as lp;
 pub use fss_matching as matching;

@@ -338,16 +338,19 @@ fn bench_diff_flags_regressions_and_bad_input() {
     std::fs::create_dir_all(&dir).unwrap();
 
     // Build a pair of artifacts where `new` is 10x slower on one cell.
+    let fingerprint = fss_sim::cell_fingerprint("x/a", &[]);
     let cell = |wall: f64| {
         format!(
-            "{{\"cell_id\": \"x/a\", \"params\": [], \"metrics\": [[\"m\", 1.0]], \
-             \"wall_s\": {wall}, \"flows\": 1000, \"engine_mode\": \"engine\"}}"
+            "{{\"cell_id\": \"x/a\", \"fingerprint\": \"{fingerprint}\", \"params\": [], \
+             \"metrics\": [[\"m\", 1.0]], \"wall_s\": {wall}, \"flows\": 1000, \
+             \"engine_mode\": \"engine\"}}"
         )
     };
     let report = |wall: f64| {
         format!(
-            "{{\"schema_version\": 1, \"experiment\": \"x\", \"description\": \"d\", \
+            "{{\"schema_version\": {}, \"experiment\": \"x\", \"description\": \"d\", \
              \"smoke\": true, \"jobs\": 1, \"total_wall_s\": 1.0, \"cells\": [{}]}}",
+            fss_sim::BENCH_SCHEMA_VERSION,
             cell(wall)
         )
     };

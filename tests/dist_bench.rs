@@ -1,0 +1,200 @@
+//! End-to-end tests of the distributed sharded bench runner, driving
+//! real `flowsched bench-worker` child processes through the
+//! coordinator.
+//!
+//! These pin down the subsystem's two contracts:
+//!
+//! 1. **Differential**: the artifact merged from multiple worker
+//!    processes — including one whose worker crashed mid-run and had
+//!    its cells reassigned — is cell-for-cell equal (modulo timing
+//!    fields) to the single-process orchestrator's output.
+//! 2. **Resume**: after a simulated crash, `--resume` re-executes only
+//!    the cells missing from the checkpoint, counted by executed
+//!    fingerprints, and tolerates the truncated final line a crash
+//!    mid-append leaves behind.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use fss_bench::{
+    flatten, run_bench, scale_of, select_experiments, BenchOptions, CELLS_STREAM_NAME,
+};
+use fss_dist::{run_dist, DistOptions};
+use fss_sim::report::{bench_report_from_json, read_cells_jsonl, reports_eq_modulo_timing};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fss-dist-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The workload under test: smoke-scale fig6 at one trial — 33 cells
+/// mixing engine heuristics and LP bounds, all sub-second.
+fn bench_opts(out_dir: PathBuf) -> BenchOptions {
+    BenchOptions {
+        filter: Some("fig6".into()),
+        smoke: true,
+        trials: Some(1),
+        out_dir,
+        ..BenchOptions::default()
+    }
+}
+
+fn dist_opts(out_dir: PathBuf, workers: usize) -> DistOptions {
+    DistOptions {
+        bench: bench_opts(out_dir),
+        workers,
+        resume: false,
+        worker_cmd: vec![
+            env!("CARGO_BIN_EXE_flowsched").to_string(),
+            "bench-worker".to_string(),
+        ],
+        fail_worker: None,
+    }
+}
+
+/// Cell count of the workload (from the same expansion the runners
+/// use).
+fn universe_size() -> usize {
+    let opts = bench_opts(std::env::temp_dir());
+    let selected = select_experiments(&opts).unwrap();
+    flatten(&selected, &scale_of(&opts)).unwrap().len()
+}
+
+/// Distinct fingerprints currently checkpointed in `dir`'s stream.
+fn stream_fingerprints(dir: &std::path::Path) -> Vec<String> {
+    let replay = read_cells_jsonl(&dir.join(CELLS_STREAM_NAME)).expect("readable stream");
+    replay.cells.iter().map(|c| c.fingerprint.clone()).collect()
+}
+
+#[test]
+fn multi_worker_merged_artifact_equals_single_process_run() {
+    let ref_dir = tmp_dir("differential-ref");
+    let reference = run_bench(&bench_opts(ref_dir.clone())).expect("single-process run");
+
+    let dist_dir = tmp_dir("differential-dist");
+    let summary = run_dist(&dist_opts(dist_dir.clone(), 3)).expect("sharded run");
+    assert_eq!(summary.workers_spawned, 3);
+    assert_eq!(summary.workers_lost, 0);
+    assert_eq!(summary.skipped, 0);
+    assert_eq!(summary.executed, universe_size());
+
+    // In-memory reports match modulo timing...
+    assert_eq!(reference.len(), summary.reports.len());
+    for (a, b) in reference.iter().zip(&summary.reports) {
+        assert!(
+            reports_eq_modulo_timing(a, b),
+            "sharded report for {} diverged from the single-process run",
+            a.experiment
+        );
+    }
+    // ...and so do the persisted, schema-validated artifacts.
+    let read = |dir: &std::path::Path| {
+        let text = std::fs::read_to_string(dir.join("BENCH_fig6.json")).expect("artifact");
+        bench_report_from_json(&text).expect("schema-valid artifact")
+    };
+    assert!(reports_eq_modulo_timing(&read(&ref_dir), &read(&dist_dir)));
+
+    // The checkpoint stream covers the whole universe exactly once.
+    let fps = stream_fingerprints(&dist_dir);
+    assert_eq!(fps.len(), universe_size());
+    assert_eq!(fps.iter().collect::<HashSet<_>>().len(), fps.len());
+}
+
+#[test]
+fn worker_crash_mid_run_reassigns_to_survivors_without_changing_results() {
+    let ref_dir = tmp_dir("crash-ref");
+    let reference = run_bench(&bench_opts(ref_dir)).expect("single-process run");
+
+    let dist_dir = tmp_dir("crash-dist");
+    let mut opts = dist_opts(dist_dir, 2);
+    opts.fail_worker = Some((0, 2)); // worker 0 dies after 2 results
+    let summary = run_dist(&opts).expect("survivor finishes the run");
+    assert_eq!(summary.workers_lost, 1);
+    assert!(
+        summary.reassigned > 0,
+        "the dead worker's shard must be re-dealt"
+    );
+    assert_eq!(summary.executed, universe_size());
+    for (a, b) in reference.iter().zip(&summary.reports) {
+        assert!(reports_eq_modulo_timing(a, b));
+    }
+}
+
+#[test]
+fn resume_after_crash_executes_only_missing_cells() {
+    let total = universe_size();
+    let dir = tmp_dir("resume");
+
+    // A lone worker crashes after 2 cells: the run fails, pointing at
+    // --resume, with exactly those 2 cells checkpointed.
+    let mut crashing = dist_opts(dir.clone(), 1);
+    crashing.fail_worker = Some((0, 2));
+    let err = run_dist(&crashing).expect_err("no survivors");
+    assert!(err.contains("--resume"), "{err}");
+    let checkpointed = stream_fingerprints(&dir);
+    assert_eq!(checkpointed.len(), 2);
+
+    // Simulate the coordinator itself dying mid-append: a truncated
+    // final line. Resume must skip it, not choke on it.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(CELLS_STREAM_NAME))
+            .unwrap();
+        write!(f, "{{\"cell_id\":\"fig6/trunc").unwrap();
+    }
+
+    // Resume with two workers: exactly the missing cells execute.
+    let mut resuming = dist_opts(dir.clone(), 2);
+    resuming.resume = true;
+    let summary = run_dist(&resuming).expect("resumed run completes");
+    assert_eq!(summary.total_cells, total);
+    assert_eq!(summary.skipped, 2, "checkpointed cells are not re-executed");
+    assert_eq!(summary.executed, total - 2, "only missing cells execute");
+
+    // The merged stream now covers the universe exactly once, and the
+    // checkpointed fingerprints were reused, not recomputed.
+    let fps = stream_fingerprints(&dir);
+    assert_eq!(fps.len(), total);
+    let unique: HashSet<&String> = fps.iter().collect();
+    assert_eq!(unique.len(), total);
+    for fp in &checkpointed {
+        assert!(unique.contains(fp));
+    }
+
+    // And the resumed artifact still matches a single-process run.
+    let ref_dir = tmp_dir("resume-ref");
+    let reference = run_bench(&bench_opts(ref_dir)).expect("single-process run");
+    for (a, b) in reference.iter().zip(&summary.reports) {
+        assert!(reports_eq_modulo_timing(a, b));
+    }
+}
+
+#[test]
+fn resume_with_complete_checkpoint_spawns_no_workers() {
+    let dir = tmp_dir("resume-noop");
+    run_dist(&dist_opts(dir.clone(), 2)).expect("initial run");
+    let mut resuming = dist_opts(dir.clone(), 2);
+    resuming.resume = true;
+    let summary = run_dist(&resuming).expect("no-op resume");
+    assert_eq!(summary.skipped, universe_size());
+    assert_eq!(summary.executed, 0);
+    assert_eq!(summary.workers_spawned, 0);
+    assert!(!summary.reports.is_empty());
+}
+
+#[test]
+fn fresh_run_without_resume_truncates_a_stale_checkpoint() {
+    let dir = tmp_dir("fresh");
+    run_dist(&dist_opts(dir.clone(), 2)).expect("first run");
+    let first = stream_fingerprints(&dir);
+    run_dist(&dist_opts(dir.clone(), 2)).expect("second run, no --resume");
+    let second = stream_fingerprints(&dir);
+    assert_eq!(
+        first.len(),
+        second.len(),
+        "a non-resume run starts its checkpoint from scratch"
+    );
+}
