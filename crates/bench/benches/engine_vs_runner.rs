@@ -12,10 +12,16 @@
 //! A `MinRTime` trio at `M = 4m` shows the weighted path: the from-scratch
 //! batch Hungarian (`BatchMinRTime`) vs the engine's incremental weighted
 //! drive (see `weighted_matching.rs` for the full weighted grid).
+//!
+//! The `telemetry_overhead` group measures the observability tax on the
+//! same stress cells: `run_builtin_telemetry` with a disabled handle vs
+//! an enabled one. The disabled run *is* the production hot path
+//! (`run_builtin` delegates to it), so the enabled/disabled delta is
+//! the full cost of instrumentation — target <= 5% on the heavy cells.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fss_core::Instance;
-use fss_engine::{run_builtin, run_incremental, BuiltinPolicy};
+use fss_engine::{run_builtin, run_builtin_telemetry, run_incremental, BuiltinPolicy};
 use fss_online::{run_policy, BatchMinRTime, MaxCard, MinRTime};
 use fss_sim::{poisson_workload, WorkloadParams};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -72,5 +78,35 @@ fn bench_minrtime_heaviest_cell(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_maxcard, bench_minrtime_heaviest_cell);
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead_m150_T40");
+    group.sample_size(10);
+    for (policy, name) in [
+        (BuiltinPolicy::MaxCard, "maxcard"),
+        (BuiltinPolicy::MinRTime, "minrtime"),
+    ] {
+        let inst = cell(4.0 * M_SWITCH as f64);
+        let label = format!("{name}_M=4m_n={}", inst.n());
+        group.bench_with_input(BenchmarkId::new("disabled", &label), &inst, |b, inst| {
+            b.iter(|| {
+                let mut tele = fss_engine::EngineTelemetry::disabled();
+                black_box(run_builtin_telemetry(inst, policy, &mut tele))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("enabled", &label), &inst, |b, inst| {
+            b.iter(|| {
+                let mut tele = fss_engine::EngineTelemetry::enabled();
+                black_box(run_builtin_telemetry(inst, policy, &mut tele))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maxcard,
+    bench_minrtime_heaviest_cell,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

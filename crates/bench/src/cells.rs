@@ -52,6 +52,7 @@ pub fn scale_of(opts: &BenchOptions) -> Scale {
         smoke: opts.smoke,
         paper: opts.paper,
         trials: opts.trials,
+        telemetry: opts.progress,
     }
 }
 
@@ -124,6 +125,7 @@ pub fn execute_cell(fc: &FlatCell) -> BenchCell {
         wall_s: t0.elapsed().as_secs_f64(),
         flows: outcome.flows,
         engine_mode: outcome.engine_mode.to_string(),
+        telemetry: outcome.telemetry,
     }
 }
 
@@ -209,6 +211,7 @@ mod tests {
                 smoke: true,
                 paper: false,
                 trials: None,
+                telemetry: false,
             },
         )
         .unwrap();
@@ -218,6 +221,7 @@ mod tests {
                 smoke: false,
                 paper: false,
                 trials: None,
+                telemetry: false,
             },
         )
         .unwrap();
@@ -227,6 +231,7 @@ mod tests {
                 smoke: false,
                 paper: true,
                 trials: None,
+                telemetry: false,
             },
         )
         .unwrap();

@@ -8,7 +8,9 @@
 //! (the LP series stays on the scaled-down switch; the paper itself
 //! needed >3 h of Gurobi per full-size cell).
 
-use fss_sim::{lp_bounds_grid_parts, run_grid, ExperimentConfig, LpBoundParts, PolicyKind};
+use fss_sim::{
+    lp_bounds_grid_parts, run_grid, run_grid_telemetry, ExperimentConfig, LpBoundParts, PolicyKind,
+};
 
 use crate::registry::{CellOutcome, CellSpec, Experiment, Scale};
 
@@ -68,6 +70,7 @@ fn heuristic_cell(
     policy: PolicyKind,
     ma: f64,
     t: u64,
+    instrument: bool,
 ) -> CellSpec {
     let cfg = ExperimentConfig {
         m_values: vec![ma],
@@ -89,7 +92,18 @@ fn heuristic_cell(
             ("trials", base.trials.to_string()),
         ],
         move || {
-            let cell = run_grid(&cfg).pop().expect("singleton grid yields a cell");
+            let (cell, telemetry) = if instrument {
+                let (mut cells, snap) = run_grid_telemetry(&cfg);
+                (
+                    cells.pop().expect("singleton grid yields a cell"),
+                    Some(snap),
+                )
+            } else {
+                (
+                    run_grid(&cfg).pop().expect("singleton grid yields a cell"),
+                    None,
+                )
+            };
             CellOutcome {
                 metrics: vec![
                     ("avg_response".into(), cell.avg_response),
@@ -98,6 +112,7 @@ fn heuristic_cell(
                 ],
                 flows: (cell.mean_flows * cell.trials as f64).round() as u64,
                 engine_mode: "engine",
+                telemetry,
             }
         },
     )
@@ -145,6 +160,7 @@ fn lp_cell(
                 metrics: vec![(metric_name.into(), value)],
                 flows: 0,
                 engine_mode: "lp",
+                telemetry: None,
             }
         },
     )
@@ -166,7 +182,14 @@ fn build_fig6(scale: &Scale) -> Vec<CellSpec> {
     for &policy in &PolicyKind::PAPER_TRIO {
         for &ma in &base.m_values {
             for &t in &heur_t {
-                cells.push(heuristic_cell("fig6", &base, policy, ma, t));
+                cells.push(heuristic_cell(
+                    "fig6",
+                    &base,
+                    policy,
+                    ma,
+                    t,
+                    scale.telemetry,
+                ));
             }
         }
     }
@@ -212,7 +235,14 @@ fn build_fig7(scale: &Scale) -> Vec<CellSpec> {
     for &policy in &PolicyKind::PAPER_TRIO {
         for &ma in &base.m_values {
             for &t in &heur_t {
-                cells.push(heuristic_cell("fig7", &base, policy, ma, t));
+                cells.push(heuristic_cell(
+                    "fig7",
+                    &base,
+                    policy,
+                    ma,
+                    t,
+                    scale.telemetry,
+                ));
             }
         }
     }

@@ -135,5 +135,6 @@ fn probe_cell(m: usize, rounds: u64, trials: u64) -> CellOutcome {
         ],
         flows,
         engine_mode: "exact",
+        telemetry: None,
     }
 }

@@ -7,7 +7,7 @@
 //! scenario): workloads are never materialized, so the full-scale grid
 //! can push horizons far beyond what the batch runner tolerated.
 
-use fss_sim::{saturation_sweep, stable_intensity, PolicyKind};
+use fss_sim::{saturation_sweep_telemetry, stable_intensity, PolicyKind};
 
 use crate::registry::{CellOutcome, CellSpec, Experiment, Scale};
 
@@ -47,6 +47,7 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
     } else {
         (20, 5_000, scale.trials_or(4, 4))
     };
+    let instrument = scale.telemetry;
     let mut cells = Vec::new();
     for policy in POLICIES {
         for &lambda in &INTENSITIES {
@@ -62,9 +63,22 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
                     ("trials", trials.to_string()),
                 ],
                 move || {
-                    let pt = saturation_sweep(policy, m, rounds, &[lambda], trials, 0x5a7)
-                        .pop()
-                        .expect("one point per intensity");
+                    let mut tele = if instrument {
+                        fss_engine::EngineTelemetry::enabled()
+                    } else {
+                        fss_engine::EngineTelemetry::disabled()
+                    };
+                    let pt = saturation_sweep_telemetry(
+                        policy,
+                        m,
+                        rounds,
+                        &[lambda],
+                        trials,
+                        0x5a7,
+                        &mut tele,
+                    )
+                    .pop()
+                    .expect("one point per intensity");
                     CellOutcome {
                         metrics: vec![
                             ("mean_response".into(), pt.mean_response),
@@ -72,6 +86,7 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
                         ],
                         flows: (lambda * m as f64 * rounds as f64 * trials as f64).round() as u64,
                         engine_mode: "engine",
+                        telemetry: instrument.then(|| tele.snapshot()),
                     }
                 },
             ));
@@ -90,6 +105,7 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
                     metrics: vec![("stable_intensity".into(), knee)],
                     flows: 0,
                     engine_mode: "engine",
+                    telemetry: None,
                 }
             },
         ));

@@ -99,6 +99,7 @@ fn art_cell(n: usize, m: usize, c: u32, trials: u64) -> CellOutcome {
         ],
         flows: n as u64 * trials,
         engine_mode: "offline",
+        telemetry: None,
     }
 }
 
@@ -173,6 +174,7 @@ fn mrt_cell(n: usize, dmax: u32, trials: u64) -> CellOutcome {
         ],
         flows: n as u64 * trials,
         engine_mode: "offline",
+        telemetry: None,
     }
 }
 
@@ -237,6 +239,7 @@ fn amrt_cell(n: usize, span: u64, trials: u64) -> CellOutcome {
         ],
         flows: n as u64 * trials,
         engine_mode: "offline",
+        telemetry: None,
     }
 }
 
@@ -267,6 +270,7 @@ pub fn table_gaps() -> Experiment {
                             ],
                             flows: sat.n() as u64,
                             engine_mode: "exact",
+                            telemetry: None,
                         }
                     },
                 ),
@@ -284,6 +288,7 @@ pub fn table_gaps() -> Experiment {
                             ],
                             flows: unsat.n() as u64,
                             engine_mode: "lp",
+                            telemetry: None,
                         }
                     },
                 ),
@@ -312,6 +317,7 @@ pub fn table_gaps() -> Experiment {
                             metrics,
                             flows: f4b.n() as u64,
                             engine_mode: "exact",
+                            telemetry: None,
                         }
                     },
                 ),
@@ -400,6 +406,7 @@ fn rounding_cell(n: usize, dmax: u32, engine: RoundingEngine, trials: u64) -> Ce
         ],
         flows: n as u64 * trials,
         engine_mode: "offline",
+        telemetry: None,
     }
 }
 
@@ -474,6 +481,7 @@ fn window_cell(n: usize, trials: u64) -> CellOutcome {
         metrics: metrics_out,
         flows: n as u64 * trials,
         engine_mode: "offline",
+        telemetry: None,
     }
 }
 
@@ -566,5 +574,6 @@ fn coflow_cell(m: usize, k: usize, w: usize, trials: u64) -> CellOutcome {
         metrics: metrics_out,
         flows,
         engine_mode: "coflow",
+        telemetry: None,
     }
 }

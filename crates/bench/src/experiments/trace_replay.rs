@@ -37,7 +37,8 @@ pub fn trace_replay(path: &Path) -> Result<Experiment, String> {
     Ok(Experiment::new(
         "trace_replay",
         "replay an arrival trace through every policy via the streaming engine",
-        move |_scale| {
+        move |scale| {
+            let instrument = scale.telemetry;
             POLICIES
                 .iter()
                 .map(|&policy| {
@@ -52,9 +53,16 @@ pub fn trace_replay(path: &Path) -> Result<Experiment, String> {
                             ("horizon", horizon.to_string()),
                         ],
                         move || {
-                            let stats = fss_engine::run_stream(
+                            let mut tele = if instrument {
+                                fss_engine::EngineTelemetry::enabled()
+                            } else {
+                                fss_engine::EngineTelemetry::disabled()
+                            };
+                            let stats = fss_engine::run_stream_telemetry(
                                 TraceSource::new(trace.clone()),
                                 fss_engine::EngineMode::Exact(policy.to_engine()),
+                                &mut tele,
+                                |_, _, _| {},
                             );
                             CellOutcome {
                                 metrics: vec![
@@ -65,6 +73,7 @@ pub fn trace_replay(path: &Path) -> Result<Experiment, String> {
                                 ],
                                 flows,
                                 engine_mode: "stream",
+                                telemetry: instrument.then(|| tele.snapshot()),
                             }
                         },
                     )

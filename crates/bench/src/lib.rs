@@ -45,7 +45,8 @@ pub use diff::{
     DiffReport, DEFAULT_TOLERANCE_PCT,
 };
 pub use orchestrator::{
-    list_experiments, registry_cell_counts, run_bench, BenchOptions, CELLS_STREAM_NAME,
+    list_experiments, registry_cell_counts, run_bench, BenchOptions, ProgressLine,
+    CELLS_STREAM_NAME,
 };
 pub use registry::{registry, select, CellOutcome, CellSpec, Experiment, ExperimentBuilder, Scale};
 

@@ -44,6 +44,10 @@ pub struct BenchOptions {
     /// Without `filter`, the run is the trace replay alone; with one, the
     /// replay joins the selected registry experiments.
     pub trace: Option<PathBuf>,
+    /// Record round-loop telemetry per cell and print a live progress
+    /// line (cells done/total, aggregate flows/s, slowest stage) to
+    /// stderr as cells complete (`flowsched bench --progress`).
+    pub progress: bool,
 }
 
 impl Default for BenchOptions {
@@ -56,7 +60,70 @@ impl Default for BenchOptions {
             out_dir: crate::out_dir(),
             trials: None,
             trace: None,
+            progress: false,
         }
+    }
+}
+
+/// Shared progress state the orchestrator (and the dist coordinator)
+/// fold completed cells into: completion counters plus the run-level
+/// telemetry merge behind one line of status output.
+pub struct ProgressLine {
+    total: usize,
+    done: u64,
+    flows: u64,
+    merged: fss_telemetry::TelemetrySnapshot,
+    started: Instant,
+}
+
+impl ProgressLine {
+    /// Start tracking a run of `total` cells.
+    pub fn new(total: usize) -> ProgressLine {
+        ProgressLine {
+            total,
+            done: 0,
+            flows: 0,
+            merged: fss_telemetry::TelemetrySnapshot::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Fold one completed cell in and return the refreshed status line.
+    pub fn record(&mut self, cell: &BenchCell) -> String {
+        self.done += 1;
+        self.flows += cell.flows;
+        if let Some(snap) = &cell.telemetry {
+            self.merged.merge(snap);
+        }
+        self.line()
+    }
+
+    /// Fold a worker-level snapshot in (no cell attached) — the dist
+    /// coordinator merges heartbeat payloads through this.
+    pub fn merge_snapshot(&mut self, snap: &fss_telemetry::TelemetrySnapshot) {
+        self.merged.merge(snap);
+    }
+
+    /// The run-level telemetry merged so far.
+    pub fn merged(&self) -> &fss_telemetry::TelemetrySnapshot {
+        &self.merged
+    }
+
+    /// Render the status line: `cells 3/24 · 1234.5 flows/s · slowest
+    /// stage match_repair`. Stage detail appears once any instrumented
+    /// cell has been folded in.
+    pub fn line(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mut line = format!(
+            "cells {}/{} · {:.1} flows/s",
+            self.done,
+            self.total,
+            self.flows as f64 / elapsed
+        );
+        if let Some(stage) = self.merged.slowest_stage() {
+            line.push_str(&format!(" · slowest stage {}", stage.stage));
+        }
+        line
     }
 }
 
@@ -88,6 +155,9 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
     // each as it finishes (completion order), keep (exp, idx) so the
     // aggregate reports come out in declaration order.
     let started = Instant::now();
+    let progress = opts
+        .progress
+        .then(|| Mutex::new(ProgressLine::new(flat.len())));
     let executed: Vec<(usize, usize, BenchCell)> = flat
         .par_iter()
         .map(|fc| {
@@ -96,6 +166,10 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
             {
                 let mut w = stream.lock().expect("jsonl writer");
                 let _ = writeln!(w, "{line}");
+            }
+            if let Some(p) = &progress {
+                let status = p.lock().expect("progress line").record(&cell);
+                eprintln!("[fss-bench] {status} · {}", cell.cell_id);
             }
             (fc.exp, fc.idx, cell)
         })
@@ -124,6 +198,7 @@ pub fn registry_cell_counts() -> Vec<(&'static str, &'static str, [usize; 3])> {
                     smoke,
                     paper,
                     trials: None,
+                    telemetry: false,
                 })
                 .len()
             };

@@ -28,6 +28,11 @@ pub struct Scale {
     pub paper: bool,
     /// Override trials per cell (the old bins' `--trials N`).
     pub trials: Option<u64>,
+    /// Record round-loop telemetry while cells execute (`bench
+    /// --progress`). Purely observational: cell metrics are bit-identical
+    /// either way, instrumented cells just carry a
+    /// [`fss_telemetry::TelemetrySnapshot`] in the artifact.
+    pub telemetry: bool,
 }
 
 impl Scale {
@@ -76,6 +81,9 @@ pub struct CellOutcome {
     pub flows: u64,
     /// Execution substrate (`engine`, `lp`, `offline`, `exact`, ...).
     pub engine_mode: &'static str,
+    /// Round-loop telemetry captured while the cell ran; `None` when the
+    /// run was uninstrumented or the substrate has no engine loop.
+    pub telemetry: Option<fss_telemetry::TelemetrySnapshot>,
 }
 
 /// A cell's runner: a deterministic closure from nothing to metrics.

@@ -23,7 +23,12 @@
 //! the pipe), and heartbeats are logged context, not a failure
 //! detector — a deliberate choice that keeps the protocol free of
 //! false-positive kills on machines where a paper-tier LP cell can
-//! legitimately run for an hour.
+//! legitimately run for an hour. A slow-but-heartbeating worker keeps
+//! its cells; nothing is re-dealt until its pipe actually closes.
+//! Heartbeat *payloads* (sequence number + cumulative worker snapshot)
+//! feed the live `--progress` line only; the run-level telemetry in
+//! [`DistSummary`] is folded from the checkpointed cells, which cannot
+//! double-count.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
@@ -33,9 +38,10 @@ use std::time::Instant;
 
 use fss_bench::{
     assemble_reports, flatten, scale_of, select_experiments, write_reports, BenchOptions, FlatCell,
-    CELLS_STREAM_NAME,
+    ProgressLine, CELLS_STREAM_NAME,
 };
 use fss_sim::report::{bench_cell_to_jsonl, read_cells_jsonl, BenchCell, BenchReport};
+use fss_telemetry::TelemetrySnapshot;
 
 use crate::partition::round_robin;
 use crate::proto::{MsgKind, RunConfig, WireMsg, PROTO_VERSION};
@@ -57,6 +63,15 @@ pub struct DistOptions {
     /// Fault injection for tests/CI: `(worker_index, fail_after)` makes
     /// that worker crash without goodbye after that many results.
     pub fail_worker: Option<(usize, u64)>,
+    /// Override the worker heartbeat interval in milliseconds (`None` =
+    /// the worker default). Mostly for tests that need many beats per
+    /// cell.
+    pub heartbeat_ms: Option<u64>,
+    /// Fault injection for tests/CI: `(worker_index, sleep_ms)` makes
+    /// that worker sleep before each cell — slow but alive, still
+    /// heartbeating. Exercises the no-timeout fault model: a stalled
+    /// worker must not get its cells re-dealt.
+    pub slow_worker: Option<(usize, u64)>,
 }
 
 /// What a coordinated run did.
@@ -78,6 +93,13 @@ pub struct DistSummary {
     pub workers_lost: usize,
     /// Heartbeats received (liveness context, not a gate).
     pub heartbeats: u64,
+    /// Highest heartbeat sequence number seen from any worker.
+    pub max_heartbeat_seq: u64,
+    /// Run-level telemetry: the merge of every completed cell's
+    /// snapshot (empty unless the run was instrumented via
+    /// `BenchOptions::progress`). Authoritative — folded from the
+    /// checkpointed cells, not from heartbeat payloads.
+    pub telemetry: TelemetrySnapshot,
 }
 
 enum Event {
@@ -92,6 +114,13 @@ struct WorkerProc {
     stdin: Option<ChildStdin>,
     outstanding: HashSet<String>,
     alive: bool,
+    /// Highest heartbeat sequence number received from this worker.
+    last_seq: u64,
+    /// The latest cumulative snapshot this worker heartbeat. Replaced,
+    /// never added: the payload is cumulative, so adding would double-
+    /// count. Display-only — the run-level merge comes from the
+    /// checkpointed cells.
+    snapshot: Option<TelemetrySnapshot>,
 }
 
 impl WorkerProc {
@@ -211,16 +240,24 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
         workers_spawned: 0,
         workers_lost: 0,
         heartbeats: 0,
+        max_heartbeat_seq: 0,
+        telemetry: TelemetrySnapshot::new(),
     };
     if pending.is_empty() {
         summary.reports = finish(&selected, opts, &universe, &done, started)?;
+        summary.telemetry = merged_telemetry(&summary.reports);
         return Ok(summary);
     }
 
     // Spawn the workers and wire their stdout into one event channel.
     let n_workers = opts.workers.min(pending.len());
     summary.workers_spawned = n_workers;
-    let config = RunConfig::from_bench(&opts.bench)?;
+    let mut config = RunConfig::from_bench(&opts.bench)?;
+    config.heartbeat_ms = opts.heartbeat_ms;
+    let mut progress = opts
+        .bench
+        .progress
+        .then(|| ProgressLine::new(pending.len()));
     let mut set = WorkerSet {
         workers: Vec::with_capacity(n_workers),
     };
@@ -278,6 +315,8 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
             stdin,
             outstanding: HashSet::new(),
             alive: true,
+            last_seq: 0,
+            snapshot: None,
         });
     }
     drop(tx); // the readers hold the only senders now
@@ -295,7 +334,11 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
             Some((w, n)) if w == i => Some(n),
             _ => None,
         };
-        let hello = WireMsg::hello(i as u64, config.clone(), fail_after);
+        let slow_ms = match opts.slow_worker {
+            Some((w, ms)) if w == i => Some(ms),
+            _ => None,
+        };
+        let hello = WireMsg::hello(i as u64, config.clone(), fail_after).with_slow_ms(slow_ms);
         let w = &mut set.workers[i];
         if w.send(&hello) && w.send(&WireMsg::assign(fps.clone())) {
             w.outstanding.extend(fps);
@@ -351,11 +394,40 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
                     }
                     writeln!(stream, "{}", bench_cell_to_jsonl(&cell))
                         .map_err(|e| format!("append {}: {e}", stream_path.display()))?;
+                    if let Some(p) = &mut progress {
+                        let status = p.record(&cell);
+                        eprintln!("[fss-dist] {status} · {} (w{i})", cell.cell_id);
+                    }
                     done.insert(cell.fingerprint.clone(), cell);
                     summary.executed += 1;
                     remaining -= 1;
                 }
-                MsgKind::Heartbeat => summary.heartbeats += 1,
+                MsgKind::Heartbeat => {
+                    summary.heartbeats += 1;
+                    let w = &mut set.workers[i];
+                    if let Some(seq) = msg.seq {
+                        // The payload is cumulative, so only a *newer*
+                        // beat replaces the stored snapshot; a stale or
+                        // reordered one is dropped.
+                        if seq > w.last_seq {
+                            w.last_seq = seq;
+                            w.snapshot = msg.snapshot;
+                            summary.max_heartbeat_seq = summary.max_heartbeat_seq.max(seq);
+                        }
+                    }
+                    if let Some(p) = &progress {
+                        let at_worker = set.workers[i]
+                            .snapshot
+                            .as_ref()
+                            .and_then(|s| s.counter("worker_cells_done"))
+                            .unwrap_or(0);
+                        eprintln!(
+                            "[fss-dist] {} · hb w{i} #{} ({at_worker} done at worker)",
+                            p.line(),
+                            set.workers[i].last_seq
+                        );
+                    }
+                }
                 MsgKind::Error => {
                     eprintln!(
                         "bench worker {i}: {}",
@@ -391,7 +463,24 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
     drop(stream);
 
     summary.reports = finish(&selected, opts, &universe, &done, started)?;
+    summary.telemetry = merged_telemetry(&summary.reports);
     Ok(summary)
+}
+
+/// The authoritative run-level telemetry merge: fold every completed
+/// cell's snapshot from the assembled reports. Heartbeat payloads are
+/// deliberately *not* part of this — they are cumulative per-worker
+/// views for live display, and mixing them in would double-count.
+fn merged_telemetry(reports: &[BenchReport]) -> TelemetrySnapshot {
+    let mut merged = TelemetrySnapshot::new();
+    for report in reports {
+        for cell in &report.cells {
+            if let Some(t) = &cell.telemetry {
+                merged.merge(t);
+            }
+        }
+    }
+    merged
 }
 
 /// Mark worker `i` dead and redistribute its unfinished cells.
@@ -502,6 +591,8 @@ mod tests {
             resume: false,
             worker_cmd: vec!["true".into()],
             fail_worker: None,
+            heartbeat_ms: None,
+            slow_worker: None,
         }
     }
 

@@ -7,15 +7,23 @@
 //! append-only progress log beats any clever dynamic protocol:
 //!
 //! ```text
-//! coordinator → worker   Hello    { proto, worker, config, fail_after }
+//! coordinator → worker   Hello    { proto, worker, config, fail_after, slow_ms }
 //! worker → coordinator   Ready    { proto, cells }           (universe size check)
 //! coordinator → worker   Assign   { assign: [fingerprints] } (repeatable)
 //! worker → coordinator   Result   { cell }                   (one per executed cell)
-//! worker → coordinator   Heartbeat                           (periodic liveness)
+//! worker → coordinator   Heartbeat { seq, snapshot }         (periodic liveness + progress)
 //! coordinator → worker   Shutdown
 //! worker → coordinator   Done                                (clean goodbye)
 //! worker → coordinator   Error    { error }                  (protocol/registry failure)
 //! ```
+//!
+//! Heartbeats carry a payload since proto v2: a per-worker sequence
+//! number (strictly increasing, so a wedged-then-replayed pipe is
+//! detectable) and the worker's **cumulative** telemetry snapshot —
+//! completed-cell telemetry merged with a `worker_cells_done` counter.
+//! Cumulative means the coordinator keeps the *latest* snapshot per
+//! worker (replace, not add); the authoritative run-level merge still
+//! comes from the checkpointed cells themselves.
 //!
 //! Every message is one [`WireMsg`]: a `kind` tag plus optional payload
 //! fields (always serialized, `null` when absent — the in-tree serde
@@ -25,11 +33,16 @@
 
 use fss_bench::BenchOptions;
 use fss_sim::report::BenchCell;
+use fss_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Protocol version; both sides must agree exactly. Bump on any change
 /// to [`WireMsg`] / [`RunConfig`] shape or semantics.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2 added the heartbeat payload (`seq` + `snapshot`), the
+/// `progress` / `heartbeat_ms` run-config knobs, and per-worker
+/// `slow_ms` fault injection.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Message discriminator (serialized as the variant name).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +82,14 @@ pub struct RunConfig {
     pub trials: Option<u64>,
     /// Arrival-trace path for the `trace_replay` experiment.
     pub trace: Option<String>,
+    /// Record round-loop telemetry while cells execute (the
+    /// coordinator's `--progress`): instrumented cells carry a
+    /// `telemetry` snapshot in their `Result`.
+    pub progress: bool,
+    /// Heartbeat interval override in milliseconds (`None` = the
+    /// worker default, [`crate::worker::HEARTBEAT_INTERVAL`]). Tests
+    /// shrink this so one cell spans many heartbeats.
+    pub heartbeat_ms: Option<u64>,
 }
 
 impl RunConfig {
@@ -88,6 +109,8 @@ impl RunConfig {
             paper: opts.paper,
             trials: opts.trials,
             trace,
+            progress: opts.progress,
+            heartbeat_ms: None,
         })
     }
 
@@ -106,6 +129,7 @@ impl RunConfig {
             out_dir: std::env::temp_dir(),
             trials: self.trials,
             trace: self.trace.as_ref().map(std::path::PathBuf::from),
+            progress: self.progress,
         }
     }
 }
@@ -136,6 +160,14 @@ pub struct WireMsg {
     pub cell: Option<BenchCell>,
     /// `Error`: what went wrong.
     pub error: Option<String>,
+    /// `Heartbeat`: per-worker sequence number, strictly increasing.
+    pub seq: Option<u64>,
+    /// `Heartbeat`: the worker's cumulative telemetry snapshot
+    /// (completed-cell telemetry + a `worker_cells_done` counter).
+    pub snapshot: Option<TelemetrySnapshot>,
+    /// `Hello`: fault injection — sleep this long before each cell
+    /// (a slow-but-alive worker for the heartbeat tests).
+    pub slow_ms: Option<u64>,
 }
 
 impl WireMsg {
@@ -150,6 +182,9 @@ impl WireMsg {
             assign: None,
             cell: None,
             error: None,
+            seq: None,
+            snapshot: None,
+            slow_ms: None,
         }
     }
 
@@ -162,6 +197,13 @@ impl WireMsg {
             fail_after,
             ..WireMsg::base(MsgKind::Hello)
         }
+    }
+
+    /// Fault injection: make the receiving worker sleep `ms` before
+    /// each cell (slow but alive). Builder on a `Hello`.
+    pub fn with_slow_ms(mut self, ms: Option<u64>) -> WireMsg {
+        self.slow_ms = ms;
+        self
     }
 
     /// Build a `Ready` handshake reply.
@@ -189,9 +231,14 @@ impl WireMsg {
         }
     }
 
-    /// Build a `Heartbeat`.
-    pub fn heartbeat() -> WireMsg {
-        WireMsg::base(MsgKind::Heartbeat)
+    /// Build a `Heartbeat` carrying its sequence number and the
+    /// worker's cumulative telemetry snapshot.
+    pub fn heartbeat(seq: u64, snapshot: TelemetrySnapshot) -> WireMsg {
+        WireMsg {
+            seq: Some(seq),
+            snapshot: Some(snapshot),
+            ..WireMsg::base(MsgKind::Heartbeat)
+        }
     }
 
     /// Build a `Shutdown`.
@@ -234,6 +281,8 @@ mod tests {
             paper: false,
             trials: Some(2),
             trace: None,
+            progress: false,
+            heartbeat_ms: None,
         }
     }
 
@@ -247,12 +296,15 @@ mod tests {
             100,
             "engine",
         );
+        let mut beat_snap = TelemetrySnapshot::new();
+        beat_snap.add_counter("worker_cells_done", 3);
+        beat_snap.add_stage_ns("dispatch", 42);
         let msgs = vec![
-            WireMsg::hello(3, sample_config(), Some(2)),
+            WireMsg::hello(3, sample_config(), Some(2)).with_slow_ms(Some(25)),
             WireMsg::ready(42),
             WireMsg::assign(vec!["aa".into(), "bb".into()]),
             WireMsg::result(cell),
-            WireMsg::heartbeat(),
+            WireMsg::heartbeat(7, beat_snap),
             WireMsg::shutdown(),
             WireMsg::done(),
             WireMsg::error("boom"),
@@ -268,7 +320,7 @@ mod tests {
     #[test]
     fn parse_rejects_garbage_and_truncation() {
         assert!(WireMsg::parse("not json").is_err());
-        let line = WireMsg::heartbeat().to_line();
+        let line = WireMsg::heartbeat(0, TelemetrySnapshot::new()).to_line();
         assert!(WireMsg::parse(&line[..line.len() - 2]).is_err());
     }
 

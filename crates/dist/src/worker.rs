@@ -6,7 +6,11 @@
 //! skew is caught at handshake time, then executes `Assign`ed
 //! fingerprints one at a time, streaming each `Result` back as soon as
 //! the cell finishes. A background thread heartbeats so the coordinator
-//! can tell "long LP cell" from "hung worker" in its logs. Workers
+//! can tell "long LP cell" from "hung worker" in its logs; each
+//! heartbeat carries a strictly increasing sequence number and the
+//! worker's *cumulative* telemetry snapshot (completed-cell telemetry
+//! plus a `worker_cells_done` counter), so the coordinator can show
+//! live progress without waiting on the result stream. Workers
 //! never touch the filesystem — checkpointing is the coordinator's job.
 //!
 //! The loop is generic over its transport (`BufRead` in, `Write` out),
@@ -15,15 +19,17 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use fss_bench::{execute_cell, flatten, scale_of, select_experiments, FlatCell};
+use fss_telemetry::TelemetrySnapshot;
 
 use crate::proto::{MsgKind, WireMsg, PROTO_VERSION};
 
-/// How often the background thread emits `Heartbeat` messages.
+/// How often the background thread emits `Heartbeat` messages, unless
+/// the run config overrides it (`RunConfig::heartbeat_ms`).
 pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
 
 /// Error marker for injected crashes (`fail_after` in `Hello`): the
@@ -83,6 +89,11 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
     }
     let config = hello.config.ok_or("Hello carried no run config")?;
     let fail_after = hello.fail_after;
+    let slow_ms = hello.slow_ms;
+    let interval = config
+        .heartbeat_ms
+        .map(Duration::from_millis)
+        .unwrap_or(HEARTBEAT_INTERVAL);
 
     let universe = (|| -> Result<Vec<FlatCell>, String> {
         let opts = config.to_bench();
@@ -105,13 +116,19 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
 
     // Heartbeats: cells can run for minutes (paper-tier LP solves), so
     // liveness comes from a background thread, not the result stream.
+    // Each beat snapshots the shared accumulator (completed-cell
+    // telemetry + `worker_cells_done`) under a fresh sequence number.
     let stop = Arc::new(AtomicBool::new(false));
+    let accum = Arc::new(Mutex::new(TelemetrySnapshot::new()));
+    let seq = Arc::new(AtomicU64::new(0));
     let beat = {
         let output = Arc::clone(&output);
         let stop = Arc::clone(&stop);
+        let accum = Arc::clone(&accum);
+        let seq = Arc::clone(&seq);
         std::thread::spawn(move || {
-            let slice = Duration::from_millis(50);
-            let slices = (HEARTBEAT_INTERVAL.as_millis() / slice.as_millis()).max(1) as u32;
+            let slice = Duration::from_millis(interval.as_millis().clamp(1, 50) as u64);
+            let slices = (interval.as_millis() / slice.as_millis()).max(1) as u32;
             'outer: loop {
                 for _ in 0..slices {
                     if stop.load(Ordering::Relaxed) {
@@ -119,7 +136,12 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
                     }
                     std::thread::sleep(slice);
                 }
-                if send(&output, &WireMsg::heartbeat()).is_err() {
+                let snapshot = match accum.lock() {
+                    Ok(a) => a.clone(),
+                    Err(_) => break,
+                };
+                let n = seq.fetch_add(1, Ordering::Relaxed) + 1;
+                if send(&output, &WireMsg::heartbeat(n, snapshot)).is_err() {
                     break; // coordinator is gone; the main loop will see it too
                 }
             }
@@ -135,7 +157,20 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
                         let fc = index.get(fp.as_str()).ok_or_else(|| {
                             format!("assigned unknown fingerprint {fp} (registry skew?)")
                         })?;
+                        if let Some(ms) = slow_ms {
+                            // Fault injection: a slow-but-alive worker,
+                            // for exercising the heartbeats-are-not-a-
+                            // failure-detector invariant in tests.
+                            std::thread::sleep(Duration::from_millis(ms));
+                        }
                         let cell = execute_cell(fc);
+                        {
+                            let mut a = accum.lock().map_err(|_| "telemetry mutex poisoned")?;
+                            if let Some(t) = &cell.telemetry {
+                                a.merge(t);
+                            }
+                            a.add_counter("worker_cells_done", 1);
+                        }
                         send(&output, &WireMsg::result(cell))?;
                         executed += 1;
                         if Some(executed) == fail_after {
@@ -197,6 +232,8 @@ mod tests {
             paper: false,
             trials: Some(1),
             trace: None,
+            progress: false,
+            heartbeat_ms: None,
         }
     }
 
@@ -264,6 +301,52 @@ mod tests {
             let want = execute_cell(fc);
             assert!(cells_eq_modulo_timing(&want, got));
         }
+    }
+
+    #[test]
+    fn heartbeats_carry_sequenced_cumulative_snapshots() {
+        let mut cfg = gaps_config();
+        cfg.heartbeat_ms = Some(1);
+        let fps: Vec<String> = gaps_universe()
+            .iter()
+            .map(|f| f.fingerprint.clone())
+            .collect();
+        // slow_ms stretches each cell so the 1ms beat loop observably
+        // outpaces the result stream.
+        let (result, out) = drive(&[
+            WireMsg::hello(0, cfg, None).with_slow_ms(Some(10)),
+            WireMsg::assign(fps),
+            WireMsg::shutdown(),
+        ]);
+        result.expect("clean session");
+        let beats: Vec<&WireMsg> = out
+            .iter()
+            .filter(|m| m.kind == MsgKind::Heartbeat)
+            .collect();
+        assert!(
+            !beats.is_empty(),
+            "30ms of injected work at a 1ms interval must produce beats"
+        );
+        let seqs: Vec<u64> = beats
+            .iter()
+            .map(|m| m.seq.expect("v2 heartbeats carry a sequence number"))
+            .collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "heartbeat sequence numbers are strictly increasing: {seqs:?}"
+        );
+        // The payload is the cumulative snapshot: once a cell finishes,
+        // later beats report it via the worker_cells_done counter.
+        let max_done = beats
+            .iter()
+            .filter_map(|m| m.snapshot.as_ref())
+            .filter_map(|s| s.counter("worker_cells_done"))
+            .max()
+            .unwrap_or(0);
+        assert!(
+            (1..=3).contains(&max_done),
+            "beats after the first completed cell carry its count, got {max_done}"
+        );
     }
 
     #[test]

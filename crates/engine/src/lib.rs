@@ -57,6 +57,7 @@ use fss_core::prelude::*;
 use fss_online::{FifoGreedy, OnlinePolicy, WeightModel};
 
 pub use events::{EventKind, EventQueue};
+pub use fss_telemetry::{EngineTelemetry, Stage};
 pub use matcher::IncrementalMatcher;
 pub use queue::ShardedQueues;
 pub use source::{poisson, Arrival, FlowSource, InstanceSource, PoissonSource};
@@ -131,12 +132,17 @@ fn assert_unit(inst: &Instance) {
     assert!(inst.is_unit_demand(), "engine requires unit demands");
 }
 
-fn run_selector(inst: &Instance, selector: &mut Selector<'_>) -> Schedule {
+fn run_selector(
+    inst: &Instance,
+    selector: &mut Selector<'_>,
+    tele: &mut EngineTelemetry,
+) -> Schedule {
     assert_unit(inst);
     let mut rounds = vec![0u64; inst.n()];
     stream::drive_exact(
         InstanceSource::new(inst),
         selector,
+        tele,
         |id, _release, round| {
             rounds[id as usize] = round;
         },
@@ -150,18 +156,39 @@ fn run_selector(inst: &Instance, selector: &mut Selector<'_>) -> Schedule {
 /// The schedule is round-for-round identical to
 /// [`fss_online::run_policy`]'s (same queue discipline, same policy code).
 pub fn run_policy<P: OnlinePolicy>(inst: &Instance, policy: &mut P) -> Schedule {
-    run_selector(inst, &mut Selector::Policy(policy))
+    run_policy_telemetry(inst, policy, &mut EngineTelemetry::disabled())
+}
+
+/// [`run_policy`] recording stage timings and decision latencies into
+/// `tele`. The schedule is identical to [`run_policy`]'s — the
+/// instrumentation observes, never steers (differentially tested).
+pub fn run_policy_telemetry<P: OnlinePolicy>(
+    inst: &Instance,
+    policy: &mut P,
+    tele: &mut EngineTelemetry,
+) -> Schedule {
+    run_selector(inst, &mut Selector::Policy(policy), tele)
 }
 
 /// Run a built-in policy over a batch instance through the engine,
 /// using the MaxCard and incremental-weighted fast paths where they
 /// apply.
 pub fn run_builtin(inst: &Instance, policy: BuiltinPolicy) -> Schedule {
+    run_builtin_telemetry(inst, policy, &mut EngineTelemetry::disabled())
+}
+
+/// [`run_builtin`] recording stage timings and decision latencies into
+/// `tele`; the schedule is identical to [`run_builtin`]'s.
+pub fn run_builtin_telemetry(
+    inst: &Instance,
+    policy: BuiltinPolicy,
+    tele: &mut EngineTelemetry,
+) -> Schedule {
     match policy {
-        BuiltinPolicy::MaxCard => run_selector(inst, &mut Selector::MaxCard),
-        BuiltinPolicy::MinRTime => run_weighted(inst, WeightModel::MinRTime),
-        BuiltinPolicy::MaxWeight => run_weighted(inst, WeightModel::MaxWeight),
-        BuiltinPolicy::FifoGreedy => run_policy(inst, &mut FifoGreedy::default()),
+        BuiltinPolicy::MaxCard => run_selector(inst, &mut Selector::MaxCard, tele),
+        BuiltinPolicy::MinRTime => run_weighted_telemetry(inst, WeightModel::MinRTime, tele),
+        BuiltinPolicy::MaxWeight => run_weighted_telemetry(inst, WeightModel::MaxWeight, tele),
+        BuiltinPolicy::FifoGreedy => run_policy_telemetry(inst, &mut FifoGreedy::default(), tele),
     }
 }
 
@@ -172,11 +199,26 @@ pub fn run_builtin(inst: &Instance, policy: BuiltinPolicy) -> Schedule {
 /// repairing the weighted matching incrementally instead of re-solving
 /// it per round.
 pub fn run_weighted(inst: &Instance, model: WeightModel) -> Schedule {
+    run_weighted_telemetry(inst, model, &mut EngineTelemetry::disabled())
+}
+
+/// [`run_weighted`] recording stage timings and decision latencies into
+/// `tele`; the schedule is identical to [`run_weighted`]'s.
+pub fn run_weighted_telemetry(
+    inst: &Instance,
+    model: WeightModel,
+    tele: &mut EngineTelemetry,
+) -> Schedule {
     assert_unit(inst);
     let mut rounds = vec![0u64; inst.n()];
-    stream::drive_weighted(InstanceSource::new(inst), model, |id, _release, round| {
-        rounds[id as usize] = round;
-    });
+    stream::drive_weighted(
+        InstanceSource::new(inst),
+        model,
+        tele,
+        |id, _release, round| {
+            rounds[id as usize] = round;
+        },
+    );
     let sched = Schedule::from_rounds(rounds);
     debug_assert!(validate::check(inst, &sched, &inst.switch).is_ok());
     sched
@@ -190,9 +232,13 @@ pub fn run_weighted(inst: &Instance, model: WeightModel) -> Schedule {
 pub fn run_incremental(inst: &Instance) -> Schedule {
     assert_unit(inst);
     let mut rounds = vec![0u64; inst.n()];
-    stream::drive_incremental(InstanceSource::new(inst), |id, _release, round| {
-        rounds[id as usize] = round;
-    });
+    stream::drive_incremental(
+        InstanceSource::new(inst),
+        &mut EngineTelemetry::disabled(),
+        |id, _release, round| {
+            rounds[id as usize] = round;
+        },
+    );
     let sched = Schedule::from_rounds(rounds);
     debug_assert!(validate::check(inst, &sched, &inst.switch).is_ok());
     sched
@@ -214,20 +260,34 @@ pub fn run_stream_with<S: FlowSource>(
     mode: EngineMode,
     on_dispatch: impl FnMut(u64, u64, u64),
 ) -> StreamStats {
+    run_stream_telemetry(source, mode, &mut EngineTelemetry::disabled(), on_dispatch)
+}
+
+/// [`run_stream_with`] recording per-stage timings and the per-round
+/// decision-latency histogram into `tele`. The dispatch sequence is
+/// identical to an uninstrumented run's — telemetry observes, never
+/// steers — and a handle built with [`EngineTelemetry::disabled`]
+/// reduces every instrumentation point to one branch.
+pub fn run_stream_telemetry<S: FlowSource>(
+    source: S,
+    mode: EngineMode,
+    tele: &mut EngineTelemetry,
+    on_dispatch: impl FnMut(u64, u64, u64),
+) -> StreamStats {
     match mode {
-        EngineMode::Incremental => stream::drive_incremental(source, on_dispatch),
+        EngineMode::Incremental => stream::drive_incremental(source, tele, on_dispatch),
         EngineMode::Exact(BuiltinPolicy::MaxCard) => {
-            stream::drive_exact(source, &mut Selector::MaxCard, on_dispatch)
+            stream::drive_exact(source, &mut Selector::MaxCard, tele, on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::MinRTime) => {
-            stream::drive_weighted(source, WeightModel::MinRTime, on_dispatch)
+            stream::drive_weighted(source, WeightModel::MinRTime, tele, on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::MaxWeight) => {
-            stream::drive_weighted(source, WeightModel::MaxWeight, on_dispatch)
+            stream::drive_weighted(source, WeightModel::MaxWeight, tele, on_dispatch)
         }
         EngineMode::Exact(BuiltinPolicy::FifoGreedy) => {
             let mut p = FifoGreedy::default();
-            stream::drive_exact(source, &mut Selector::Policy(&mut p), on_dispatch)
+            stream::drive_exact(source, &mut Selector::Policy(&mut p), tele, on_dispatch)
         }
     }
 }
@@ -253,7 +313,26 @@ pub fn run_stream_failures_with<S: FlowSource, P: OnlinePolicy + ?Sized>(
     plan: &FailurePlan,
     on_dispatch: impl FnMut(u64, u64, u64),
 ) -> StreamStats {
-    outage::drive_failures(source, policy, plan, on_dispatch)
+    outage::drive_failures(
+        source,
+        policy,
+        plan,
+        &mut EngineTelemetry::disabled(),
+        on_dispatch,
+    )
+}
+
+/// [`run_stream_failures_with`] recording stage timings and decision
+/// latencies into `tele`; the schedule is identical to an
+/// uninstrumented run's.
+pub fn run_stream_failures_telemetry<S: FlowSource, P: OnlinePolicy + ?Sized>(
+    source: S,
+    policy: &mut P,
+    plan: &FailurePlan,
+    tele: &mut EngineTelemetry,
+    on_dispatch: impl FnMut(u64, u64, u64),
+) -> StreamStats {
+    outage::drive_failures(source, policy, plan, tele, on_dispatch)
 }
 
 #[cfg(test)]

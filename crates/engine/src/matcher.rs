@@ -39,6 +39,10 @@ pub struct IncrementalMatcher {
     /// DFS visited stamps (right side), bumped per search.
     vis_r: Vec<u32>,
     epoch: u32,
+    /// Augmenting-path searches launched (telemetry).
+    searches: u64,
+    /// Searches that found a path and grew the matching (telemetry).
+    augmentations: u64,
 }
 
 impl IncrementalMatcher {
@@ -55,7 +59,16 @@ impl IncrementalMatcher {
             dirty: false,
             vis_r: vec![0; m_out],
             epoch: 0,
+            searches: 0,
+            augmentations: 0,
         }
+    }
+
+    /// Lifetime work counters: `(searches, augmentations)` — DFS
+    /// launches and the subset that grew the matching. Cheap enough to
+    /// maintain unconditionally; surfaced through engine telemetry.
+    pub fn work(&self) -> (u64, u64) {
+        (self.searches, self.augmentations)
     }
 
     /// Current matching size.
@@ -125,7 +138,9 @@ impl IncrementalMatcher {
                     self.vis_r.fill(0);
                     self.epoch = 1;
                 }
+                self.searches += 1;
                 if self.try_augment(p) {
+                    self.augmentations += 1;
                     self.size += 1;
                     if self.size == self.m_in.min(self.m_out) {
                         return;

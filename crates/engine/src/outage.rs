@@ -22,6 +22,7 @@ use crate::source::FlowSource;
 use crate::stream::StreamStats;
 use fss_core::{FailurePlan, FlowId, PortSide};
 use fss_online::{OnlinePolicy, QueueState, WaitingFlow};
+use fss_telemetry::{span, EngineTelemetry, Stage};
 
 /// Drive `source` through `policy` under the outage plan.
 /// `on_dispatch(id, release, round)` fires once per flow.
@@ -29,6 +30,7 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
     mut source: S,
     policy: &mut P,
     plan: &FailurePlan,
+    tele: &mut EngineTelemetry,
     mut on_dispatch: impl FnMut(u64, u64, u64),
 ) -> StreamStats {
     let (m_in, m_out) = (source.m_in(), source.m_out());
@@ -50,24 +52,26 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
     while !waiting.is_empty() || pending.is_some() {
         // Ingest every arrival released by round `t` (the source contract
         // guarantees `(release, id)` order, matching the legacy ingest).
-        while let Some(a) = pending {
-            if a.release > t {
-                break;
+        span!(tele, Stage::Ingest, {
+            while let Some(a) = pending {
+                if a.release > t {
+                    break;
+                }
+                waiting.push(WaitingFlow {
+                    id: FlowId(a.id as u32),
+                    src: a.src,
+                    dst: a.dst,
+                    release: a.release,
+                });
+                ids.push(a.id);
+                stats.arrived += 1;
+                pending = source.next_arrival();
+                debug_assert!(
+                    pending.is_none_or(|n| n.release >= a.release),
+                    "FlowSource contract: releases must be nondecreasing"
+                );
             }
-            waiting.push(WaitingFlow {
-                id: FlowId(a.id as u32),
-                src: a.src,
-                dst: a.dst,
-                release: a.release,
-            });
-            ids.push(a.id);
-            stats.arrived += 1;
-            pending = source.next_arrival();
-            debug_assert!(
-                pending.is_none_or(|n| n.release >= a.release),
-                "FlowSource contract: releases must be nondecreasing"
-            );
-        }
+        });
         stats.peak_queue = stats.peak_queue.max(waiting.len());
         if waiting.is_empty() {
             match &pending {
@@ -79,11 +83,13 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
             }
         }
         // Only flows whose both ports are up are offered to the policy.
-        usable.clear();
-        usable.extend((0..waiting.len()).filter(|&k| {
-            let w = &waiting[k];
-            plan.is_up(PortSide::Input, w.src, t) && plan.is_up(PortSide::Output, w.dst, t)
-        }));
+        span!(tele, Stage::QueueUpdate, {
+            usable.clear();
+            usable.extend((0..waiting.len()).filter(|&k| {
+                let w = &waiting[k];
+                plan.is_up(PortSide::Input, w.src, t) && plan.is_up(PortSide::Output, w.dst, t)
+            }));
+        });
         if usable.is_empty() {
             // Every waiting flow sits on a dead port: nothing can change
             // until the next outage ends or the next arrival lands, so
@@ -113,36 +119,43 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
             m_in,
             m_out,
         };
-        let mut selection = policy.choose(&state);
-        selection.sort_unstable();
-        selection.dedup();
-        used_in.fill(false);
-        used_out.fill(false);
-        picked.clear();
-        for &k in &selection {
-            let w = &visible[k];
-            assert!(
-                !used_in[w.src as usize] && !used_out[w.dst as usize],
-                "policy {} returned a non-matching",
-                policy.name()
-            );
-            used_in[w.src as usize] = true;
-            used_out[w.dst as usize] = true;
-            let q = usable[k];
-            stats.on_dispatch(w.release, t);
-            on_dispatch(ids[q], w.release, t);
-            picked.push(q);
-        }
-        if !picked.is_empty() {
-            stats.active_rounds += 1;
-        }
-        picked.sort_unstable();
-        for &k in picked.iter().rev() {
-            waiting.swap_remove(k);
-            ids.swap_remove(k);
-        }
+        let selection = tele.decision(|| {
+            let mut sel = policy.choose(&state);
+            sel.sort_unstable();
+            sel.dedup();
+            sel
+        });
+        span!(tele, Stage::Dispatch, {
+            used_in.fill(false);
+            used_out.fill(false);
+            picked.clear();
+            for &k in &selection {
+                let w = &visible[k];
+                assert!(
+                    !used_in[w.src as usize] && !used_out[w.dst as usize],
+                    "policy {} returned a non-matching",
+                    policy.name()
+                );
+                used_in[w.src as usize] = true;
+                used_out[w.dst as usize] = true;
+                let q = usable[k];
+                stats.on_dispatch(w.release, t);
+                on_dispatch(ids[q], w.release, t);
+                picked.push(q);
+            }
+            if !picked.is_empty() {
+                stats.active_rounds += 1;
+            }
+            picked.sort_unstable();
+            for &k in picked.iter().rev() {
+                waiting.swap_remove(k);
+                ids.swap_remove(k);
+            }
+        });
         t += 1;
+        tele.round();
     }
+    crate::stream::finish_telemetry(tele, &stats);
     stats
 }
 
@@ -176,6 +189,7 @@ mod tests {
             source,
             &mut MaxCard::default(),
             &plan,
+            &mut EngineTelemetry::disabled(),
             |id, release, round| {
                 assert!(round >= release, "dispatch before release");
                 assert!(seen.insert(id), "flow {id} dispatched twice");
@@ -201,6 +215,7 @@ mod tests {
             source,
             &mut MaxCard::default(),
             &plan,
+            &mut EngineTelemetry::disabled(),
             |id, _release, round| {
                 let src = srcs[id as usize];
                 assert!(
@@ -246,6 +261,7 @@ mod tests {
             OneFlow(false),
             &mut MaxCard::default(),
             &plan,
+            &mut EngineTelemetry::disabled(),
             |_, _, round| {
                 dispatched_at = Some(round);
             },
@@ -262,6 +278,7 @@ mod tests {
             source,
             &mut MaxCard::default(),
             &FailurePlan::default(),
+            &mut EngineTelemetry::disabled(),
             |_, _, _| panic!("nothing to dispatch"),
         );
         assert_eq!(stats, StreamStats::default());

@@ -9,6 +9,16 @@ use crate::queue::ShardedQueues;
 use crate::source::FlowSource;
 use crate::wmatcher::IncrementalWeightedMatcher;
 use fss_online::WeightModel;
+use fss_telemetry::{span, EngineTelemetry, Stage};
+
+/// Fold a finished run's aggregate counters into the telemetry handle
+/// (cold path, once per drive).
+pub(crate) fn finish_telemetry(tele: &mut EngineTelemetry, stats: &StreamStats) {
+    tele.counter_add("flows_arrived", stats.arrived);
+    tele.counter_add("flows_dispatched", stats.dispatched);
+    tele.counter_add("active_rounds", stats.active_rounds);
+    tele.gauge_max("peak_queue_depth", stats.peak_queue as u64);
+}
 
 /// Aggregate statistics of one engine run (streaming-friendly: `O(1)`
 /// memory, updated at dispatch time).
@@ -56,6 +66,7 @@ impl StreamStats {
 pub(crate) fn drive_exact<S: FlowSource>(
     mut source: S,
     selector: &mut Selector<'_>,
+    tele: &mut EngineTelemetry,
     mut on_dispatch: impl FnMut(u64, u64, u64),
 ) -> StreamStats {
     let (m_in, m_out) = (source.m_in(), source.m_out());
@@ -71,46 +82,54 @@ pub(crate) fn drive_exact<S: FlowSource>(
     while let Some(t) = events.pop_round() {
         // Ingest every arrival released by round `t` (the event queue may
         // have jumped over several release rounds while the queue drained).
-        while let Some(a) = pending {
-            if a.release > t {
-                break;
+        span!(tele, Stage::Ingest, {
+            while let Some(a) = pending {
+                if a.release > t {
+                    break;
+                }
+                debug_assert!(
+                    u32::try_from(a.id).is_ok(),
+                    "exact mode addresses flows as u32 ids"
+                );
+                core.push_waiting(a.id as u32, a.src, a.dst, a.release);
+                stats.arrived += 1;
+                pending = source.next_arrival();
+                debug_assert!(
+                    pending.is_none_or(|n| n.release >= a.release),
+                    "FlowSource contract: releases must be nondecreasing"
+                );
             }
-            debug_assert!(
-                u32::try_from(a.id).is_ok(),
-                "exact mode addresses flows as u32 ids"
-            );
-            core.push_waiting(a.id as u32, a.src, a.dst, a.release);
-            stats.arrived += 1;
-            pending = source.next_arrival();
-            debug_assert!(
-                pending.is_none_or(|n| n.release >= a.release),
-                "FlowSource contract: releases must be nondecreasing"
-            );
-        }
-        if let Some(a) = &pending {
-            if arrival_scheduled != Some(a.release) {
-                events.push(a.release, EventKind::Arrival);
-                arrival_scheduled = Some(a.release);
+            if let Some(a) = &pending {
+                if arrival_scheduled != Some(a.release) {
+                    events.push(a.release, EventKind::Arrival);
+                    arrival_scheduled = Some(a.release);
+                }
             }
-        }
+        });
         stats.peak_queue = stats.peak_queue.max(core.waiting.len());
         if core.waiting.is_empty() {
             continue;
         }
-        core.select(t, selector);
+        tele.decision(|| core.select(t, selector));
         if !core.selection.is_empty() {
             stats.active_rounds += 1;
         }
-        for i in 0..core.selection.len() {
-            let w = core.waiting[core.selection[i]];
-            stats.on_dispatch(w.release, t);
-            on_dispatch(u64::from(w.id.0), w.release, t);
-        }
-        core.remove_selection();
+        span!(tele, Stage::Dispatch, {
+            for i in 0..core.selection.len() {
+                let w = core.waiting[core.selection[i]];
+                stats.on_dispatch(w.release, t);
+                on_dispatch(u64::from(w.id.0), w.release, t);
+            }
+        });
+        span!(tele, Stage::QueueUpdate, {
+            core.remove_selection();
+        });
         if !core.waiting.is_empty() {
             events.push(t + 1, EventKind::Dispatch);
         }
+        tele.round();
     }
+    finish_telemetry(tele, &stats);
     stats
 }
 
@@ -122,6 +141,7 @@ pub(crate) fn drive_exact<S: FlowSource>(
 /// differently, after which the two trajectories legitimately diverge.
 pub(crate) fn drive_incremental<S: FlowSource>(
     mut source: S,
+    tele: &mut EngineTelemetry,
     mut on_dispatch: impl FnMut(u64, u64, u64),
 ) -> StreamStats {
     let (m_in, m_out) = (source.m_in(), source.m_out());
@@ -137,48 +157,59 @@ pub(crate) fn drive_incremental<S: FlowSource>(
         arrival_scheduled = Some(a.release);
     }
     while let Some(t) = events.pop_round() {
-        while let Some(a) = pending {
-            if a.release > t {
-                break;
+        span!(tele, Stage::Ingest, {
+            while let Some(a) = pending {
+                if a.release > t {
+                    break;
+                }
+                if queues.push(a.src, a.dst, a.id, a.release) {
+                    matcher.add_support_edge(a.src, a.dst);
+                }
+                stats.arrived += 1;
+                pending = source.next_arrival();
             }
-            if queues.push(a.src, a.dst, a.id, a.release) {
-                matcher.add_support_edge(a.src, a.dst);
+            if let Some(a) = &pending {
+                if arrival_scheduled != Some(a.release) {
+                    events.push(a.release, EventKind::Arrival);
+                    arrival_scheduled = Some(a.release);
+                }
             }
-            stats.arrived += 1;
-            pending = source.next_arrival();
-        }
-        if let Some(a) = &pending {
-            if arrival_scheduled != Some(a.release) {
-                events.push(a.release, EventKind::Arrival);
-                arrival_scheduled = Some(a.release);
-            }
-        }
+        });
         stats.peak_queue = stats.peak_queue.max(queues.len());
         if queues.is_empty() {
             continue;
         }
         // Repair only chases ports dirtied since the last round; in the
         // saturated steady state it is a no-op.
-        matcher.repair();
+        tele.decision(|| matcher.repair());
         debug_assert!(matcher.size() > 0, "nonempty support must match something");
         stats.active_rounds += 1;
-        for p in 0..m_in as u32 {
-            if let Some(q) = matcher.matched_output(p) {
-                let (rec, now_empty) = queues.pop_oldest(p, q);
-                stats.on_dispatch(rec.release, t);
-                on_dispatch(rec.id, rec.release, t);
-                if now_empty {
-                    emptied.push((p, q));
+        span!(tele, Stage::Dispatch, {
+            for p in 0..m_in as u32 {
+                if let Some(q) = matcher.matched_output(p) {
+                    let (rec, now_empty) = queues.pop_oldest(p, q);
+                    stats.on_dispatch(rec.release, t);
+                    on_dispatch(rec.id, rec.release, t);
+                    if now_empty {
+                        emptied.push((p, q));
+                    }
                 }
             }
-        }
-        for (p, q) in emptied.drain(..) {
-            matcher.remove_support_edge(p, q);
-        }
+        });
+        span!(tele, Stage::QueueUpdate, {
+            for (p, q) in emptied.drain(..) {
+                matcher.remove_support_edge(p, q);
+            }
+        });
         if !queues.is_empty() {
             events.push(t + 1, EventKind::Dispatch);
         }
+        tele.round();
     }
+    let (searches, augmentations) = matcher.work();
+    tele.counter_add("match_searches", searches);
+    tele.counter_add("match_augmentations", augmentations);
+    finish_telemetry(tele, &stats);
     stats
 }
 
@@ -194,6 +225,7 @@ pub(crate) fn drive_incremental<S: FlowSource>(
 pub(crate) fn drive_weighted<S: FlowSource>(
     mut source: S,
     model: WeightModel,
+    tele: &mut EngineTelemetry,
     mut on_dispatch: impl FnMut(u64, u64, u64),
 ) -> StreamStats {
     let (m_in, m_out) = (source.m_in(), source.m_out());
@@ -210,40 +242,49 @@ pub(crate) fn drive_weighted<S: FlowSource>(
         arrival_scheduled = Some(a.release);
     }
     while let Some(t) = events.pop_round() {
-        while let Some(a) = pending {
-            if a.release > t {
-                break;
+        span!(tele, Stage::Ingest, {
+            while let Some(a) = pending {
+                if a.release > t {
+                    break;
+                }
+                queues.push(a.src, a.dst, a.id, a.release);
+                matcher.note(a.src, a.dst);
+                stats.arrived += 1;
+                pending = source.next_arrival();
             }
-            queues.push(a.src, a.dst, a.id, a.release);
-            matcher.note(a.src, a.dst);
-            stats.arrived += 1;
-            pending = source.next_arrival();
-        }
-        if let Some(a) = &pending {
-            if arrival_scheduled != Some(a.release) {
-                events.push(a.release, EventKind::Arrival);
-                arrival_scheduled = Some(a.release);
+            if let Some(a) = &pending {
+                if arrival_scheduled != Some(a.release) {
+                    events.push(a.release, EventKind::Arrival);
+                    arrival_scheduled = Some(a.release);
+                }
             }
-        }
+        });
         stats.peak_queue = stats.peak_queue.max(queues.len());
         if queues.is_empty() {
             continue;
         }
-        matcher.select(t, &queues, &mut sel);
+        tele.decision(|| matcher.select(t, &queues, &mut sel));
         debug_assert!(!sel.is_empty(), "nonempty queue must match something");
         if !sel.is_empty() {
             stats.active_rounds += 1;
         }
-        for &(p, q) in &sel {
-            let (rec, _now_empty) = queues.pop_oldest(p, q);
-            stats.on_dispatch(rec.release, t);
-            on_dispatch(rec.id, rec.release, t);
-            matcher.note(p, q);
-        }
+        span!(tele, Stage::Dispatch, {
+            for &(p, q) in &sel {
+                let (rec, _now_empty) = queues.pop_oldest(p, q);
+                stats.on_dispatch(rec.release, t);
+                on_dispatch(rec.id, rec.release, t);
+                matcher.note(p, q);
+            }
+        });
         if !queues.is_empty() {
             events.push(t + 1, EventKind::Dispatch);
         }
+        tele.round();
     }
+    let (selects, cells_touched) = matcher.work();
+    tele.counter_add("wmatch_selects", selects);
+    tele.counter_add("wmatch_cells_touched", cells_touched);
+    finish_telemetry(tele, &stats);
     stats
 }
 
@@ -257,10 +298,15 @@ mod tests {
         for model in [WeightModel::MinRTime, WeightModel::MaxWeight] {
             let source = PoissonSource::new(9, 7.0, Some(25), 3);
             let mut seen = std::collections::HashSet::new();
-            let stats = drive_weighted(source, model, |id, release, round| {
-                assert!(round >= release, "dispatch before release");
-                assert!(seen.insert(id), "flow {id} dispatched twice");
-            });
+            let stats = drive_weighted(
+                source,
+                model,
+                &mut EngineTelemetry::disabled(),
+                |id, release, round| {
+                    assert!(round >= release, "dispatch before release");
+                    assert!(seen.insert(id), "flow {id} dispatched twice");
+                },
+            );
             assert_eq!(stats.arrived, stats.dispatched);
             assert_eq!(stats.dispatched as usize, seen.len());
         }
@@ -270,10 +316,14 @@ mod tests {
     fn incremental_drains_a_poisson_stream() {
         let source = PoissonSource::new(10, 8.0, Some(30), 5);
         let mut seen = std::collections::HashSet::new();
-        let stats = drive_incremental(source, |id, release, round| {
-            assert!(round >= release, "dispatch before release");
-            assert!(seen.insert(id), "flow {id} dispatched twice");
-        });
+        let stats = drive_incremental(
+            source,
+            &mut EngineTelemetry::disabled(),
+            |id, release, round| {
+                assert!(round >= release, "dispatch before release");
+                assert!(seen.insert(id), "flow {id} dispatched twice");
+            },
+        );
         assert_eq!(stats.arrived, stats.dispatched);
         assert_eq!(stats.dispatched as usize, seen.len());
         assert!(stats.max_response >= 1);
@@ -312,7 +362,7 @@ mod tests {
                 Some(a)
             }
         }
-        let stats = drive_incremental(TwoFlows(0), |_, _, _| {});
+        let stats = drive_incremental(TwoFlows(0), &mut EngineTelemetry::disabled(), |_, _, _| {});
         assert_eq!(stats.dispatched, 2);
         assert_eq!(stats.active_rounds, 2);
         assert_eq!(stats.makespan, 101);

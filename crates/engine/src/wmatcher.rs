@@ -34,6 +34,10 @@ pub struct IncrementalWeightedMatcher {
     row_mark: Vec<bool>,
     cols: Vec<u32>,
     col_mark: Vec<bool>,
+    /// Rounds solved (telemetry).
+    selects: u64,
+    /// Dirty cells applied across all rounds (telemetry).
+    cells_touched: u64,
 }
 
 impl IncrementalWeightedMatcher {
@@ -47,7 +51,16 @@ impl IncrementalWeightedMatcher {
             row_mark: vec![false; m_in],
             cols: Vec::new(),
             col_mark: vec![false; m_out],
+            selects: 0,
+            cells_touched: 0,
         }
+    }
+
+    /// Lifetime work counters: `(selects, cells_touched)` — rounds
+    /// solved and the dirty cells re-applied across them. Surfaced
+    /// through engine telemetry.
+    pub fn work(&self) -> (u64, u64) {
+        (self.selects, self.cells_touched)
     }
 
     /// Note a queue mutation on cell `(p, q)` — an arrival landed or a
@@ -80,6 +93,8 @@ impl IncrementalWeightedMatcher {
     /// matched total weight.
     pub fn select(&mut self, t: u64, queues: &ShardedQueues, out: &mut Vec<(u32, u32)>) -> i64 {
         let m_out = self.core.m_out();
+        self.selects += 1;
+        self.cells_touched += self.touched.len() as u64;
         self.core.begin_round(t);
         self.touched.sort_unstable();
         // Emptied cells first: their weights drop out before the queue

@@ -67,6 +67,17 @@ impl PolicyKind {
         fss_engine::run_builtin(inst, self.to_engine())
     }
 
+    /// [`PolicyKind::run`] recording round-loop telemetry into `tele`.
+    /// The schedule is bit-identical to the uninstrumented run —
+    /// telemetry observes, never steers.
+    pub fn run_telemetry(
+        self,
+        inst: &Instance,
+        tele: &mut fss_engine::EngineTelemetry,
+    ) -> Schedule {
+        fss_engine::run_builtin_telemetry(inst, self.to_engine(), tele)
+    }
+
     /// Run the policy over an instance with the legacy round-by-round
     /// loop ([`fss_online::run_policy`]). Kept as the reference
     /// implementation for differential testing.
@@ -176,13 +187,30 @@ pub struct LpBoundResult {
 
 /// Run every `(policy, M, T, trial)` combination; trials in parallel.
 pub fn run_grid(cfg: &ExperimentConfig) -> Vec<CellResult> {
+    run_grid_impl(cfg, false).0
+}
+
+/// [`run_grid`] with round-loop telemetry enabled: returns the cells
+/// (identical to an uninstrumented run — telemetry observes, never
+/// steers) plus one [`fss_telemetry::TelemetrySnapshot`] merged across every
+/// `(policy, M, T)` cell of the grid.
+pub fn run_grid_telemetry(
+    cfg: &ExperimentConfig,
+) -> (Vec<CellResult>, fss_telemetry::TelemetrySnapshot) {
+    run_grid_impl(cfg, true)
+}
+
+fn run_grid_impl(
+    cfg: &ExperimentConfig,
+    instrument: bool,
+) -> (Vec<CellResult>, fss_telemetry::TelemetrySnapshot) {
     let mut cells: Vec<(usize, usize)> = Vec::new();
     for mi in 0..cfg.m_values.len() {
         for ti in 0..cfg.t_values.len() {
             cells.push((mi, ti));
         }
     }
-    cells
+    let results: Vec<(CellResult, fss_telemetry::TelemetrySnapshot)> = cells
         .par_iter()
         .flat_map(|&(mi, ti)| {
             let mean_arrivals = cfg.m_values[mi];
@@ -203,18 +231,23 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<CellResult> {
             cfg.policies
                 .par_iter()
                 .map(|&policy| {
+                    let mut tele = if instrument {
+                        fss_engine::EngineTelemetry::enabled()
+                    } else {
+                        fss_engine::EngineTelemetry::disabled()
+                    };
                     let mut avg_sum = 0.0;
                     let mut max_sum = 0.0;
                     let mut flows_sum = 0.0;
                     for inst in &instances {
-                        let sched = policy.run(inst);
+                        let sched = policy.run_telemetry(inst, &mut tele);
                         let m = fss_core::metrics::evaluate(inst, &sched);
                         avg_sum += m.mean_response;
                         max_sum += m.max_response as f64;
                         flows_sum += m.n as f64;
                     }
                     let t = cfg.trials as f64;
-                    CellResult {
+                    let cell = CellResult {
                         policy,
                         mean_arrivals,
                         rounds,
@@ -222,11 +255,19 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<CellResult> {
                         avg_response: avg_sum / t,
                         max_response: max_sum / t,
                         mean_flows: flows_sum / t,
-                    }
+                    };
+                    (cell, tele.snapshot())
                 })
                 .collect::<Vec<_>>()
         })
-        .collect()
+        .collect();
+    let mut merged = fss_telemetry::TelemetrySnapshot::new();
+    let mut out = Vec::with_capacity(results.len());
+    for (cell, snap) in results {
+        merged.merge(&snap);
+        out.push(cell);
+    }
+    (out, merged)
 }
 
 /// Which LP reference bounds to compute (each is expensive on its own).

@@ -40,8 +40,8 @@ pub mod workload;
 
 pub use arrival_trace::{ArrivalTrace, TraceSource};
 pub use experiment::{
-    lp_bounds_grid, lp_bounds_grid_parts, run_grid, CellResult, ExperimentConfig, LpBoundParts,
-    LpBoundResult, PolicyKind,
+    lp_bounds_grid, lp_bounds_grid_parts, run_grid, run_grid_telemetry, CellResult,
+    ExperimentConfig, LpBoundParts, LpBoundResult, PolicyKind,
 };
 pub use failures::{
     run_policy_with_failures, run_policy_with_failures_legacy, FailurePlan, Outage,
@@ -50,13 +50,16 @@ pub use report::{
     bench_artifact_name, bench_cell_to_jsonl, bench_report_from_json, bench_report_to_json,
     cell_fingerprint, cells_eq_modulo_timing, parse_cells_jsonl, read_cells_jsonl,
     reports_eq_modulo_timing, validate_bench_report, BenchCell, BenchReport, CellsReplay,
-    BENCH_SCHEMA_VERSION,
+    BENCH_SCHEMA_READ_MIN, BENCH_SCHEMA_VERSION,
 };
 pub use saturation::{
-    saturation_sweep, saturation_sweep_legacy, stable_intensity, stable_intensity_legacy,
-    SaturationPoint,
+    saturation_sweep, saturation_sweep_legacy, saturation_sweep_telemetry, stable_intensity,
+    stable_intensity_legacy, SaturationPoint,
 };
-pub use scenario::{run_scenario, run_scenario_with, ArrivalSpec, ScenarioError, ScenarioSpec};
+pub use scenario::{
+    run_scenario, run_scenario_telemetry, run_scenario_with, ArrivalSpec, ScenarioError,
+    ScenarioSpec,
+};
 pub use stats::{response_histogram, response_percentiles, ResponsePercentiles};
 pub use trace::{run_policy_traced, Trace, TraceRound};
 pub use workload::{poisson, poisson_workload, WorkloadParams};

@@ -3,7 +3,8 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
+use fss_telemetry::TelemetrySnapshot;
+use serde::{Content, DeError, Deserialize, Serialize};
 
 use crate::experiment::{CellResult, LpBoundResult};
 
@@ -11,8 +12,16 @@ use crate::experiment::{CellResult, LpBoundResult};
 /// the shape of [`BenchReport`] / [`BenchCell`] changes incompatibly.
 ///
 /// v2 added the `fingerprint` field to [`BenchCell`] (the stable cell
-/// identity the distributed runner checkpoints and resumes on).
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// identity the distributed runner checkpoints and resumes on). v3
+/// added the optional `telemetry` field (per-cell stage timings and
+/// decision-latency quantiles); v2 artifacts — no `telemetry` key —
+/// still read ([`BENCH_SCHEMA_READ_MIN`]).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
+
+/// Oldest schema version this build still reads. v2 cells deserialize
+/// with `telemetry: None`; writers always stamp
+/// [`BENCH_SCHEMA_VERSION`].
+pub const BENCH_SCHEMA_READ_MIN: u32 = 2;
 
 /// Stable fingerprint of a cell: a 64-bit FNV-1a hash (hex) over the
 /// cell id and its ordered grid parameters.
@@ -50,7 +59,7 @@ pub fn cell_fingerprint(cell_id: &str, params: &[(String, String)]) -> String {
 /// ordered key/value strings and `metrics` the measured objective values
 /// as ordered name/value pairs — so the schema covers every experiment
 /// (figures, tables, sweeps) without per-experiment structs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchCell {
     /// Unique id within the run, e.g. `fig6/MaxCard/M50/T10`.
     pub cell_id: String,
@@ -69,6 +78,57 @@ pub struct BenchCell {
     pub flows: u64,
     /// Execution substrate, e.g. `engine`, `legacy-loop`, `lp`, `exact`.
     pub engine_mode: String,
+    /// Per-cell telemetry snapshot (stage timings, decision-latency
+    /// quantiles) captured when the run was instrumented. `None` for
+    /// uninstrumented runs and for v2 artifacts (schema v3 addition).
+    /// Timing data: excluded from [`cells_eq_modulo_timing`].
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+// Hand-written (not derived) so a v2 artifact — no `telemetry` key —
+// still deserializes (`telemetry: None`), and so uninstrumented cells
+// serialize without a noise `"telemetry": null` entry. The vendored
+// serde shim's `field()` helper errors on missing keys, which is what
+// derive would generate.
+impl Serialize for BenchCell {
+    fn to_content(&self) -> Content {
+        let mut m: Vec<(String, Content)> = vec![
+            ("cell_id".into(), self.cell_id.to_content()),
+            ("fingerprint".into(), self.fingerprint.to_content()),
+            ("params".into(), self.params.to_content()),
+            ("metrics".into(), self.metrics.to_content()),
+            ("wall_s".into(), self.wall_s.to_content()),
+            ("flows".into(), self.flows.to_content()),
+            ("engine_mode".into(), self.engine_mode.to_content()),
+        ];
+        if let Some(t) = &self.telemetry {
+            m.push(("telemetry".into(), t.to_content()));
+        }
+        Content::Map(m)
+    }
+}
+
+impl Deserialize for BenchCell {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let m = match content {
+            Content::Map(m) => m,
+            _ => return Err(DeError::expected("map", "BenchCell")),
+        };
+        let telemetry = match m.iter().find(|(k, _)| k == "telemetry") {
+            Some((_, v)) => Option::<TelemetrySnapshot>::from_content(v)?,
+            None => None, // v2 artifact: tolerant read
+        };
+        Ok(BenchCell {
+            cell_id: serde::field(m, "cell_id")?,
+            fingerprint: serde::field(m, "fingerprint")?,
+            params: serde::field(m, "params")?,
+            metrics: serde::field(m, "metrics")?,
+            wall_s: serde::field(m, "wall_s")?,
+            flows: serde::field(m, "flows")?,
+            engine_mode: serde::field(m, "engine_mode")?,
+            telemetry,
+        })
+    }
 }
 
 impl BenchCell {
@@ -91,7 +151,14 @@ impl BenchCell {
             wall_s,
             flows,
             engine_mode: engine_mode.into(),
+            telemetry: None,
         }
+    }
+
+    /// Attach (or clear) a telemetry snapshot; builder-style.
+    pub fn with_telemetry(mut self, telemetry: Option<TelemetrySnapshot>) -> BenchCell {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Throughput in work units per second (`0.0` when `flows == 0`).
@@ -182,10 +249,11 @@ pub fn bench_report_from_json(text: &str) -> Result<BenchReport, String> {
 /// at least one cell, unique non-empty cell ids, finite metric values and
 /// timings.
 pub fn validate_bench_report(report: &BenchReport) -> Result<(), String> {
-    if report.schema_version != BENCH_SCHEMA_VERSION {
+    if report.schema_version < BENCH_SCHEMA_READ_MIN || report.schema_version > BENCH_SCHEMA_VERSION
+    {
         return Err(format!(
-            "schema version {} (this build reads {})",
-            report.schema_version, BENCH_SCHEMA_VERSION
+            "schema version {} (this build reads {}..={})",
+            report.schema_version, BENCH_SCHEMA_READ_MIN, BENCH_SCHEMA_VERSION
         ));
     }
     if report.experiment.is_empty() {
@@ -231,10 +299,12 @@ pub fn validate_bench_report(report: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
-/// Timing-insensitive cell equality: everything except `wall_s` (which
-/// is machine- and run-dependent) must match. The distributed runner's
-/// differential tests compare merged multi-worker artifacts against a
-/// single-process run with this.
+/// Timing-insensitive cell equality: everything except `wall_s` and
+/// `telemetry` (both machine- and run-dependent) must match. The
+/// distributed runner's differential tests compare merged multi-worker
+/// artifacts against a single-process run with this, and the
+/// instrumented-vs-disabled differential test relies on telemetry being
+/// excluded here.
 pub fn cells_eq_modulo_timing(a: &BenchCell, b: &BenchCell) -> bool {
     a.cell_id == b.cell_id
         && a.fingerprint == b.fingerprint
@@ -592,6 +662,75 @@ mod tests {
         r.cells[0].fingerprint = "0000000000000000".into();
         let err = validate_bench_report(&r).expect_err("forged fingerprint");
         assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut histo = fss_telemetry::LatencyHisto::new();
+        for v in [3u64, 17, 170, 9000] {
+            histo.record(v);
+        }
+        let mut snap = TelemetrySnapshot::new();
+        snap.add_counter("rounds", 42);
+        snap.add_counter("flows_dispatched", 500);
+        snap.max_gauge("peak_queue_depth", 31);
+        snap.add_stage_ns("ingest", 1_000);
+        snap.add_stage_ns("match_repair", 9_000);
+        snap.merge_histo("decision_latency_ns", &histo.snapshot());
+        snap
+    }
+
+    #[test]
+    fn v2_artifact_without_telemetry_field_still_reads() {
+        // A v2 artifact predates the `telemetry` field entirely: both
+        // the version stamp and the missing key must be tolerated.
+        let mut report = sample_report();
+        report.schema_version = 2;
+        let json = bench_report_to_json(&report);
+        assert!(
+            !json.contains("telemetry"),
+            "uninstrumented cells must not emit a telemetry key"
+        );
+        let parsed = bench_report_from_json(&json).expect("v2 artifact reads");
+        assert_eq!(parsed.schema_version, 2);
+        assert!(parsed.cells.iter().all(|c| c.telemetry.is_none()));
+    }
+
+    #[test]
+    fn telemetry_snapshot_round_trips_through_cell_json() {
+        let cell = sample_report()
+            .cells
+            .remove(0)
+            .with_telemetry(Some(sample_snapshot()));
+        let line = bench_cell_to_jsonl(&cell);
+        assert!(line.contains("telemetry"));
+        let parsed: BenchCell = serde_json::from_str(&line).expect("valid line");
+        assert_eq!(parsed, cell);
+        let snap = parsed.telemetry.expect("snapshot survived");
+        assert_eq!(snap.counter("rounds"), Some(42));
+        assert_eq!(snap.stage_ns("match_repair"), Some(9_000));
+        assert_eq!(snap.slowest_stage().unwrap().stage, "match_repair");
+        let histo = snap.histo("decision_latency_ns").expect("histo survived");
+        assert_eq!(histo.count, 4);
+    }
+
+    #[test]
+    fn eq_modulo_timing_ignores_telemetry() {
+        let a = sample_report().cells.remove(0);
+        let b = a.clone().with_telemetry(Some(sample_snapshot()));
+        assert_ne!(a, b, "telemetry participates in strict equality");
+        assert!(
+            cells_eq_modulo_timing(&a, &b),
+            "telemetry is timing data and must not affect modulo-timing equality"
+        );
+    }
+
+    #[test]
+    fn validation_spans_the_read_compat_window() {
+        let mut r = sample_report();
+        r.schema_version = BENCH_SCHEMA_READ_MIN;
+        assert!(validate_bench_report(&r).is_ok(), "oldest readable version");
+        r.schema_version = BENCH_SCHEMA_READ_MIN - 1;
+        assert!(validate_bench_report(&r).is_err(), "below the window");
     }
 
     #[test]

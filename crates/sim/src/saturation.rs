@@ -19,7 +19,7 @@
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::experiment::PolicyKind;
-use crate::scenario::{run_scenario, ScenarioSpec};
+use crate::scenario::ScenarioSpec;
 use crate::workload::{poisson_workload, WorkloadParams};
 
 /// One sweep point: intensity vs observed responses.
@@ -60,6 +60,30 @@ pub fn saturation_sweep(
     trials: u64,
     seed: u64,
 ) -> Vec<SaturationPoint> {
+    saturation_sweep_telemetry(
+        policy,
+        m,
+        rounds,
+        intensities,
+        trials,
+        seed,
+        &mut fss_engine::EngineTelemetry::disabled(),
+    )
+}
+
+/// [`saturation_sweep`] recording round-loop telemetry into `tele`.
+/// The measured points are identical either way — telemetry observes,
+/// never steers.
+#[allow(clippy::too_many_arguments)]
+pub fn saturation_sweep_telemetry(
+    policy: PolicyKind,
+    m: usize,
+    rounds: u64,
+    intensities: &[f64],
+    trials: u64,
+    seed: u64,
+    tele: &mut fss_engine::EngineTelemetry,
+) -> Vec<SaturationPoint> {
     intensities
         .iter()
         .map(|&lambda| {
@@ -67,7 +91,9 @@ pub fn saturation_sweep(
             let mut max = 0.0;
             for k in 0..trials {
                 let spec = sweep_scenario(m, lambda, rounds, seed, k);
-                let stats = run_scenario(&spec, policy).expect("synthetic scenario is valid");
+                let stats =
+                    crate::scenario::run_scenario_telemetry(&spec, policy, tele, |_, _, _| {})
+                        .expect("synthetic scenario is valid");
                 avg += stats.mean_response();
                 max += stats.max_response as f64;
             }

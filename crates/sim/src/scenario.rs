@@ -424,36 +424,59 @@ pub fn run_scenario_with(
     policy: PolicyKind,
     on_dispatch: impl FnMut(u64, u64, u64),
 ) -> Result<StreamStats, ScenarioError> {
+    run_scenario_telemetry(
+        spec,
+        policy,
+        &mut fss_engine::EngineTelemetry::disabled(),
+        on_dispatch,
+    )
+}
+
+/// [`run_scenario_with`] recording round-loop telemetry into `tele`.
+/// Pass [`fss_engine::EngineTelemetry::disabled`] for a measured-zero
+/// no-op; the schedule is bit-identical either way (telemetry observes,
+/// never steers).
+pub fn run_scenario_telemetry(
+    spec: &ScenarioSpec,
+    policy: PolicyKind,
+    tele: &mut fss_engine::EngineTelemetry,
+    on_dispatch: impl FnMut(u64, u64, u64),
+) -> Result<StreamStats, ScenarioError> {
     let source = spec.source()?;
     match &spec.failures {
-        None => Ok(fss_engine::run_stream_with(
+        None => Ok(fss_engine::run_stream_telemetry(
             source,
             EngineMode::Exact(policy.to_engine()),
+            tele,
             on_dispatch,
         )),
         Some(plan) => Ok(match policy {
-            PolicyKind::MaxCard => fss_engine::run_stream_failures_with(
+            PolicyKind::MaxCard => fss_engine::run_stream_failures_telemetry(
                 source,
                 &mut MaxCard::default(),
                 plan,
+                tele,
                 on_dispatch,
             ),
-            PolicyKind::MinRTime => fss_engine::run_stream_failures_with(
+            PolicyKind::MinRTime => fss_engine::run_stream_failures_telemetry(
                 source,
                 &mut MinRTime::default(),
                 plan,
+                tele,
                 on_dispatch,
             ),
-            PolicyKind::MaxWeight => fss_engine::run_stream_failures_with(
+            PolicyKind::MaxWeight => fss_engine::run_stream_failures_telemetry(
                 source,
                 &mut MaxWeight::default(),
                 plan,
+                tele,
                 on_dispatch,
             ),
-            PolicyKind::FifoGreedy => fss_engine::run_stream_failures_with(
+            PolicyKind::FifoGreedy => fss_engine::run_stream_failures_telemetry(
                 source,
                 &mut FifoGreedy::default(),
                 plan,
+                tele,
                 on_dispatch,
             ),
         }),

@@ -1,0 +1,110 @@
+//! Property tests for [`fss_telemetry::LatencyHisto`]: quantile-estimate
+//! error bounds against exact sorted quantiles, merge associativity, and
+//! snapshot round-trips through JSON.
+
+use fss_telemetry::{LatencyHisto, TelemetrySnapshot};
+use proptest::prelude::*;
+
+/// Exact `q`-quantile of a sample set via sorting (rank = ceil(q·n),
+/// 1-based — the same rank convention the histogram uses).
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn histo_of(samples: &[u64]) -> LatencyHisto {
+    let mut h = LatencyHisto::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning many octaves (0 .. 2^40), non-empty.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..(1u64 << 40), 1..=200)
+}
+
+proptest! {
+    /// The estimate brackets the exact quantile from above, within one
+    /// octave: `exact <= est < 2·max(exact, 1)`, and the exact value
+    /// lies inside the reported bucket bounds.
+    #[test]
+    fn quantile_estimate_error_is_bounded(vals in samples(), qi in 0u32..=100) {
+        let q = qi as f64 / 100.0;
+        let h = histo_of(&vals);
+        let exact = exact_quantile(&vals, q);
+        let est = h.quantile(q);
+        prop_assert!(est >= exact, "estimate {est} below exact {exact} at q={q}");
+        prop_assert!(
+            est < 2 * exact.max(1),
+            "estimate {est} beyond one octave of exact {exact} at q={q}"
+        );
+        let (lo, hi) = h.quantile_bounds(q);
+        prop_assert!(lo <= exact && exact <= hi,
+            "exact {exact} outside bucket bounds [{lo}, {hi}]");
+    }
+
+    /// Merging is associative and commutative, and equals recording the
+    /// concatenated sample stream directly.
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (histo_of(&a), histo_of(&b), histo_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b (commutativity)
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Equal to single-stream recording.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &histo_of(&all));
+    }
+
+    /// Quantile estimates survive the snapshot: a histogram rebuilt
+    /// from its snapshot answers every quantile identically.
+    #[test]
+    fn snapshot_preserves_quantiles(vals in samples(), qi in 0u32..=100) {
+        let q = qi as f64 / 100.0;
+        let h = histo_of(&vals);
+        let back = LatencyHisto::from_snapshot(&h.snapshot());
+        prop_assert_eq!(back.quantile(q), h.quantile(q));
+        prop_assert_eq!(back.count(), h.count());
+        prop_assert_eq!(back.min(), h.min());
+        prop_assert_eq!(back.max(), h.max());
+    }
+
+    /// A full `TelemetrySnapshot` round-trips through JSON bit-exactly.
+    #[test]
+    fn snapshot_json_round_trip(vals in samples(), flows in 0u64..1_000_000) {
+        let mut s = TelemetrySnapshot::new();
+        s.add_counter("flows_dispatched", flows);
+        s.add_counter("rounds", vals.len() as u64);
+        s.max_gauge("peak_queue_depth", flows / 2 + 1);
+        s.add_stage_ns("ingest", flows.wrapping_mul(3));
+        s.add_stage_ns("match_repair", flows.wrapping_mul(7));
+        s.merge_histo("decision_latency_ns", &histo_of(&vals).snapshot());
+
+        let json = serde_json::to_string(&s).expect("serializable");
+        let back: TelemetrySnapshot = serde_json::from_str(&json).expect("deserializable");
+        prop_assert_eq!(back, s);
+    }
+}

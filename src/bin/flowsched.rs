@@ -10,11 +10,13 @@
 //! flowsched online   -i inst.json --policy maxweight         -o sched.json
 //! flowsched stats    -i inst.json -s sched.json
 //! flowsched stream   --m 150 --rate 600 --rounds 100 --mode incremental
-//! flowsched stream   --scenario spec.json --mode maxcard
+//! flowsched stream   --scenario spec.json --mode maxcard --metrics
 //! flowsched trace    --m 8 --rate 6 --rounds 12 --seed 7 -o trace.jsonl
 //! flowsched bench    --smoke --filter fig6 --jobs 4 --out target/experiments
 //! flowsched bench    --trace examples/sample_trace.jsonl
+//! flowsched bench    --smoke --progress
 //! flowsched bench    --diff OLD.json NEW.json --tolerance 30
+//! flowsched telemetry dump -i target/experiments/BENCH_fig6.json
 //! ```
 //!
 //! Instances and schedules are the serde JSON forms of
@@ -55,12 +57,13 @@ const USAGE: &str = "usage:
   flowsched online   -i INSTANCE --policy maxcard|minrtime|maxweight|fifo [-o FILE]
   flowsched stats    -i INSTANCE -s SCHEDULE
   flowsched stream   [--m M] [--rate R] [--rounds T] [--seed S] [--scenario SPEC.json]
-                     [--mode incremental|maxcard|minrtime|maxweight|fifo]
+                     [--mode incremental|maxcard|minrtime|maxweight|fifo] [--metrics]
   flowsched trace    (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S]) -o FILE
   flowsched bench    [--filter ID] [--trace FILE.jsonl] [--smoke|--paper]
                      [--jobs N] [--out DIR] [--trials N] [--list]
-                     [--workers N] [--resume]
+                     [--workers N] [--resume] [--progress]
   flowsched bench    --diff OLD.json NEW.json [--tolerance PCT] [--strict-metrics]
+  flowsched telemetry dump -i ARTIFACT.json|BENCH_cells.jsonl [-o FILE]
 
 stream drives a workload through the event-driven engine without
 materializing an instance and reports aggregate response statistics.
@@ -94,7 +97,16 @@ the survivors, and merges the results into the same artifacts a
 single-process run writes (cell-for-cell identical modulo timing).
 --resume replays an existing checkpoint stream first and executes only
 the missing cells — interrupted paper-scale runs pick up where they
-stopped instead of restarting.";
+stopped instead of restarting.
+
+Observability: stream --metrics records round-loop telemetry (per-stage
+wall time, decision-latency quantiles, match/augmentation counters) and
+appends it in Prometheus text format; bench --progress records the same
+per cell into the BENCH artifacts (schema v3 `telemetry` field) and
+prints a live progress line. Telemetry observes, never steers: schedules
+and metrics are bit-identical with or without it. telemetry dump merges
+the per-cell snapshots back out of an artifact (or a cells.jsonl
+stream) as Prometheus text for scraping or ad-hoc inspection.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -102,6 +114,11 @@ fn run(args: &[String]) -> Result<(), String> {
     // the flag parser (which expects key/value pairs only).
     if cmd == "bench" && args.iter().any(|a| a == "--diff") {
         return bench_diff(&args[1..]);
+    }
+    // `telemetry dump ...` has a positional sub-subcommand; route it
+    // before the key/value flag parser too.
+    if cmd == "telemetry" {
+        return telemetry_cmd(&args[1..]);
     }
     let opts = parse_flags(&args[1..])?;
     match cmd.as_str() {
@@ -144,7 +161,7 @@ impl Flags {
 }
 
 /// Flags that take no value (present = "true").
-const BOOL_FLAGS: [&str; 4] = ["smoke", "paper", "list", "resume"];
+const BOOL_FLAGS: [&str; 6] = ["smoke", "paper", "list", "resume", "progress", "metrics"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Vec::new();
@@ -383,6 +400,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
             ),
         },
         trace: flags.get("trace").map(std::path::PathBuf::from),
+        progress: flags.get("progress").is_some(),
     };
     let workers: usize = flags.parsed("workers", 0usize)?;
     let resume = flags.get("resume").is_some();
@@ -459,6 +477,8 @@ fn bench_dist(
         resume,
         worker_cmd: vec![exe, "bench-worker".to_string()],
         fail_worker,
+        heartbeat_ms: None,
+        slow_worker: None,
     })
 }
 
@@ -504,34 +524,45 @@ fn stream(flags: &Flags) -> Result<(), String> {
             None => return Err(format!("unknown mode '{name}'")),
         },
     };
+    let metrics = flags.get("metrics").is_some();
+    let mut tele = if metrics {
+        flow_switch::engine::EngineTelemetry::enabled()
+    } else {
+        flow_switch::engine::EngineTelemetry::disabled()
+    };
     let start = std::time::Instant::now();
-    let (stats, mode_name) =
-        match (&spec.failures, mode) {
-            (Some(_), EngineMode::Incremental) => return Err(
+    let (stats, mode_name) = match (&spec.failures, mode) {
+        (Some(_), EngineMode::Incremental) => {
+            return Err(
                 "scenario has a failure plan; pick a policy mode (maxcard|minrtime|maxweight|fifo)"
                     .into(),
-            ),
-            (Some(_), EngineMode::Exact(b)) => {
-                let policy = match b {
-                    BuiltinPolicy::MaxCard => fss_sim::PolicyKind::MaxCard,
-                    BuiltinPolicy::MinRTime => fss_sim::PolicyKind::MinRTime,
-                    BuiltinPolicy::MaxWeight => fss_sim::PolicyKind::MaxWeight,
-                    BuiltinPolicy::FifoGreedy => fss_sim::PolicyKind::FifoGreedy,
-                };
-                (
-                    fss_sim::run_scenario(&spec, policy).map_err(|e| e.to_string())?,
-                    format!("failures/{}", b.name()),
-                )
-            }
-            (None, mode) => {
-                let source = spec.source().map_err(|e| e.to_string())?;
-                let mode_name = match mode {
-                    EngineMode::Incremental => "incremental".to_string(),
-                    EngineMode::Exact(b) => format!("exact/{}", b.name()),
-                };
-                (flow_switch::engine::run_stream(source, mode), mode_name)
-            }
-        };
+            )
+        }
+        (Some(_), EngineMode::Exact(b)) => {
+            let policy = match b {
+                BuiltinPolicy::MaxCard => fss_sim::PolicyKind::MaxCard,
+                BuiltinPolicy::MinRTime => fss_sim::PolicyKind::MinRTime,
+                BuiltinPolicy::MaxWeight => fss_sim::PolicyKind::MaxWeight,
+                BuiltinPolicy::FifoGreedy => fss_sim::PolicyKind::FifoGreedy,
+            };
+            (
+                fss_sim::run_scenario_telemetry(&spec, policy, &mut tele, |_, _, _| {})
+                    .map_err(|e| e.to_string())?,
+                format!("failures/{}", b.name()),
+            )
+        }
+        (None, mode) => {
+            let source = spec.source().map_err(|e| e.to_string())?;
+            let mode_name = match mode {
+                EngineMode::Incremental => "incremental".to_string(),
+                EngineMode::Exact(b) => format!("exact/{}", b.name()),
+            };
+            (
+                flow_switch::engine::run_stream_telemetry(source, mode, &mut tele, |_, _, _| {}),
+                mode_name,
+            )
+        }
+    };
     let elapsed = start.elapsed();
     println!("mode             : {mode_name}");
     match &spec.arrivals {
@@ -554,5 +585,64 @@ fn stream(flags: &Flags) -> Result<(), String> {
         elapsed.as_secs_f64(),
         stats.dispatched as f64 / elapsed.as_secs_f64().max(1e-9)
     );
+    if metrics {
+        let snap = tele.snapshot();
+        println!();
+        println!("# round-loop telemetry (Prometheus text format)");
+        print!(
+            "{}",
+            flow_switch::telemetry::to_prometheus(&snap, &[("source", "stream")])
+        );
+    }
+    Ok(())
+}
+
+/// `telemetry dump -i ARTIFACT [-o FILE]`: merge the per-cell telemetry
+/// snapshots out of a BENCH artifact (or the snapshot of every cell in
+/// a `BENCH_cells.jsonl` stream) and emit the run-level merge in
+/// Prometheus text format.
+fn telemetry_cmd(args: &[String]) -> Result<(), String> {
+    let sub = args.first().map(String::as_str);
+    if sub != Some("dump") {
+        return Err(format!(
+            "unknown telemetry subcommand {:?} (use: telemetry dump -i ARTIFACT)",
+            sub.unwrap_or("<none>")
+        ));
+    }
+    let flags = parse_flags(&args[1..])?;
+    let path = flags.required("i")?;
+    let cells: Vec<fss_sim::report::BenchCell> = if path.ends_with(".jsonl") {
+        fss_sim::report::read_cells_jsonl(std::path::Path::new(path))
+            .map_err(|e| format!("read {path}: {e}"))?
+            .cells
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        fss_sim::report::bench_report_from_json(&text)
+            .map_err(|e| format!("parse {path}: {e}"))?
+            .cells
+    };
+    let total = cells.len();
+    let mut merged = flow_switch::telemetry::TelemetrySnapshot::new();
+    let mut instrumented = 0usize;
+    for cell in &cells {
+        if let Some(t) = &cell.telemetry {
+            merged.merge(t);
+            instrumented += 1;
+        }
+    }
+    if merged.is_empty() {
+        return Err(format!(
+            "{path}: no telemetry in any of the {total} cell(s) — rerun the bench with --progress"
+        ));
+    }
+    let text = flow_switch::telemetry::to_prometheus(&merged, &[("artifact", path)]);
+    eprintln!("{path}: merged telemetry from {instrumented}/{total} instrumented cell(s)");
+    match flags.get("o") {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
     Ok(())
 }

@@ -45,6 +45,7 @@ pub use fss_offline as offline;
 pub use fss_online as online;
 pub use fss_rounding as rounding;
 pub use fss_sim as sim;
+pub use fss_telemetry as telemetry;
 
 /// One-stop import for examples and integration tests.
 pub mod prelude {

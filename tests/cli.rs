@@ -166,6 +166,92 @@ fn stream_reports_statistics() {
 }
 
 #[test]
+fn stream_metrics_appends_prometheus_telemetry() {
+    let base = &[
+        "stream", "--m", "20", "--rate", "60", "--rounds", "30", "--seed", "7", "--mode", "maxcard",
+    ];
+    let plain = flowsched(base);
+    assert!(plain.status.success());
+    let plain_log = String::from_utf8_lossy(&plain.stdout).into_owned();
+    assert!(!plain_log.contains("fss_rounds_total"), "{plain_log}");
+
+    let mut with_metrics = base.to_vec();
+    with_metrics.push("--metrics");
+    let out = flowsched(&with_metrics);
+    assert!(
+        out.status.success(),
+        "stream --metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = String::from_utf8_lossy(&out.stdout);
+    assert!(log.contains("fss_rounds_total{source=\"stream\"}"), "{log}");
+    assert!(
+        log.contains("fss_stage_ns_total{source=\"stream\",stage=\"match_repair\"}"),
+        "{log}"
+    );
+    assert!(log.contains("fss_decision_latency_ns_count"), "{log}");
+    // Telemetry observes, never steers: the statistics block is
+    // line-for-line identical to the uninstrumented run (modulo the
+    // machine-sensitive wall-time line).
+    let stats_of = |s: &str| -> Vec<String> {
+        s.lines()
+            .take_while(|l| !l.is_empty())
+            .filter(|l| !l.starts_with("wall time"))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(stats_of(&plain_log), stats_of(&log));
+}
+
+#[test]
+fn bench_progress_telemetry_dump_round_trip() {
+    let dir = std::env::temp_dir()
+        .join("flowsched-cli-tests")
+        .join("telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+    let out = flowsched(&[
+        "bench",
+        "--smoke",
+        "--filter",
+        "fig6",
+        "--trials",
+        "1",
+        "--progress",
+        "--out",
+        &dir_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "bench --progress failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The live progress line streams to stderr as cells complete.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[fss-bench] cells "), "{err}");
+
+    // The artifact carries per-cell snapshots; `telemetry dump` merges
+    // them back out as Prometheus text.
+    let artifact = dir.join("BENCH_fig6.json");
+    let out = flowsched(&["telemetry", "dump", "-i", artifact.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "telemetry dump failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = String::from_utf8_lossy(&out.stdout);
+    assert!(log.contains("fss_rounds_total{"), "{log}");
+    assert!(log.contains("stage=\"match_repair\""), "{log}");
+    assert!(log.contains("fss_decision_latency_ns_bucket{"), "{log}");
+
+    // Unknown sub-subcommands and missing telemetry are clean errors.
+    let out = flowsched(&["telemetry", "frobnicate"]);
+    assert!(!out.status.success());
+    let out = flowsched(&["telemetry", "dump", "-i", "/no/such/file.json"]);
+    assert!(!out.status.success());
+}
+
+#[test]
 fn bench_list_prints_registry() {
     let out = flowsched(&["bench", "--list"]);
     assert!(

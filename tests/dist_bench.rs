@@ -50,6 +50,8 @@ fn dist_opts(out_dir: PathBuf, workers: usize) -> DistOptions {
             "bench-worker".to_string(),
         ],
         fail_worker: None,
+        heartbeat_ms: None,
+        slow_worker: None,
     }
 }
 
@@ -119,6 +121,92 @@ fn worker_crash_mid_run_reassigns_to_survivors_without_changing_results() {
     for (a, b) in reference.iter().zip(&summary.reports) {
         assert!(reports_eq_modulo_timing(a, b));
     }
+}
+
+#[test]
+fn stalled_but_heartbeating_worker_keeps_its_cells() {
+    // The fault model is pipe-EOF only: heartbeats are context, never a
+    // failure detector. A worker that is painfully slow but still alive
+    // (here: injected 150ms sleep per cell, against a 20ms heartbeat
+    // interval, on the 3-cell table_gaps workload) must keep its shard —
+    // nothing re-dealt, nobody declared lost — while its sequenced
+    // heartbeats stream in.
+    let dir = tmp_dir("stalled");
+    let mut opts = dist_opts(dir, 2);
+    opts.bench.filter = Some("table_gaps".into());
+    opts.heartbeat_ms = Some(20);
+    opts.slow_worker = Some((0, 150));
+    let total = {
+        let selected = select_experiments(&opts.bench).unwrap();
+        flatten(&selected, &scale_of(&opts.bench)).unwrap().len()
+    };
+    let summary = run_dist(&opts).expect("slow worker still finishes");
+    assert_eq!(summary.executed, total);
+    assert_eq!(summary.workers_lost, 0, "slow is not dead");
+    assert_eq!(
+        summary.reassigned, 0,
+        "a stalled-but-heartbeating worker must not have its cells re-dealt"
+    );
+    assert!(
+        summary.heartbeats > 0,
+        "150ms/cell at a 20ms interval must produce heartbeats"
+    );
+    assert!(
+        summary.max_heartbeat_seq >= 2,
+        "heartbeat payloads carry increasing sequence numbers, saw max {}",
+        summary.max_heartbeat_seq
+    );
+}
+
+#[test]
+fn instrumented_dist_run_carries_telemetry_and_matches_uninstrumented() {
+    // Reference: an *uninstrumented* single-process run. The
+    // instrumented sharded run must produce the same cells modulo
+    // timing — telemetry observes, it never steers.
+    let ref_dir = tmp_dir("telemetry-ref");
+    let reference = run_bench(&bench_opts(ref_dir)).expect("single-process run");
+
+    let dist_dir = tmp_dir("telemetry-dist");
+    let mut opts = dist_opts(dist_dir.clone(), 2);
+    opts.bench.progress = true;
+    let summary = run_dist(&opts).expect("instrumented sharded run");
+    for (a, b) in reference.iter().zip(&summary.reports) {
+        assert!(
+            reports_eq_modulo_timing(a, b),
+            "instrumentation changed the schedule for {}",
+            a.experiment
+        );
+    }
+
+    // The run-level merge has real content: engine stage timings and
+    // decision-latency quantiles from the heuristic cells.
+    assert!(!summary.telemetry.is_empty());
+    assert!(summary.telemetry.slowest_stage().is_some());
+    let histo = summary
+        .telemetry
+        .histo("decision_latency_ns")
+        .expect("decision latency histogram");
+    assert!(histo.count > 0);
+
+    // And the persisted artifact carries per-cell snapshots for the
+    // engine-routed cells (LP bound cells legitimately have none).
+    let text = std::fs::read_to_string(dist_dir.join("BENCH_fig6.json")).expect("artifact");
+    let report = bench_report_from_json(&text).expect("schema-valid artifact");
+    let engine_cells = report
+        .cells
+        .iter()
+        .filter(|c| c.engine_mode == "engine")
+        .count();
+    let instrumented = report
+        .cells
+        .iter()
+        .filter(|c| c.telemetry.is_some())
+        .count();
+    assert!(engine_cells > 0);
+    assert_eq!(
+        instrumented, engine_cells,
+        "every engine-routed cell carries its telemetry snapshot"
+    );
 }
 
 #[test]
