@@ -22,6 +22,8 @@
 //!
 //! * [`proto`] — the wire protocol (handshake, assignment, results,
 //!   heartbeats) and the serializable [`proto::RunConfig`];
+//! * [`framing`] — the shared JSONL line discipline (flushed writes,
+//!   blank-tolerant reads, EOF as `None`), reused by `flowsched serve`;
 //! * [`partition`] — the deterministic round-robin deal;
 //! * [`worker`] — the executor loop behind `flowsched bench-worker`,
 //!   generic over its transport so tests drive it in-process;
@@ -34,6 +36,7 @@
 #![deny(missing_docs)]
 
 pub mod coordinator;
+pub mod framing;
 pub mod partition;
 pub mod proto;
 pub mod worker;

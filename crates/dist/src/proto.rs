@@ -26,15 +26,22 @@
 //! comes from the checkpointed cells themselves.
 //!
 //! Every message is one [`WireMsg`]: a `kind` tag plus optional payload
-//! fields (always serialized, `null` when absent — the in-tree serde
-//! shim has no field defaults, so readers require every field present).
-//! Workers never touch the filesystem; the coordinator owns the
-//! `BENCH_cells.jsonl` checkpoint stream and the merged artifacts.
+//! fields (serialized as `null` when absent). Reads are **tolerant**:
+//! only `kind` is required, and a payload field that is missing *or*
+//! `null` deserializes to `None` — so a v1 peer's `Heartbeat` (no
+//! `seq`/`snapshot`/`slow_ms` keys) still parses, the same way
+//! `report.rs` reads schema-v2 bench cells under
+//! `BENCH_SCHEMA_READ_MIN`. The version handshake still rejects a v1
+//! *session* up front; tolerant parsing is what makes that rejection a
+//! polite `Error` message instead of a parse failure, and what lets
+//! checkpoint/log readers consume mixed-version streams. Workers never
+//! touch the filesystem; the coordinator owns the `BENCH_cells.jsonl`
+//! checkpoint stream and the merged artifacts.
 
 use fss_bench::BenchOptions;
 use fss_sim::report::BenchCell;
 use fss_telemetry::TelemetrySnapshot;
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 
 /// Protocol version; both sides must agree exactly. Bump on any change
 /// to [`WireMsg`] / [`RunConfig`] shape or semantics.
@@ -70,7 +77,7 @@ pub enum MsgKind {
 /// flat cell list as the coordinator. Serializable, so it travels in
 /// the `Hello` message; paths are passed through as strings (workers
 /// inherit the coordinator's working directory).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunConfig {
     /// Experiment filter (exact id, else substring; `None` = all).
     pub filter: Option<String>,
@@ -90,6 +97,39 @@ pub struct RunConfig {
     /// worker default, [`crate::worker::HEARTBEAT_INTERVAL`]). Tests
     /// shrink this so one cell spans many heartbeats.
     pub heartbeat_ms: Option<u64>,
+}
+
+/// Look up `key`, treating a missing key and an explicit `null`
+/// identically as `None` (the tolerant-read discipline; see the module
+/// docs).
+fn opt<T: Deserialize>(m: &[(String, Content)], key: &str) -> Result<Option<T>, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, v)) => Option::<T>::from_content(v),
+    }
+}
+
+/// Like [`opt`] for booleans, defaulting to `false` when absent (v1
+/// configs predate `progress`).
+fn opt_bool(m: &[(String, Content)], key: &str) -> Result<bool, DeError> {
+    Ok(opt::<bool>(m, key)?.unwrap_or(false))
+}
+
+impl Deserialize for RunConfig {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let Content::Map(m) = c else {
+            return Err(DeError::expected("map", "RunConfig"));
+        };
+        Ok(RunConfig {
+            filter: opt(m, "filter")?,
+            smoke: opt_bool(m, "smoke")?,
+            paper: opt_bool(m, "paper")?,
+            trials: opt(m, "trials")?,
+            trace: opt(m, "trace")?,
+            progress: opt_bool(m, "progress")?,
+            heartbeat_ms: opt(m, "heartbeat_ms")?,
+        })
+    }
 }
 
 impl RunConfig {
@@ -137,7 +177,7 @@ impl RunConfig {
 /// One protocol message: a `kind` tag plus the union of all payload
 /// fields (unused ones `None`). See the module docs for which fields
 /// each kind carries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct WireMsg {
     /// Which message this is.
     pub kind: MsgKind,
@@ -168,6 +208,28 @@ pub struct WireMsg {
     /// `Hello`: fault injection — sleep this long before each cell
     /// (a slow-but-alive worker for the heartbeat tests).
     pub slow_ms: Option<u64>,
+}
+
+impl Deserialize for WireMsg {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let Content::Map(m) = c else {
+            return Err(DeError::expected("map", "WireMsg"));
+        };
+        Ok(WireMsg {
+            kind: serde::field(m, "kind")?,
+            proto: opt(m, "proto")?,
+            worker: opt(m, "worker")?,
+            config: opt(m, "config")?,
+            fail_after: opt(m, "fail_after")?,
+            cells: opt(m, "cells")?,
+            assign: opt(m, "assign")?,
+            cell: opt(m, "cell")?,
+            error: opt(m, "error")?,
+            seq: opt(m, "seq")?,
+            snapshot: opt(m, "snapshot")?,
+            slow_ms: opt(m, "slow_ms")?,
+        })
+    }
 }
 
 impl WireMsg {
@@ -322,6 +384,43 @@ mod tests {
         assert!(WireMsg::parse("not json").is_err());
         let line = WireMsg::heartbeat(0, TelemetrySnapshot::new()).to_line();
         assert!(WireMsg::parse(&line[..line.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn v1_heartbeat_without_seq_or_snapshot_still_parses() {
+        // Byte-for-byte what a proto-v1 worker emitted: no `seq`,
+        // `snapshot`, or `slow_ms` keys existed before v2. Locks in the
+        // tolerant read the way report.rs locks in schema v2 -> v3.
+        let line = concat!(
+            r#"{"kind":"Heartbeat","proto":null,"worker":null,"config":null,"#,
+            r#""fail_after":null,"cells":null,"assign":null,"cell":null,"error":null}"#,
+        );
+        let msg = WireMsg::parse(line).expect("v1 heartbeat parses under v2 reader");
+        assert_eq!(msg.kind, MsgKind::Heartbeat);
+        assert_eq!(msg.seq, None);
+        assert_eq!(msg.snapshot, None);
+        assert_eq!(msg.slow_ms, None);
+    }
+
+    #[test]
+    fn minimal_and_v1_messages_parse_tolerantly() {
+        // Only `kind` is required.
+        let msg = WireMsg::parse(r#"{"kind":"Shutdown"}"#).unwrap();
+        assert_eq!(msg, WireMsg::shutdown());
+        // ...and `kind` really is required.
+        assert!(WireMsg::parse(r#"{"proto":2}"#).is_err());
+
+        // A v1 Hello: its RunConfig predates `progress`/`heartbeat_ms`.
+        let line = concat!(
+            r#"{"kind":"Hello","proto":1,"worker":0,"config":{"filter":null,"#,
+            r#""smoke":true,"paper":false,"trials":1,"trace":null},"fail_after":null}"#,
+        );
+        let msg = WireMsg::parse(line).expect("v1 hello parses under v2 reader");
+        assert_eq!(msg.proto, Some(1), "version check still sees the mismatch");
+        let config = msg.config.unwrap();
+        assert!(config.smoke);
+        assert!(!config.progress, "missing v2 field defaults to false");
+        assert_eq!(config.heartbeat_ms, None);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::time::Duration;
 use fss_bench::{execute_cell, flatten, scale_of, select_experiments, FlatCell};
 use fss_telemetry::TelemetrySnapshot;
 
+use crate::framing::{read_msg, send_msg as send};
 use crate::proto::{MsgKind, WireMsg, PROTO_VERSION};
 
 /// How often the background thread emits `Heartbeat` messages, unless
@@ -37,31 +38,6 @@ pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
 /// coordinator's EOF/reassignment path — not the polite `Error` path —
 /// is what gets exercised.
 pub const INJECTED_CRASH: &str = "injected worker crash (fail_after reached)";
-
-fn send<W: Write>(output: &Mutex<W>, msg: &WireMsg) -> Result<(), String> {
-    let mut w = output.lock().map_err(|_| "output mutex poisoned")?;
-    writeln!(w, "{}", msg.to_line()).map_err(|e| format!("write to coordinator: {e}"))?;
-    w.flush().map_err(|e| format!("flush to coordinator: {e}"))
-}
-
-/// Read the next message, skipping blank lines; `None` on EOF.
-fn read_msg<R: BufRead>(input: &mut R) -> Result<Option<WireMsg>, String> {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        let n = input
-            .read_line(&mut line)
-            .map_err(|e| format!("read from coordinator: {e}"))?;
-        if n == 0 {
-            return Ok(None);
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        return WireMsg::parse(trimmed).map(Some);
-    }
-}
 
 /// Run the worker protocol over the given transport until `Shutdown`,
 /// EOF, or a fatal error. On error (other than an injected crash) a

@@ -60,7 +60,7 @@ pub use events::{EventKind, EventQueue};
 pub use fss_telemetry::{EngineTelemetry, Stage};
 pub use matcher::IncrementalMatcher;
 pub use queue::ShardedQueues;
-pub use source::{poisson, Arrival, FlowSource, InstanceSource, PoissonSource};
+pub use source::{poisson, Arrival, ChannelSource, FlowSource, InstanceSource, PoissonSource};
 pub use stream::StreamStats;
 pub use wmatcher::IncrementalWeightedMatcher;
 

@@ -8,6 +8,10 @@
 //! discipline bit-for-bit (the legacy loop ingests flows sorted by
 //! `(release, index)`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
 use fss_core::prelude::*;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -177,6 +181,68 @@ impl FlowSource for PoissonSource {
     }
 }
 
+/// A [`FlowSource`] fed live by another thread over an mpsc channel —
+/// the bridge between an ingest loop (`flowsched serve`) and the
+/// engine's drive loops.
+///
+/// `next_arrival` **blocks** until the producer sends the next arrival
+/// or drops its sender (end of stream). The drive loops pull exactly
+/// one arrival ahead, so blocking here means "the decision for round
+/// `t` waits until an arrival with a later release proves round `t` is
+/// complete" — which is precisely what makes a live run's schedule
+/// depend only on the arrival *sequence*, never on timing, and hence
+/// bit-identical to replaying the same sequence from a trace.
+///
+/// The producer owns the ordering contract (nondecreasing releases,
+/// increasing ids); `flowsched serve`'s admission gate enforces it at
+/// ingest. The optional `depth` gauge is decremented once per received
+/// arrival so the producer side can expose live queue depth.
+pub struct ChannelSource {
+    m_in: usize,
+    m_out: usize,
+    rx: Receiver<Arrival>,
+    depth: Option<Arc<AtomicU64>>,
+}
+
+impl ChannelSource {
+    /// A source on an `m x m` switch reading from `rx`.
+    pub fn new(ports: usize, rx: Receiver<Arrival>) -> ChannelSource {
+        assert!(ports > 0, "switch needs at least one port");
+        ChannelSource {
+            m_in: ports,
+            m_out: ports,
+            rx,
+            depth: None,
+        }
+    }
+
+    /// Like [`ChannelSource::new`], decrementing `depth` on every
+    /// received arrival (the producer increments it on every send).
+    pub fn with_depth(ports: usize, rx: Receiver<Arrival>, depth: Arc<AtomicU64>) -> ChannelSource {
+        let mut s = ChannelSource::new(ports, rx);
+        s.depth = Some(depth);
+        s
+    }
+}
+
+impl FlowSource for ChannelSource {
+    fn m_in(&self) -> usize {
+        self.m_in
+    }
+
+    fn m_out(&self) -> usize {
+        self.m_out
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let a = self.rx.recv().ok()?;
+        if let Some(d) = &self.depth {
+            d.fetch_sub(1, Ordering::Relaxed);
+        }
+        Some(a)
+    }
+}
+
 /// Sample `Poisson(lambda)` (chunked Knuth; exact for any finite rate).
 /// This is the workspace's canonical sampler; `fss_sim::workload`
 /// re-exports it so both crates draw from the same distribution code.
@@ -256,6 +322,33 @@ mod tests {
         };
         assert_eq!(collect(9), collect(9));
         assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn channel_source_streams_until_sender_drops() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(4);
+        let depth = Arc::new(AtomicU64::new(0));
+        let mut s = ChannelSource::with_depth(3, rx, Arc::clone(&depth));
+        let feeder = std::thread::spawn(move || {
+            for id in 0..6u64 {
+                depth.fetch_add(1, Ordering::Relaxed);
+                tx.send(Arrival {
+                    id,
+                    src: (id % 3) as u32,
+                    dst: ((id + 1) % 3) as u32,
+                    release: id / 2,
+                })
+                .unwrap();
+            }
+            depth
+        });
+        let got: Vec<u64> = std::iter::from_fn(|| s.next_arrival())
+            .map(|a| a.id)
+            .collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        let depth = feeder.join().unwrap();
+        assert_eq!(depth.load(Ordering::Relaxed), 0, "every recv decrements");
+        assert!(s.next_arrival().is_none(), "closed channel stays exhausted");
     }
 
     #[test]

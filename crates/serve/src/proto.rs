@@ -1,0 +1,487 @@
+//! The serve-session JSONL protocol.
+//!
+//! **Ingest** (client → server) reuses the on-disk arrival-trace schema
+//! verbatim — a `{"ports":N}` header followed by
+//! `{"release":R,"src":S,"dst":D}` arrival lines — so a dumped trace
+//! file pipes straight into a live session (`flowsched trace dump ... |
+//! flowsched serve`). Control lines are [`ServeMsg`]s with a `"kind"`
+//! tag: `Finish` ends the session cleanly, `Metrics` requests an inline
+//! metrics snapshot. [`parse_ingest`] sniffs the three shapes by
+//! try-parse order: trace events first (arrivals dominate by volume),
+//! then control messages. A pathological line carrying *both* shapes
+//! (`release`/`src`/`dst` *and* `kind`) parses as an arrival.
+//!
+//! **Response** (server → client) lines are [`ServeMsg`]s. Unlike the
+//! dist wire protocol, serialization **omits** `None` payload fields
+//! instead of writing `null`: at soak scale the stream is millions of
+//! `Dispatch` lines, and `{"kind":"Dispatch","id":..,"release":..,
+//! "round":..}` is less than half the bytes of the null-padded form.
+//! Reads stay tolerant (only `kind` required; missing-or-`null` →
+//! `None`), matching the dist `proto.rs` discipline.
+
+use fss_sim::PolicyKind;
+use serde::{Content, DeError, Deserialize, Serialize};
+
+/// Serve protocol version, reported in the `Started` banner. Bump on
+/// any change to [`ServeMsg`] shape or semantics.
+pub const SERVE_PROTO_VERSION: u32 = 1;
+
+/// Response-line discriminator (serialized as the variant name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeKind {
+    /// Server → client: session banner — protocol version, port count,
+    /// policy, and admission configuration. First line on every
+    /// connection.
+    Started,
+    /// Server → client: one dispatch decision (flow `id` admitted at
+    /// `release` left the switch in round `round`).
+    Dispatch,
+    /// Server → client: admission control shed this arrival
+    /// (`AdmissionMode::Drop` with the ingest queue full). Carries the
+    /// arrival's coordinates so the loss is attributable, never silent.
+    Dropped,
+    /// Server → client: admission control is blocking the producer
+    /// (`AdmissionMode::Pause` with the ingest queue full).
+    Paused,
+    /// Server → client: the paused arrival was admitted; ingest
+    /// continues.
+    Resumed,
+    /// Server → client: stream marker written when the client
+    /// connection goes away mid-session; later dispatch lines buffer
+    /// until a client reattaches.
+    Detached,
+    /// Server → client: inline metrics snapshot (Prometheus text in
+    /// `text`), in reply to a `Metrics` control line.
+    Metrics,
+    /// Server → client: final session accounting after `Finish`.
+    Stats,
+    /// Server → client: fatal protocol error (e.g. out-of-range port,
+    /// time running backwards); the session is dead.
+    Error,
+    /// Client → server: drain the queue, stop the engine, report
+    /// `Stats`, and end the session.
+    Finish,
+}
+
+/// One response/control message: a `kind` tag plus the union of all
+/// payload fields (unused ones `None` and omitted from the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMsg {
+    /// Which message this is.
+    pub kind: ServeKind,
+    /// `Started`: protocol version ([`SERVE_PROTO_VERSION`]).
+    pub proto: Option<u32>,
+    /// `Started`: switch port count the session is running with.
+    pub ports: Option<usize>,
+    /// `Started`: the scheduling policy driving dispatch.
+    pub policy: Option<PolicyKind>,
+    /// `Started`: ingest queue capacity (admission bound).
+    pub queue_cap: Option<usize>,
+    /// `Started`: admission mode name (`"pause"` or `"drop"`).
+    pub admission: Option<String>,
+    /// `Dispatch`/`Resumed`: flow id (dense admission sequence).
+    pub id: Option<u64>,
+    /// `Dispatch`/`Dropped`: the arrival's release round.
+    pub release: Option<u64>,
+    /// `Dispatch`: the round the flow was dispatched in.
+    pub round: Option<u64>,
+    /// `Dropped`: the arrival's input port.
+    pub src: Option<u32>,
+    /// `Dropped`: the arrival's output port.
+    pub dst: Option<u32>,
+    /// `Dropped`/`Paused`/`Resumed`: ingest queue depth at the event.
+    pub queued: Option<u64>,
+    /// `Metrics`: Prometheus text exposition of the live registry.
+    pub text: Option<String>,
+    /// `Stats`: arrivals offered to admission.
+    pub arrived: Option<u64>,
+    /// `Stats`: arrivals admitted into the engine.
+    pub admitted: Option<u64>,
+    /// `Stats`: arrivals shed by `Drop`-mode admission.
+    pub dropped: Option<u64>,
+    /// `Stats`: flows dispatched by the engine.
+    pub dispatched: Option<u64>,
+    /// `Stats`: times `Pause`-mode admission blocked the producer.
+    pub pauses: Option<u64>,
+    /// `Stats`: last dispatch round.
+    pub makespan: Option<u64>,
+    /// `Stats`: sum of per-flow response times (saturated to `u64`).
+    pub total_response: Option<u64>,
+    /// `Stats`: worst single-flow response time.
+    pub max_response: Option<u64>,
+    /// `Stats`: peak engine backlog (pending + active flows).
+    pub peak_queue: Option<u64>,
+    /// `Error`: what went wrong.
+    pub error: Option<String>,
+}
+
+/// Final session accounting, flattened into the `Stats` line.
+///
+/// The conservation law the admission tests pin down:
+/// `arrived == admitted + dropped` and (once the engine drains)
+/// `admitted == dispatched` — every offered arrival is accounted for,
+/// either dispatched or explicitly reported dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Arrivals offered to admission control.
+    pub arrived: u64,
+    /// Arrivals admitted into the engine's ingest queue.
+    pub admitted: u64,
+    /// Arrivals shed (with a `Dropped` line each).
+    pub dropped: u64,
+    /// Flows dispatched by the engine.
+    pub dispatched: u64,
+    /// Times the producer was blocked by `Pause`-mode admission.
+    pub pauses: u64,
+    /// Last dispatch round.
+    pub makespan: u64,
+    /// Sum of per-flow response times (saturated to `u64`).
+    pub total_response: u64,
+    /// Worst single-flow response time.
+    pub max_response: u64,
+    /// Peak engine backlog (pending + active flows).
+    pub peak_queue: u64,
+}
+
+fn push<T: Serialize>(m: &mut Vec<(String, Content)>, key: &str, v: &Option<T>) {
+    if let Some(v) = v {
+        m.push((key.to_string(), v.to_content()));
+    }
+}
+
+impl Serialize for ServeMsg {
+    fn to_content(&self) -> Content {
+        let mut m = vec![("kind".to_string(), self.kind.to_content())];
+        push(&mut m, "proto", &self.proto);
+        push(&mut m, "ports", &self.ports);
+        push(&mut m, "policy", &self.policy);
+        push(&mut m, "queue_cap", &self.queue_cap);
+        push(&mut m, "admission", &self.admission);
+        push(&mut m, "id", &self.id);
+        push(&mut m, "release", &self.release);
+        push(&mut m, "round", &self.round);
+        push(&mut m, "src", &self.src);
+        push(&mut m, "dst", &self.dst);
+        push(&mut m, "queued", &self.queued);
+        push(&mut m, "text", &self.text);
+        push(&mut m, "arrived", &self.arrived);
+        push(&mut m, "admitted", &self.admitted);
+        push(&mut m, "dropped", &self.dropped);
+        push(&mut m, "dispatched", &self.dispatched);
+        push(&mut m, "pauses", &self.pauses);
+        push(&mut m, "makespan", &self.makespan);
+        push(&mut m, "total_response", &self.total_response);
+        push(&mut m, "max_response", &self.max_response);
+        push(&mut m, "peak_queue", &self.peak_queue);
+        push(&mut m, "error", &self.error);
+        Content::Map(m)
+    }
+}
+
+/// Look up `key`, treating a missing key and an explicit `null`
+/// identically as `None` (same tolerant-read discipline as the dist
+/// wire protocol).
+fn opt<T: Deserialize>(m: &[(String, Content)], key: &str) -> Result<Option<T>, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, v)) => Option::<T>::from_content(v),
+    }
+}
+
+impl Deserialize for ServeMsg {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let Content::Map(m) = c else {
+            return Err(DeError::expected("map", "ServeMsg"));
+        };
+        Ok(ServeMsg {
+            kind: serde::field(m, "kind")?,
+            proto: opt(m, "proto")?,
+            ports: opt(m, "ports")?,
+            policy: opt(m, "policy")?,
+            queue_cap: opt(m, "queue_cap")?,
+            admission: opt(m, "admission")?,
+            id: opt(m, "id")?,
+            release: opt(m, "release")?,
+            round: opt(m, "round")?,
+            src: opt(m, "src")?,
+            dst: opt(m, "dst")?,
+            queued: opt(m, "queued")?,
+            text: opt(m, "text")?,
+            arrived: opt(m, "arrived")?,
+            admitted: opt(m, "admitted")?,
+            dropped: opt(m, "dropped")?,
+            dispatched: opt(m, "dispatched")?,
+            pauses: opt(m, "pauses")?,
+            makespan: opt(m, "makespan")?,
+            total_response: opt(m, "total_response")?,
+            max_response: opt(m, "max_response")?,
+            peak_queue: opt(m, "peak_queue")?,
+            error: opt(m, "error")?,
+        })
+    }
+}
+
+impl ServeMsg {
+    fn base(kind: ServeKind) -> ServeMsg {
+        ServeMsg {
+            kind,
+            proto: None,
+            ports: None,
+            policy: None,
+            queue_cap: None,
+            admission: None,
+            id: None,
+            release: None,
+            round: None,
+            src: None,
+            dst: None,
+            queued: None,
+            text: None,
+            arrived: None,
+            admitted: None,
+            dropped: None,
+            dispatched: None,
+            pauses: None,
+            makespan: None,
+            total_response: None,
+            max_response: None,
+            peak_queue: None,
+            error: None,
+        }
+    }
+
+    /// Build the `Started` session banner.
+    pub fn started(
+        ports: usize,
+        policy: PolicyKind,
+        queue_cap: usize,
+        admission: &str,
+    ) -> ServeMsg {
+        ServeMsg {
+            proto: Some(SERVE_PROTO_VERSION),
+            ports: Some(ports),
+            policy: Some(policy),
+            queue_cap: Some(queue_cap),
+            admission: Some(admission.to_string()),
+            ..ServeMsg::base(ServeKind::Started)
+        }
+    }
+
+    /// Build a `Dispatch` decision line.
+    pub fn dispatch(id: u64, release: u64, round: u64) -> ServeMsg {
+        ServeMsg {
+            id: Some(id),
+            release: Some(release),
+            round: Some(round),
+            ..ServeMsg::base(ServeKind::Dispatch)
+        }
+    }
+
+    /// Build a `Dropped` admission report.
+    pub fn dropped(release: u64, src: u32, dst: u32, queued: u64) -> ServeMsg {
+        ServeMsg {
+            release: Some(release),
+            src: Some(src),
+            dst: Some(dst),
+            queued: Some(queued),
+            ..ServeMsg::base(ServeKind::Dropped)
+        }
+    }
+
+    /// Build a `Paused` backpressure marker.
+    pub fn paused(queued: u64) -> ServeMsg {
+        ServeMsg {
+            queued: Some(queued),
+            ..ServeMsg::base(ServeKind::Paused)
+        }
+    }
+
+    /// Build a `Resumed` backpressure marker.
+    pub fn resumed(id: u64, queued: u64) -> ServeMsg {
+        ServeMsg {
+            id: Some(id),
+            queued: Some(queued),
+            ..ServeMsg::base(ServeKind::Resumed)
+        }
+    }
+
+    /// Build a `Detached` stream marker.
+    pub fn detached() -> ServeMsg {
+        ServeMsg::base(ServeKind::Detached)
+    }
+
+    /// Build a `Metrics` reply carrying the Prometheus exposition.
+    pub fn metrics(text: impl Into<String>) -> ServeMsg {
+        ServeMsg {
+            text: Some(text.into()),
+            ..ServeMsg::base(ServeKind::Metrics)
+        }
+    }
+
+    /// Build the final `Stats` accounting line.
+    pub fn stats(s: &ServeStats) -> ServeMsg {
+        ServeMsg {
+            arrived: Some(s.arrived),
+            admitted: Some(s.admitted),
+            dropped: Some(s.dropped),
+            dispatched: Some(s.dispatched),
+            pauses: Some(s.pauses),
+            makespan: Some(s.makespan),
+            total_response: Some(s.total_response),
+            max_response: Some(s.max_response),
+            peak_queue: Some(s.peak_queue),
+            ..ServeMsg::base(ServeKind::Stats)
+        }
+    }
+
+    /// Build an `Error` report.
+    pub fn error(message: impl Into<String>) -> ServeMsg {
+        ServeMsg {
+            error: Some(message.into()),
+            ..ServeMsg::base(ServeKind::Error)
+        }
+    }
+
+    /// Build a `Finish` control line (client → server).
+    pub fn finish() -> ServeMsg {
+        ServeMsg::base(ServeKind::Finish)
+    }
+
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("serve messages contain only finite numbers")
+    }
+
+    /// Parse one JSONL line.
+    pub fn parse(line: &str) -> Result<ServeMsg, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad serve line: {e}"))
+    }
+}
+
+/// One sniffed ingest line (see [`parse_ingest`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestLine {
+    /// A `{"ports":N}` trace header.
+    Header {
+        /// Switch port count.
+        ports: usize,
+    },
+    /// A `{"release":R,"src":S,"dst":D}` arrival event.
+    Arrival {
+        /// Release round (must be nondecreasing across the session).
+        release: u64,
+        /// Input port.
+        src: u32,
+        /// Output port.
+        dst: u32,
+    },
+    /// A `{"kind":...}` control message (`Finish`, `Metrics`, ...).
+    /// Boxed: control lines are rare next to arrivals, and the box
+    /// keeps the hot-path enum two words wide.
+    Control(Box<ServeMsg>),
+}
+
+/// Sniff one ingest line: trace events first (headers and arrivals —
+/// the hot path at soak scale), then `{"kind":...}` control messages.
+pub fn parse_ingest(line: &str) -> Result<IngestLine, String> {
+    match fss_sim::parse_trace_event(line) {
+        Ok(fss_sim::TraceEvent::Header { ports }) => return Ok(IngestLine::Header { ports }),
+        Ok(fss_sim::TraceEvent::Arrival { release, src, dst }) => {
+            return Ok(IngestLine::Arrival { release, src, dst })
+        }
+        Err(_) => {}
+    }
+    ServeMsg::parse(line)
+        .map(|msg| IngestLine::Control(Box::new(msg)))
+        .map_err(|e| {
+            format!(
+            "not an ingest line (expected a trace header, an arrival, or a control message): {e}"
+        )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_kind_round_trips_through_jsonl() {
+        let stats = ServeStats {
+            arrived: 10,
+            admitted: 9,
+            dropped: 1,
+            dispatched: 9,
+            pauses: 2,
+            makespan: 17,
+            total_response: 40,
+            max_response: 8,
+            peak_queue: 5,
+        };
+        let msgs = vec![
+            ServeMsg::started(8, PolicyKind::MaxCard, 1024, "pause"),
+            ServeMsg::dispatch(3, 1, 4),
+            ServeMsg::dropped(5, 2, 6, 1024),
+            ServeMsg::paused(1024),
+            ServeMsg::resumed(7, 1023),
+            ServeMsg::detached(),
+            ServeMsg::metrics("fss_serve_flows_ingested_total 10\n"),
+            ServeMsg::stats(&stats),
+            ServeMsg::error("port 9 out of range"),
+            ServeMsg::finish(),
+        ];
+        for msg in msgs {
+            let line = msg.to_line();
+            assert!(!line.contains('\n') || msg.text.is_some());
+            let parsed = ServeMsg::parse(&line).expect("round trip");
+            assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn serialization_omits_absent_fields() {
+        // Dispatch lines dominate the stream at soak scale; they must
+        // not carry two dozen null payload keys.
+        let line = ServeMsg::dispatch(3, 1, 4).to_line();
+        assert_eq!(line, r#"{"kind":"Dispatch","id":3,"release":1,"round":4}"#);
+        assert_eq!(ServeMsg::finish().to_line(), r#"{"kind":"Finish"}"#);
+    }
+
+    #[test]
+    fn reads_are_tolerant_of_missing_and_null_fields() {
+        // Only `kind` is required; null and missing are the same.
+        let msg = ServeMsg::parse(r#"{"kind":"Dispatch","id":1,"queued":null}"#).unwrap();
+        assert_eq!(msg.kind, ServeKind::Dispatch);
+        assert_eq!(msg.id, Some(1));
+        assert_eq!(msg.queued, None);
+        assert_eq!(msg.release, None);
+        assert!(ServeMsg::parse(r#"{"id":1}"#).is_err(), "kind is required");
+    }
+
+    #[test]
+    fn ingest_sniffing_prefers_trace_events() {
+        assert_eq!(
+            parse_ingest(r#"{"ports":8}"#).unwrap(),
+            IngestLine::Header { ports: 8 }
+        );
+        assert_eq!(
+            parse_ingest(r#"{"release":2,"src":1,"dst":3}"#).unwrap(),
+            IngestLine::Arrival {
+                release: 2,
+                src: 1,
+                dst: 3
+            }
+        );
+        assert_eq!(
+            parse_ingest(r#"{"kind":"Finish"}"#).unwrap(),
+            IngestLine::Control(Box::new(ServeMsg::finish()))
+        );
+        // A pathological line carrying both shapes sniffs as an arrival
+        // (trace events win the try-parse order).
+        assert!(matches!(
+            parse_ingest(r#"{"release":2,"src":1,"dst":3,"kind":"Finish"}"#).unwrap(),
+            IngestLine::Arrival { .. }
+        ));
+        assert!(parse_ingest("not json").is_err());
+        assert!(parse_ingest(r#"{"proto":1}"#).is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! The transport-free serve session: sink + admission gate + engine
+//! thread.
+//!
+//! A [`ServeSession`] is the whole serve process minus I/O: feed it
+//! ingest lines one at a time ([`ServeSession::ingest_line`]) and it
+//! writes response lines to a [`Sink`]. The TCP server, the stdio mode,
+//! and the in-process test harnesses are all thin loops around the same
+//! session — tests drive byte buffers through [`serve_reader`] exactly
+//! the way `fss-dist` scripts its worker over `SharedBuf` pipes, so the
+//! differential and admission suites exercise the identical code path
+//! the socket server runs.
+//!
+//! The engine runs on its own thread, consuming admitted arrivals from
+//! a blocking [`ChannelSource`] through [`fss_sim::run_source_telemetry`]
+//! — the same dispatch core as every batch run, which is what makes the
+//! live schedule bit-identical to trace replay (see the crate docs).
+//! Dispatch decisions are written to the sink from that thread; ingest
+//! reports (`Paused`/`Resumed`/`Dropped`) from the caller's thread. The
+//! sink serializes the interleaving.
+
+use crate::admission::{Admission, AdmissionGate, AdmissionMode};
+use crate::metrics::ServeMetrics;
+use crate::proto::{parse_ingest, IngestLine, ServeKind, ServeMsg, ServeStats};
+use fss_engine::{ChannelSource, EngineTelemetry, StreamStats};
+use fss_sim::{FailurePlan, PolicyKind};
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Where response lines go. Cloneable handle over a shared state so the
+/// ingest thread, the engine thread, and the server's accept loop all
+/// write through one ordered stream.
+///
+/// While no writer is attached (startup, or after a client disconnect)
+/// lines accumulate in an in-memory backlog; [`Sink::attach`] flushes
+/// the backlog in order before going live, so a reconnecting client
+/// sees every line exactly once, in order. A write error detaches the
+/// sink (the line that failed is preserved at the head of the backlog).
+#[derive(Clone)]
+pub struct Sink(Arc<Mutex<SinkState>>);
+
+struct SinkState {
+    target: Option<Box<dyn Write + Send>>,
+    backlog: Vec<String>,
+}
+
+impl Sink {
+    /// A sink with no writer: lines buffer until [`Sink::attach`].
+    pub fn detached() -> Sink {
+        Sink(Arc::new(Mutex::new(SinkState {
+            target: None,
+            backlog: Vec::new(),
+        })))
+    }
+
+    /// A sink writing to `w` from the start.
+    pub fn to_writer(w: impl Write + Send + 'static) -> Sink {
+        let sink = Sink::detached();
+        sink.attach(Box::new(w));
+        sink
+    }
+
+    /// A sink capturing into a shared byte buffer (test harnesses; the
+    /// in-process analogue of the dist worker's `SharedBuf` pipes).
+    pub fn capture() -> (Sink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let writer = CaptureWriter(Arc::clone(&buf));
+        (Sink::to_writer(writer), buf)
+    }
+
+    /// Write one message as a JSONL line (buffered if detached).
+    pub fn send(&self, msg: &ServeMsg) {
+        self.write_line(msg.to_line());
+    }
+
+    fn write_line(&self, line: String) {
+        let mut s = self.0.lock().expect("sink mutex poisoned");
+        match &mut s.target {
+            Some(w) => {
+                if writeln!(w, "{line}").and_then(|_| w.flush()).is_err() {
+                    s.target = None;
+                    s.backlog.push(line);
+                }
+            }
+            None => s.backlog.push(line),
+        }
+    }
+
+    /// Attach a writer, flushing the backlog in order first. If the
+    /// backlog flush fails the sink stays detached and the unwritten
+    /// tail is preserved.
+    pub fn attach(&self, mut w: Box<dyn Write + Send>) {
+        let mut s = self.0.lock().expect("sink mutex poisoned");
+        let backlog = std::mem::take(&mut s.backlog);
+        for (i, line) in backlog.iter().enumerate() {
+            if writeln!(w, "{line}").and_then(|_| w.flush()).is_err() {
+                s.backlog = backlog[i..].to_vec();
+                return;
+            }
+        }
+        s.target = Some(w);
+    }
+
+    /// Detach the current writer (client went away), writing a
+    /// `Detached` marker to it best-effort so the departing stream is
+    /// terminated cleanly. Later lines buffer until the next attach.
+    pub fn detach(&self) {
+        let mut s = self.0.lock().expect("sink mutex poisoned");
+        if let Some(mut w) = s.target.take() {
+            let _ = writeln!(w, "{}", ServeMsg::detached().to_line());
+            let _ = w.flush();
+        }
+    }
+
+    /// Lines currently buffered (waiting for a writer).
+    pub fn backlog_len(&self) -> usize {
+        self.0.lock().expect("sink mutex poisoned").backlog.len()
+    }
+}
+
+struct CaptureWriter(Arc<Mutex<Vec<u8>>>);
+
+impl Write for CaptureWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("capture mutex poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Switch port count; `0` adopts the count from the ingest header.
+    pub ports: usize,
+    /// Scheduling policy driving dispatch.
+    pub policy: PolicyKind,
+    /// Optional injected port outages (the §6 failure model), applied
+    /// by the same failure-aware drive batch runs use.
+    pub failures: Option<FailurePlan>,
+    /// Ingest queue capacity (admission bound).
+    pub queue_cap: usize,
+    /// What to do when the ingest queue is full.
+    pub admission: AdmissionMode,
+    /// Publish the engine's telemetry snapshot to the metrics registry
+    /// every this many rounds (`0` = only at drain).
+    pub publish_every: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            ports: 0,
+            policy: PolicyKind::MaxCard,
+            failures: None,
+            queue_cap: 1024,
+            admission: AdmissionMode::Pause,
+            publish_every: 64,
+        }
+    }
+}
+
+/// What [`ServeSession::ingest_line`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingested {
+    /// Keep reading.
+    Continue,
+    /// A `Finish` control line arrived; call [`ServeSession::finish`].
+    Finish,
+}
+
+struct Running {
+    gate: AdmissionGate,
+    engine: JoinHandle<StreamStats>,
+}
+
+/// One live serve session (see the module docs).
+pub struct ServeSession {
+    opts: ServeOptions,
+    ports: usize,
+    sink: Sink,
+    metrics: Arc<ServeMetrics>,
+    running: Option<Running>,
+}
+
+impl ServeSession {
+    /// Create a session writing responses to `sink`.
+    pub fn new(opts: ServeOptions, sink: Sink, metrics: Arc<ServeMetrics>) -> ServeSession {
+        let ports = opts.ports;
+        ServeSession {
+            opts,
+            ports,
+            sink,
+            metrics,
+            running: None,
+        }
+    }
+
+    /// The `Started` banner describing this session's configuration.
+    pub fn banner(&self) -> ServeMsg {
+        ServeMsg::started(
+            self.ports,
+            self.opts.policy,
+            self.opts.queue_cap,
+            self.opts.admission.name(),
+        )
+    }
+
+    fn ensure_started(&mut self) -> Result<(), String> {
+        if self.running.is_some() {
+            return Ok(());
+        }
+        if self.ports == 0 {
+            return Err(
+                "no port count: send a {\"ports\":N} header or configure --ports".to_string(),
+            );
+        }
+        let (gate, rx) = AdmissionGate::with_depth(
+            self.ports,
+            self.opts.queue_cap,
+            self.opts.admission,
+            Arc::clone(&self.metrics.queue_depth),
+        );
+        let source =
+            ChannelSource::with_depth(self.ports, rx, Arc::clone(&self.metrics.queue_depth));
+        let policy = self.opts.policy;
+        let failures = self.opts.failures.clone();
+        let publish_every = self.opts.publish_every;
+        let sink = self.sink.clone();
+        let metrics = Arc::clone(&self.metrics);
+        let engine = std::thread::spawn(move || {
+            let mut tele = EngineTelemetry::enabled();
+            tele.publish_every(publish_every, Arc::clone(&metrics.engine));
+            let stats = fss_sim::run_source_telemetry(
+                Box::new(source),
+                policy,
+                failures.as_ref(),
+                &mut tele,
+                |id, release, round| {
+                    metrics.dispatched.inc();
+                    sink.send(&ServeMsg::dispatch(id, release, round));
+                },
+            );
+            // Final publish so a post-drain scrape sees the full run.
+            if let Ok(mut slot) = metrics.engine.lock() {
+                *slot = tele.snapshot();
+            }
+            stats
+        });
+        self.running = Some(Running { gate, engine });
+        Ok(())
+    }
+
+    /// Feed one ingest line. `Err` is a fatal protocol error (already
+    /// reported to the sink as an `Error` line).
+    pub fn ingest_line(&mut self, line: &str) -> Result<Ingested, String> {
+        let result = self.ingest_inner(line);
+        if let Err(e) = &result {
+            self.sink.send(&ServeMsg::error(e.clone()));
+        }
+        result
+    }
+
+    fn ingest_inner(&mut self, line: &str) -> Result<Ingested, String> {
+        match parse_ingest(line)? {
+            IngestLine::Header { ports } => {
+                if self.running.is_some() {
+                    return Err("unexpected header after arrivals started".to_string());
+                }
+                if ports == 0 {
+                    return Err("a switch needs at least one port".to_string());
+                }
+                if self.opts.ports != 0 && self.opts.ports != ports {
+                    return Err(format!(
+                        "header says {ports} ports but the session is pinned to {}",
+                        self.opts.ports
+                    ));
+                }
+                self.ports = ports;
+                Ok(Ingested::Continue)
+            }
+            IngestLine::Arrival { release, src, dst } => {
+                self.ensure_started()?;
+                self.metrics.ingested.inc();
+                // Clone the handles up front: the pause callback runs
+                // while the gate (inside `running`) is borrowed mutably.
+                let sink = self.sink.clone();
+                let metrics = Arc::clone(&self.metrics);
+                let running = self.running.as_mut().expect("started above");
+                let outcome = running.gate.offer(release, src, dst, |queued| {
+                    metrics.pauses.inc();
+                    sink.send(&ServeMsg::paused(queued));
+                })?;
+                match outcome {
+                    Admission::Admitted { .. } => self.metrics.admitted.inc(),
+                    Admission::Resumed { id, queued } => {
+                        self.metrics.admitted.inc();
+                        self.sink.send(&ServeMsg::resumed(id, queued));
+                    }
+                    Admission::Dropped { queued } => {
+                        self.metrics.dropped.inc();
+                        self.sink
+                            .send(&ServeMsg::dropped(release, src, dst, queued));
+                    }
+                }
+                Ok(Ingested::Continue)
+            }
+            IngestLine::Control(msg) => match msg.kind {
+                ServeKind::Finish => Ok(Ingested::Finish),
+                ServeKind::Metrics => {
+                    self.sink.send(&ServeMsg::metrics(self.metrics.render()));
+                    Ok(Ingested::Continue)
+                }
+                other => Err(format!("unexpected control line {other:?}")),
+            },
+        }
+    }
+
+    /// End the session: close the gate, let the engine drain, write the
+    /// `Stats` line, and return the final accounting.
+    pub fn finish(mut self) -> Result<ServeStats, String> {
+        let stats = match self.running.take() {
+            // No arrival ever started the engine: everything is zero.
+            None => ServeStats::default(),
+            Some(Running { mut gate, engine }) => {
+                gate.close();
+                let stream = engine
+                    .join()
+                    .map_err(|_| "engine thread panicked".to_string())?;
+                ServeStats {
+                    arrived: gate.arrived,
+                    admitted: gate.admitted,
+                    dropped: gate.dropped,
+                    dispatched: stream.dispatched,
+                    pauses: gate.pauses,
+                    makespan: stream.makespan,
+                    total_response: u64::try_from(stream.total_response).unwrap_or(u64::MAX),
+                    max_response: stream.max_response,
+                    peak_queue: stream.peak_queue as u64,
+                }
+            }
+        };
+        self.sink.send(&ServeMsg::stats(&stats));
+        Ok(stats)
+    }
+}
+
+/// Drive a whole session from a line-oriented reader: banner, ingest
+/// loop (EOF counts as `Finish`), final stats. This is `flowsched
+/// serve`'s stdio mode and the harness entry point for byte-buffer
+/// tests; the TCP server runs the same session across connections.
+pub fn serve_reader<R: BufRead>(
+    opts: ServeOptions,
+    mut input: R,
+    sink: Sink,
+    metrics: Arc<ServeMetrics>,
+) -> Result<ServeStats, String> {
+    let mut session = ServeSession::new(opts, sink.clone(), metrics);
+    sink.send(&session.banner());
+    loop {
+        match fss_dist::framing::next_line(&mut input)? {
+            None => break,
+            Some(line) => match session.ingest_line(&line)? {
+                Ingested::Continue => {}
+                Ingested::Finish => break,
+            },
+        }
+    }
+    session.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn lines(buf: &Arc<Mutex<Vec<u8>>>) -> Vec<ServeMsg> {
+        String::from_utf8(buf.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(|l| ServeMsg::parse(l).expect("response lines parse"))
+            .collect()
+    }
+
+    #[test]
+    fn sink_buffers_while_detached_and_flushes_in_order_on_attach() {
+        let sink = Sink::detached();
+        sink.send(&ServeMsg::dispatch(0, 0, 1));
+        sink.send(&ServeMsg::dispatch(1, 0, 2));
+        assert_eq!(sink.backlog_len(), 2);
+        let (attached, buf) = Sink::capture();
+        drop(attached); // only needed the writer pattern; reuse below
+        let buf2 = Arc::new(Mutex::new(Vec::new()));
+        sink.attach(Box::new(CaptureWriter(Arc::clone(&buf2))));
+        sink.send(&ServeMsg::dispatch(2, 1, 3));
+        let got: Vec<u64> = String::from_utf8(buf2.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(|l| ServeMsg::parse(l).unwrap().id.unwrap())
+            .collect();
+        assert_eq!(got, vec![0, 1, 2], "backlog first, then live, in order");
+        assert_eq!(sink.backlog_len(), 0);
+        assert!(buf.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn detach_writes_a_detached_marker_and_rebuffers() {
+        let (sink, buf) = Sink::capture();
+        sink.send(&ServeMsg::dispatch(0, 0, 1));
+        sink.detach();
+        sink.send(&ServeMsg::dispatch(1, 0, 2)); // buffered
+        let got = lines(&buf);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].kind, ServeKind::Detached, "stream ends with marker");
+        assert_eq!(sink.backlog_len(), 1);
+    }
+
+    #[test]
+    fn a_full_session_over_byte_buffers_dispatches_every_flow() {
+        let input = concat!(
+            "{\"ports\":4}\n",
+            "{\"release\":0,\"src\":0,\"dst\":1}\n",
+            "{\"release\":0,\"src\":1,\"dst\":0}\n",
+            "{\"release\":2,\"src\":2,\"dst\":3}\n",
+            "{\"kind\":\"Metrics\"}\n",
+            "{\"kind\":\"Finish\"}\n",
+        );
+        let (sink, buf) = Sink::capture();
+        let metrics = Arc::new(ServeMetrics::new());
+        let stats = serve_reader(
+            ServeOptions::default(),
+            Cursor::new(input),
+            sink,
+            Arc::clone(&metrics),
+        )
+        .expect("session runs");
+        assert_eq!(stats.arrived, 3);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.dispatched, 3);
+        let msgs = lines(&buf);
+        assert_eq!(msgs[0].kind, ServeKind::Started);
+        assert_eq!(msgs[0].proto, Some(crate::SERVE_PROTO_VERSION));
+        let dispatched: Vec<_> = msgs
+            .iter()
+            .filter(|m| m.kind == ServeKind::Dispatch)
+            .collect();
+        assert_eq!(dispatched.len(), 3);
+        let metrics_reply = msgs
+            .iter()
+            .find(|m| m.kind == ServeKind::Metrics)
+            .expect("metrics control line answered");
+        assert!(metrics_reply
+            .text
+            .as_deref()
+            .unwrap()
+            .contains("fss_serve_flows_ingested_total"));
+        assert_eq!(msgs.last().unwrap().kind, ServeKind::Stats);
+        assert_eq!(msgs.last().unwrap().dispatched, Some(3));
+        assert_eq!(metrics.dispatched.get(), 3);
+    }
+
+    #[test]
+    fn eof_without_finish_still_drains_and_reports_stats() {
+        let input = "{\"ports\":2}\n{\"release\":0,\"src\":0,\"dst\":1}\n";
+        let (sink, buf) = Sink::capture();
+        let stats = serve_reader(
+            ServeOptions::default(),
+            Cursor::new(input),
+            sink,
+            Arc::new(ServeMetrics::new()),
+        )
+        .unwrap();
+        assert_eq!(stats.dispatched, 1);
+        assert_eq!(lines(&buf).last().unwrap().kind, ServeKind::Stats);
+    }
+
+    #[test]
+    fn conservation_holds_under_drop_mode_with_a_tiny_queue() {
+        // With capacity 1 and a burst of same-release arrivals some may
+        // be shed (how many depends on engine timing); the invariant
+        // that cannot depend on timing is conservation: every offered
+        // arrival is either dispatched or explicitly reported dropped.
+        let mut input = String::from("{\"ports\":4}\n");
+        for i in 0..64 {
+            input.push_str(&format!(
+                "{{\"release\":{},\"src\":{},\"dst\":{}}}\n",
+                i / 8,
+                i % 4,
+                (i + 1) % 4
+            ));
+        }
+        input.push_str("{\"kind\":\"Finish\"}\n");
+        let opts = ServeOptions {
+            queue_cap: 1,
+            admission: AdmissionMode::Drop,
+            ..ServeOptions::default()
+        };
+        let (sink, buf) = Sink::capture();
+        let stats = serve_reader(
+            opts,
+            Cursor::new(input),
+            sink,
+            Arc::new(ServeMetrics::new()),
+        )
+        .unwrap();
+        assert_eq!(stats.arrived, 64);
+        assert_eq!(stats.arrived, stats.admitted + stats.dropped);
+        assert_eq!(stats.admitted, stats.dispatched, "engine drained fully");
+        let msgs = lines(&buf);
+        let dropped_lines = msgs.iter().filter(|m| m.kind == ServeKind::Dropped).count();
+        assert_eq!(dropped_lines as u64, stats.dropped, "no silent loss");
+        let dispatch_lines = msgs
+            .iter()
+            .filter(|m| m.kind == ServeKind::Dispatch)
+            .count();
+        assert_eq!(dispatch_lines as u64, stats.dispatched);
+    }
+
+    #[test]
+    fn protocol_errors_are_reported_and_fatal() {
+        let input = "{\"ports\":2}\n{\"release\":0,\"src\":5,\"dst\":1}\n";
+        let (sink, buf) = Sink::capture();
+        let err = serve_reader(
+            ServeOptions::default(),
+            Cursor::new(input),
+            sink,
+            Arc::new(ServeMetrics::new()),
+        )
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let msgs = lines(&buf);
+        assert_eq!(msgs.last().unwrap().kind, ServeKind::Error);
+    }
+
+    #[test]
+    fn arrivals_without_any_port_count_are_rejected() {
+        let input = "{\"release\":0,\"src\":0,\"dst\":1}\n";
+        let (sink, _buf) = Sink::capture();
+        let err = serve_reader(
+            ServeOptions::default(),
+            Cursor::new(input),
+            sink,
+            Arc::new(ServeMetrics::new()),
+        )
+        .unwrap_err();
+        assert!(err.contains("no port count"), "{err}");
+    }
+}

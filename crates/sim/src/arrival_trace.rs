@@ -43,6 +43,54 @@ struct TraceHeader {
     ports: usize,
 }
 
+/// One parsed line of the trace wire format — the trace → live event
+/// bridge: the same JSONL lines that make up an on-disk trace can be
+/// streamed to a live consumer (`flowsched serve`) one event at a time,
+/// so a raw trace file *is* a valid ingest stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The `{"ports":N}` header line.
+    Header {
+        /// Declared switch size (`ports x ports`).
+        ports: usize,
+    },
+    /// One `{"release":R,"src":S,"dst":D}` arrival line (the id is a
+    /// sequence number, assigned by the consumer).
+    Arrival {
+        /// Release round.
+        release: u64,
+        /// Input port.
+        src: u32,
+        /// Output port.
+        dst: u32,
+    },
+}
+
+/// Parse one line of the trace schema into a [`TraceEvent`].
+///
+/// This is the one place the line shapes are recognized:
+/// [`ArrivalTrace::from_jsonl`] and the serve ingest loop both go
+/// through it, so a file that loads as a trace replays identically as
+/// a live stream. Validation (port range, sorted releases) stays with
+/// the consumer, which knows the stream context.
+pub fn parse_trace_event(line: &str) -> Result<TraceEvent, String> {
+    // Arrivals outnumber the single header a million to one: try them
+    // first.
+    if let Ok(rec) = serde_json::from_str::<TraceLine>(line) {
+        return Ok(TraceEvent::Arrival {
+            release: rec.release,
+            src: rec.src,
+            dst: rec.dst,
+        });
+    }
+    match serde_json::from_str::<TraceHeader>(line) {
+        Ok(h) => Ok(TraceEvent::Header { ports: h.ports }),
+        Err(e) => Err(format!(
+            "not a trace event (expected {{\"release\":R,\"src\":S,\"dst\":D}} or {{\"ports\":N}}): {e}"
+        )),
+    }
+}
+
 /// A validated, in-memory arrival trace: a square unit-capacity switch
 /// plus arrivals sorted by release round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,12 +200,22 @@ impl ArrivalTrace {
             line: 1,
             msg: "empty trace file (expected a {\"ports\":N} header)".into(),
         })?;
-        let header: TraceHeader =
-            serde_json::from_str(header).map_err(|e| ScenarioError::Parse {
-                line: header_line,
-                msg: format!("bad header: {e}"),
-            })?;
-        if header.ports == 0 {
+        let ports = match parse_trace_event(header) {
+            Ok(TraceEvent::Header { ports }) => ports,
+            Ok(TraceEvent::Arrival { .. }) => {
+                return Err(ScenarioError::Parse {
+                    line: header_line,
+                    msg: "expected a {\"ports\":N} header before arrivals".into(),
+                })
+            }
+            Err(e) => {
+                return Err(ScenarioError::Parse {
+                    line: header_line,
+                    msg: format!("bad header: {e}"),
+                })
+            }
+        };
+        if ports == 0 {
             return Err(ScenarioError::Parse {
                 line: header_line,
                 msg: "header declares zero ports".into(),
@@ -165,25 +223,27 @@ impl ArrivalTrace {
         }
         let mut parsed: Vec<(usize, Arrival)> = Vec::new();
         for (line, text) in lines {
-            let rec: TraceLine = serde_json::from_str(text).map_err(|e| ScenarioError::Parse {
-                line,
-                msg: e.to_string(),
-            })?;
-            parsed.push((
-                line,
-                Arrival {
-                    id: 0, // assigned by `validated`
-                    src: rec.src,
-                    dst: rec.dst,
-                    release: rec.release,
-                },
-            ));
+            match parse_trace_event(text) {
+                Ok(TraceEvent::Arrival { release, src, dst }) => parsed.push((
+                    line,
+                    Arrival {
+                        id: 0, // assigned by `validated`
+                        src,
+                        dst,
+                        release,
+                    },
+                )),
+                Ok(TraceEvent::Header { .. }) => {
+                    return Err(ScenarioError::Parse {
+                        line,
+                        msg: "unexpected second header".into(),
+                    })
+                }
+                Err(msg) => return Err(ScenarioError::Parse { line, msg }),
+            }
         }
-        let arrivals = validated(header.ports, parsed.into_iter())?;
-        Ok(ArrivalTrace {
-            ports: header.ports,
-            arrivals,
-        })
+        let arrivals = validated(ports, parsed.into_iter())?;
+        Ok(ArrivalTrace { ports, arrivals })
     }
 
     /// Load and validate a trace file.
@@ -289,6 +349,41 @@ mod tests {
             dst,
             release,
         }
+    }
+
+    #[test]
+    fn trace_events_parse_line_by_line() {
+        assert_eq!(
+            parse_trace_event("{\"ports\":8}").unwrap(),
+            TraceEvent::Header { ports: 8 }
+        );
+        assert_eq!(
+            parse_trace_event("{\"release\":3,\"src\":1,\"dst\":7}").unwrap(),
+            TraceEvent::Arrival {
+                release: 3,
+                src: 1,
+                dst: 7
+            }
+        );
+        assert!(parse_trace_event("{\"kind\":\"Finish\"}").is_err());
+        assert!(parse_trace_event("not json").is_err());
+    }
+
+    #[test]
+    fn a_trace_file_is_a_valid_event_stream() {
+        // The bridge invariant: every line of a dumped trace parses as
+        // a TraceEvent, header first, arrivals after.
+        let trace = ArrivalTrace::new(4, vec![arr(0, 0, 1), arr(2, 3, 2)]).unwrap();
+        let events: Vec<TraceEvent> = trace
+            .to_jsonl()
+            .lines()
+            .map(|l| parse_trace_event(l).unwrap())
+            .collect();
+        assert_eq!(events[0], TraceEvent::Header { ports: 4 });
+        assert_eq!(events.len(), 3);
+        assert!(events[1..]
+            .iter()
+            .all(|e| matches!(e, TraceEvent::Arrival { .. })));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod stats;
 pub mod trace;
 pub mod workload;
 
-pub use arrival_trace::{ArrivalTrace, TraceSource};
+pub use arrival_trace::{parse_trace_event, ArrivalTrace, TraceEvent, TraceSource};
 pub use experiment::{
     lp_bounds_grid, lp_bounds_grid_parts, run_grid, run_grid_telemetry, CellResult,
     ExperimentConfig, LpBoundParts, LpBoundResult, PolicyKind,
@@ -57,8 +57,8 @@ pub use saturation::{
     stable_intensity_legacy, SaturationPoint,
 };
 pub use scenario::{
-    run_scenario, run_scenario_telemetry, run_scenario_with, ArrivalSpec, ScenarioError,
-    ScenarioSpec,
+    run_scenario, run_scenario_telemetry, run_scenario_with, run_source_telemetry, ArrivalSpec,
+    ScenarioError, ScenarioSpec,
 };
 pub use stats::{response_histogram, response_percentiles, ResponsePercentiles};
 pub use trace::{run_policy_traced, Trace, TraceRound};

@@ -443,14 +443,40 @@ pub fn run_scenario_telemetry(
     on_dispatch: impl FnMut(u64, u64, u64),
 ) -> Result<StreamStats, ScenarioError> {
     let source = spec.source()?;
-    match &spec.failures {
-        None => Ok(fss_engine::run_stream_telemetry(
+    Ok(run_source_telemetry(
+        source,
+        policy,
+        spec.failures.as_ref(),
+        tele,
+        on_dispatch,
+    ))
+}
+
+/// Drive an already-open [`FlowSource`] through the engine under
+/// `policy`, optionally under a [`FailurePlan`].
+///
+/// This is the single dispatch core every execution path shares:
+/// [`run_scenario`] opens its source from a spec and calls it, and the
+/// live `flowsched serve` loop feeds it a channel-backed source. One
+/// code path is what makes the service's schedule provably identical,
+/// round for round, to a batch run over the same arrival sequence —
+/// the serve crate's differential suite pins this down for all four
+/// §5 policies, with and without failure plans.
+pub fn run_source_telemetry(
+    source: Box<dyn FlowSource>,
+    policy: PolicyKind,
+    failures: Option<&FailurePlan>,
+    tele: &mut fss_engine::EngineTelemetry,
+    on_dispatch: impl FnMut(u64, u64, u64),
+) -> StreamStats {
+    match failures {
+        None => fss_engine::run_stream_telemetry(
             source,
             EngineMode::Exact(policy.to_engine()),
             tele,
             on_dispatch,
-        )),
-        Some(plan) => Ok(match policy {
+        ),
+        Some(plan) => match policy {
             PolicyKind::MaxCard => fss_engine::run_stream_failures_telemetry(
                 source,
                 &mut MaxCard::default(),
@@ -479,7 +505,7 @@ pub fn run_scenario_telemetry(
                 tele,
                 on_dispatch,
             ),
-        }),
+        },
     }
 }
 

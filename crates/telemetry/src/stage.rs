@@ -1,6 +1,7 @@
 //! The round-loop stage taxonomy and the `&mut`-handle stage timer the
 //! engine threads through its drive loops.
 
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::histo::LatencyHisto;
@@ -72,6 +73,7 @@ pub struct EngineTelemetry {
     decision: LatencyHisto,
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, u64)>,
+    publish: Option<(u64, Arc<Mutex<TelemetrySnapshot>>)>,
 }
 
 impl EngineTelemetry {
@@ -84,6 +86,7 @@ impl EngineTelemetry {
             decision: LatencyHisto::new(),
             counters: Vec::new(),
             gauges: Vec::new(),
+            publish: None,
         }
     }
 
@@ -130,11 +133,31 @@ impl EngineTelemetry {
         r
     }
 
+    /// Publish a [`TelemetrySnapshot`] into `slot` every `every`
+    /// completed rounds, so long-running drives (the `flowsched serve`
+    /// engine thread) expose live progress without a channel in the hot
+    /// path. Publishing is observation only — it never changes what the
+    /// handle records — and costs one modulo per round plus a snapshot
+    /// on the cadence. No-op on a disabled handle or `every == 0`.
+    pub fn publish_every(&mut self, every: u64, slot: Arc<Mutex<TelemetrySnapshot>>) {
+        if self.on && every > 0 {
+            self.publish = Some((every, slot));
+        }
+    }
+
     /// Count one completed round.
     #[inline]
     pub fn round(&mut self) {
-        if self.on {
-            self.rounds += 1;
+        if !self.on {
+            return;
+        }
+        self.rounds += 1;
+        if let Some((every, slot)) = &self.publish {
+            if self.rounds.is_multiple_of(*every) {
+                if let Ok(mut s) = slot.lock() {
+                    *s = self.snapshot();
+                }
+            }
         }
     }
 
@@ -278,6 +301,36 @@ mod tests {
         assert_eq!(out, 5);
         t.round();
         assert_eq!(t.snapshot().counter("rounds"), Some(1));
+    }
+
+    #[test]
+    fn publish_every_updates_the_shared_slot_on_cadence() {
+        let slot = Arc::new(Mutex::new(TelemetrySnapshot::new()));
+        let mut t = EngineTelemetry::enabled();
+        t.publish_every(2, Arc::clone(&slot));
+        t.round();
+        assert!(slot.lock().unwrap().is_empty(), "off-cadence round");
+        t.round();
+        assert_eq!(slot.lock().unwrap().counter("rounds"), Some(2));
+        t.counter_add("flows_dispatched", 5);
+        t.round();
+        t.round();
+        let s = slot.lock().unwrap().clone();
+        assert_eq!(
+            s.counter("rounds"),
+            Some(4),
+            "slot holds the latest snapshot"
+        );
+        assert_eq!(s.counter("flows_dispatched"), Some(5));
+    }
+
+    #[test]
+    fn disabled_handle_never_publishes() {
+        let slot = Arc::new(Mutex::new(TelemetrySnapshot::new()));
+        let mut t = EngineTelemetry::disabled();
+        t.publish_every(1, Arc::clone(&slot));
+        t.round();
+        assert!(slot.lock().unwrap().is_empty());
     }
 
     #[test]

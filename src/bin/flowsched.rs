@@ -17,6 +17,8 @@
 //! flowsched bench    --smoke --progress
 //! flowsched bench    --diff OLD.json NEW.json --tolerance 30
 //! flowsched telemetry dump -i target/experiments/BENCH_fig6.json
+//! flowsched serve    --listen 127.0.0.1:7070 --metrics-listen 127.0.0.1:9090
+//! flowsched serve    --soak --m 64 --rate 260 --rounds 4000
 //! ```
 //!
 //! Instances and schedules are the serde JSON forms of
@@ -64,6 +66,13 @@ const USAGE: &str = "usage:
                      [--workers N] [--resume] [--progress]
   flowsched bench    --diff OLD.json NEW.json [--tolerance PCT] [--strict-metrics]
   flowsched telemetry dump -i ARTIFACT.json|BENCH_cells.jsonl [-o FILE]
+  flowsched serve    [--ports M] [--policy maxcard|minrtime|maxweight|fifo]
+                     [--queue-cap N] [--admission pause|drop] [--scenario SPEC.json]
+                     [--listen ADDR [--metrics-listen ADDR]]
+  flowsched serve    --soak [--disconnect-after N] [--queue-cap N]
+                     (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S])
+  flowsched serve    --replay TRACE.jsonl --connect ADDR [--skip N] [--take N] [--finish]
+  flowsched serve    --reference (--scenario SPEC.json | [--m M] [--rate R] [--rounds T])
 
 stream drives a workload through the event-driven engine without
 materializing an instance and reports aggregate response statistics.
@@ -106,7 +115,25 @@ per cell into the BENCH artifacts (schema v3 `telemetry` field) and
 prints a live progress line. Telemetry observes, never steers: schedules
 and metrics are bit-identical with or without it. telemetry dump merges
 the per-cell snapshots back out of an artifact (or a cells.jsonl
-stream) as Prometheus text for scraping or ad-hoc inspection.";
+stream) as Prometheus text for scraping or ad-hoc inspection.
+
+serve runs the live scheduler: JSONL arrival events (the arrival-trace
+line schema, so `flowsched trace` output pipes straight in) stream in
+over stdin or a TCP socket (--listen), dispatch decisions stream back
+as JSONL, and a Prometheus /metrics endpoint (--metrics-listen) exposes
+flows/s, queue depth, decision-latency p50/p99, and admission counters.
+The ingest queue is bounded (--queue-cap): when it fills, --admission
+pause blocks the producer losslessly (Paused/Resumed lines) and
+--admission drop sheds with explicit Dropped lines — never silently.
+--scenario supplies the port count and an injected failure plan (its
+arrivals are ignored; arrivals come over the wire). A client that
+disconnects mid-session can reconnect: buffered lines flush in order.
+serve --soak runs the built-in soak harness (a real socket server, one
+mid-run disconnect/reconnect, a metrics scrape, and a strict diff of
+the live schedule against the single-process reference); serve --replay
+plays a trace file against a running server as a client; serve
+--reference prints the single-process reference dispatch stream for the
+same workload (for external diffing).";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -130,6 +157,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stream" => stream(&opts),
         "trace" => trace(&opts),
         "bench" => bench(&opts),
+        "serve" => serve_cmd(&opts),
         // Hidden: the worker end of `bench --workers N`. Spawned by the
         // coordinator with the protocol on stdin/stdout; not for
         // interactive use.
@@ -161,7 +189,17 @@ impl Flags {
 }
 
 /// Flags that take no value (present = "true").
-const BOOL_FLAGS: [&str; 6] = ["smoke", "paper", "list", "resume", "progress", "metrics"];
+const BOOL_FLAGS: [&str; 9] = [
+    "smoke",
+    "paper",
+    "list",
+    "resume",
+    "progress",
+    "metrics",
+    "soak",
+    "reference",
+    "finish",
+];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Vec::new();
@@ -644,5 +682,235 @@ fn telemetry_cmd(args: &[String]) -> Result<(), String> {
         }
         None => print!("{text}"),
     }
+    Ok(())
+}
+
+fn serve_policy(flags: &Flags) -> Result<fss_sim::PolicyKind, String> {
+    Ok(match flags.get("policy").unwrap_or("maxcard") {
+        "maxcard" => fss_sim::PolicyKind::MaxCard,
+        "minrtime" => fss_sim::PolicyKind::MinRTime,
+        "maxweight" => fss_sim::PolicyKind::MaxWeight,
+        "fifo" => fss_sim::PolicyKind::FifoGreedy,
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+/// Session options for `serve`: the port count and failure plan come
+/// from `--scenario` when given (its arrivals are ignored — arrivals
+/// come over the wire), overridable/settable via `--ports`.
+fn serve_session_options(flags: &Flags) -> Result<flow_switch::serve::ServeOptions, String> {
+    let mut opts = flow_switch::serve::ServeOptions {
+        policy: serve_policy(flags)?,
+        queue_cap: flags.parsed("queue-cap", 1024usize)?,
+        admission: flow_switch::serve::AdmissionMode::parse(
+            flags.get("admission").unwrap_or("pause"),
+        )?,
+        ..flow_switch::serve::ServeOptions::default()
+    };
+    if opts.queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    if let Some(path) = flags.get("scenario") {
+        let spec = fss_sim::ScenarioSpec::load(path).map_err(|e| e.to_string())?;
+        opts.ports = spec.ports;
+        opts.failures = spec.failures;
+    }
+    opts.ports = flags.parsed("ports", opts.ports)?;
+    Ok(opts)
+}
+
+fn serve_cmd(flags: &Flags) -> Result<(), String> {
+    if flags.get("soak").is_some() {
+        return serve_soak(flags);
+    }
+    if flags.get("reference").is_some() {
+        return serve_reference(flags);
+    }
+    if let Some(path) = flags.get("replay") {
+        return serve_replay(flags, path);
+    }
+    let opts = serve_session_options(flags)?;
+    let stats = match flags.get("listen") {
+        None => flow_switch::serve::serve_stdio(opts)?,
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!(
+                "serve: ingest on {}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            let metrics_listener = match flags.get("metrics-listen") {
+                None => None,
+                Some(maddr) => {
+                    let l = std::net::TcpListener::bind(maddr)
+                        .map_err(|e| format!("bind {maddr}: {e}"))?;
+                    eprintln!(
+                        "serve: metrics on http://{}/metrics",
+                        l.local_addr().map_err(|e| e.to_string())?
+                    );
+                    Some(l)
+                }
+            };
+            flow_switch::serve::run_server_on(listener, metrics_listener, opts)?
+        }
+    };
+    eprintln!(
+        "serve: {} arrived, {} admitted, {} dropped, {} dispatched ({} pauses), makespan {}",
+        stats.arrived,
+        stats.admitted,
+        stats.dropped,
+        stats.dispatched,
+        stats.pauses,
+        stats.makespan
+    );
+    Ok(())
+}
+
+/// `serve --soak`: the built-in soak harness (see `fss_serve::run_soak`).
+fn serve_soak(flags: &Flags) -> Result<(), String> {
+    let spec = spec_from_flags(flags)?;
+    let opts = flow_switch::serve::SoakOptions {
+        policy: serve_policy(flags)?,
+        queue_cap: flags.parsed("queue-cap", 1024usize)?,
+        disconnect_after: match flags.get("disconnect-after") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("bad value for --disconnect-after: {v}"))?,
+            ),
+        },
+        scrape_metrics: true,
+        ..flow_switch::serve::SoakOptions::new(spec)
+    };
+    let started = std::time::Instant::now();
+    let report = flow_switch::serve::run_soak(&opts)?;
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "soak: {} flows through the live server in {:.2}s ({:.0} flows/s)",
+        report.flows,
+        elapsed,
+        report.flows as f64 / elapsed.max(1e-9)
+    );
+    println!(
+        "soak: parity OK ({} dispatch lines strict-equal to the reference), zero silent loss \
+         (arrived {} = dispatched {} + dropped {})",
+        report.dispatch_lines, report.stats.arrived, report.stats.dispatched, report.stats.dropped
+    );
+    if opts.disconnect_after.is_some() {
+        println!(
+            "soak: mid-run disconnect/reconnect exercised (detached marker seen: {})",
+            report.detached_seen
+        );
+    }
+    if let Some(scrape) = &report.scrape {
+        let fss_lines = scrape.lines().filter(|l| l.starts_with("fss_")).count();
+        println!("soak: /metrics scrape returned {fss_lines} fss_ series");
+    }
+    Ok(())
+}
+
+/// `serve --reference`: print the single-process reference dispatch
+/// stream for the workload, for external strict-diffing against a live
+/// serve session fed the same trace.
+fn serve_reference(flags: &Flags) -> Result<(), String> {
+    let spec = spec_from_flags(flags)?;
+    let policy = serve_policy(flags)?;
+    let trace = spec.dump_trace().map_err(|e| e.to_string())?;
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut failed = false;
+    fss_sim::run_source_telemetry(
+        Box::new(fss_sim::TraceSource::new(std::sync::Arc::new(trace))),
+        policy,
+        spec.failures.as_ref(),
+        &mut flow_switch::engine::EngineTelemetry::disabled(),
+        |id, release, round| {
+            failed |= writeln!(
+                out,
+                "{}",
+                flow_switch::serve::ServeMsg::dispatch(id, release, round).to_line()
+            )
+            .is_err();
+        },
+    );
+    out.flush().map_err(|e| format!("flush stdout: {e}"))?;
+    if failed {
+        return Err("write reference stream to stdout".into());
+    }
+    Ok(())
+}
+
+/// `serve --replay FILE --connect ADDR`: play a trace file against a
+/// running server, printing every response line to stdout. `--skip N`
+/// skips the first N arrivals (reconnect continuation), `--take N`
+/// sends at most N, `--finish` ends the session cleanly; without it
+/// the client half-closes and drains to the server's Detached marker.
+fn serve_replay(flags: &Flags, path: &str) -> Result<(), String> {
+    let addr = flags.required("connect")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let skip: usize = flags.parsed("skip", 0usize)?;
+    let take: usize = flags.parsed("take", usize::MAX)?;
+    let finish = flags.get("finish").is_some();
+
+    let mut header = None;
+    let mut arrivals = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match flow_switch::serve::parse_ingest(line)
+            .map_err(|e| format!("{path} is not a trace: {e}"))?
+        {
+            flow_switch::serve::IngestLine::Header { .. } if header.is_none() => {
+                header = Some(line.to_string())
+            }
+            flow_switch::serve::IngestLine::Arrival { .. } => arrivals.push(line.to_string()),
+            other => return Err(format!("{path}: unexpected trace line {other:?}")),
+        }
+    }
+
+    let conn = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reader_conn = conn.try_clone().map_err(|e| e.to_string())?;
+    let reader = std::thread::spawn(move || {
+        use std::io::BufRead;
+        let mut reader = std::io::BufReader::new(reader_conn);
+        let mut line = String::new();
+        let mut n = 0u64;
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if line.trim().is_empty() => continue,
+                Ok(_) => {
+                    println!("{}", line.trim());
+                    n += 1;
+                }
+            }
+        }
+        n
+    });
+    {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(&conn);
+        // The header only opens a session; a reconnect continuation
+        // (--skip > 0) must not resend it.
+        if skip == 0 {
+            let header = header.ok_or_else(|| format!("{path}: no {{\"ports\":N}} header"))?;
+            writeln!(w, "{header}").map_err(|e| format!("send header: {e}"))?;
+        }
+        let end = skip.saturating_add(take).min(arrivals.len());
+        for line in &arrivals[skip.min(arrivals.len())..end] {
+            writeln!(w, "{line}").map_err(|e| format!("send arrival: {e}"))?;
+        }
+        if finish {
+            writeln!(w, "{}", flow_switch::serve::ServeMsg::finish().to_line())
+                .map_err(|e| format!("send finish: {e}"))?;
+        }
+        w.flush().map_err(|e| format!("flush: {e}"))?;
+    }
+    if !finish {
+        conn.shutdown(std::net::Shutdown::Write)
+            .map_err(|e| format!("half-close: {e}"))?;
+    }
+    let received = reader.join().map_err(|_| "reader thread panicked")?;
+    eprintln!("replay: {received} response line(s) received");
     Ok(())
 }

@@ -30,7 +30,12 @@
 //!   that shards the experiment registry's cell list across
 //!   `flowsched bench-worker` processes, checkpoints per-cell results
 //!   to `BENCH_cells.jsonl`, and resumes interrupted (paper-scale)
-//!   runs.
+//!   runs;
+//! * [`serve`] — the live serving path (`flowsched serve`): JSONL
+//!   arrival ingest over a socket or stdin, bounded admission control
+//!   with explicit backpressure, a streaming dispatch-decision
+//!   response, a Prometheus `/metrics` endpoint, and the soak harness
+//!   that strict-diffs live schedules against `run_scenario`.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and
 //! `flowsched stream` for driving unbounded streaming workloads.
@@ -44,6 +49,7 @@ pub use fss_matching as matching;
 pub use fss_offline as offline;
 pub use fss_online as online;
 pub use fss_rounding as rounding;
+pub use fss_serve as serve;
 pub use fss_sim as sim;
 pub use fss_telemetry as telemetry;
 

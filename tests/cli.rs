@@ -9,6 +9,25 @@ fn flowsched(args: &[&str]) -> std::process::Output {
         .expect("binary runs")
 }
 
+/// Run the binary with bytes piped to stdin (for `serve` sessions).
+fn flowsched_with_stdin(args: &[&str], input: &[u8]) -> std::process::Output {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_flowsched"))
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input)
+        .expect("stdin accepts the trace");
+    child.wait_with_output().expect("binary runs")
+}
+
 fn tmp(name: &str) -> String {
     let dir = std::env::temp_dir().join("flowsched-cli-tests");
     std::fs::create_dir_all(&dir).unwrap();
@@ -244,11 +263,16 @@ fn bench_progress_telemetry_dump_round_trip() {
     assert!(log.contains("stage=\"match_repair\""), "{log}");
     assert!(log.contains("fss_decision_latency_ns_bucket{"), "{log}");
 
-    // Unknown sub-subcommands and missing telemetry are clean errors.
+    // Unknown sub-subcommands and missing telemetry are clean errors
+    // with the conventional failure exit code, not panics.
     let out = flowsched(&["telemetry", "frobnicate"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown telemetry subcommand"), "{err}");
     let out = flowsched(&["telemetry", "dump", "-i", "/no/such/file.json"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("read /no/such/file.json"), "{err}");
 }
 
 #[test]
@@ -451,8 +475,13 @@ fn bench_diff_flags_regressions_and_bad_input() {
         old.to_str().unwrap(),
         new.to_str().unwrap(),
     ]);
-    assert!(!out.status.success(), "10x slowdown must fail the gate");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "10x slowdown must fail the gate with exit code 1"
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression(s)"));
 
     // A huge tolerance lets it pass.
     let out = flowsched(&[
@@ -469,12 +498,55 @@ fn bench_diff_flags_regressions_and_bad_input() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    // Wrong arity and unreadable files error cleanly.
+    // Wrong arity and unreadable files error cleanly with exit code 1.
     let out = flowsched(&["bench", "--diff", old.to_str().unwrap()]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("exactly two"));
     let out = flowsched(&["bench", "--diff", "nope.json", "also-nope.json"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("read nope.json"));
+
+    // Tolerance validation: out of range, and non-numeric.
+    for (tol, want) in [
+        ("150", "--tolerance must be in [0, 100]"),
+        ("-3", "--tolerance must be in [0, 100]"),
+        ("lots", "bad value for --tolerance"),
+    ] {
+        let out = flowsched(&[
+            "bench",
+            "--diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--tolerance",
+            tol,
+        ]);
+        assert_eq!(out.status.code(), Some(1), "--tolerance {tol}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(want), "--tolerance {tol}: {err}");
+    }
+}
+
+/// A schema-valid artifact whose cells carry no telemetry snapshots
+/// (the bench ran without `--progress`) dumps a clean exit-1 error
+/// telling the user how to get one, not an empty exposition.
+#[test]
+fn telemetry_dump_without_snapshots_is_a_clean_error() {
+    let fingerprint = fss_sim::cell_fingerprint("x/a", &[]);
+    let report = format!(
+        "{{\"schema_version\": {}, \"experiment\": \"x\", \"description\": \"d\", \
+         \"smoke\": true, \"jobs\": 1, \"total_wall_s\": 1.0, \"cells\": [\
+         {{\"cell_id\": \"x/a\", \"fingerprint\": \"{fingerprint}\", \"params\": [], \
+         \"metrics\": [[\"m\", 1.0]], \"wall_s\": 0.5, \"flows\": 1000, \
+         \"engine_mode\": \"engine\"}}]}}",
+        fss_sim::BENCH_SCHEMA_VERSION,
+    );
+    let path = tmp("no-telemetry.json");
+    std::fs::write(&path, report).unwrap();
+    let out = flowsched(&["telemetry", "dump", "-i", &path]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no telemetry"), "{err}");
+    assert!(err.contains("--progress"), "must point at the fix: {err}");
 }
 
 #[test]
@@ -511,4 +583,53 @@ fn stream_scenario_with_failures_requires_policy_mode() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("failures/MinRTime"));
+}
+
+/// `flowsched serve` on stdio, fed the checked-in sample trace, emits a
+/// dispatch stream bit-identical to `serve --reference` on the same
+/// workload; bad serve flags are clean exit-1 errors.
+#[test]
+fn serve_stdio_replay_matches_reference_and_rejects_bad_flags() {
+    let trace = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/sample_trace.jsonl");
+    let spec = tmp("serve-spec.json");
+    std::fs::write(
+        &spec,
+        format!(r#"{{"ports": 0, "arrivals": {{"trace": {{"path": "{trace}"}}}}}}"#),
+    )
+    .unwrap();
+
+    let reference = flowsched(&["serve", "--reference", "--scenario", &spec]);
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let reference = String::from_utf8_lossy(&reference.stdout).into_owned();
+    assert!(reference.contains("\"kind\":\"Dispatch\""), "{reference}");
+
+    // The live session fed the same trace over stdin must produce the
+    // exact same dispatch stream (parity by construction).
+    let trace_bytes = std::fs::read(trace).unwrap();
+    let out = flowsched_with_stdin(&["serve", "--scenario", &spec], &trace_bytes);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let served: String = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"Dispatch\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(served, reference, "live serve must match the reference");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("0 dropped"), "pause mode is lossless: {err}");
+
+    // Bad serve flags fail fast with the conventional exit code.
+    let out = flowsched_with_stdin(&["serve", "--admission", "yolo"], b"");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown admission mode"));
+    let out = flowsched_with_stdin(&["serve", "--queue-cap", "0"], b"");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--queue-cap must be at least 1"));
 }
