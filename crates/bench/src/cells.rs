@@ -77,7 +77,10 @@ pub fn select_experiments(opts: &BenchOptions) -> Result<Vec<Experiment>, String
         ));
     }
     if let Some(path) = &opts.trace {
-        selected.push(crate::experiments::trace_replay::trace_replay(path)?);
+        selected.push(crate::experiments::trace_replay::trace_replay(
+            path,
+            opts.stream_trace,
+        )?);
     }
     Ok(selected)
 }

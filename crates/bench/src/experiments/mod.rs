@@ -7,6 +7,7 @@
 //! number-for-number identical to what those bins printed (asserted by
 //! `tests/registry_differential.rs`).
 
+pub mod coflow_replay;
 pub mod figures;
 pub mod probe;
 pub mod saturation;

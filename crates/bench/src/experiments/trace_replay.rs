@@ -1,11 +1,20 @@
 //! Trace replay: run every policy over an on-disk arrival trace.
 //!
 //! Unlike the static registry entries, this experiment is built at
-//! runtime from a trace file (`flowsched bench --trace FILE`): the trace
-//! is loaded and validated once, shared across cells via [`Arc`], and
-//! each `(policy, trace)` cell streams it through the engine via a
-//! [`fss_sim::ScenarioSpec`]-shaped run — the paper's heuristics on a replayable
-//! workload instead of a seed formula.
+//! runtime from a trace file (`flowsched bench --trace FILE`). Two
+//! replay substrates share the cell shape:
+//!
+//! - **In-memory** (default): the trace is loaded and validated once,
+//!   shared across cells via [`Arc`], and each `(policy, trace)` cell
+//!   replays the shared copy.
+//! - **Streaming** (`--stream`): the file is validated once by a
+//!   streaming scan, and each cell re-reads it through
+//!   [`fss_trace::StreamingTraceSource`] at O(chunk) memory — the path
+//!   that lets traces far larger than RAM through the registry.
+//!
+//! Schedules are bit-identical across substrates (pinned by the sim
+//! crate's differential suite), but the cells carry a `source` param so
+//! artifacts from the two modes never alias under checkpoint/resume.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -22,15 +31,48 @@ const POLICIES: [PolicyKind; 4] = [
     PolicyKind::FifoGreedy,
 ];
 
-/// Build the trace-replay experiment from a trace file. The file is read
-/// and validated here, once; cells only replay the in-memory trace.
-pub fn trace_replay(path: &Path) -> Result<Experiment, String> {
-    let trace =
-        Arc::new(ArrivalTrace::load(path).map_err(|e| format!("trace {}: {e}", path.display()))?);
+/// What one replay cell measured, independent of substrate.
+fn outcome(
+    stats: fss_engine::StreamStats,
+    flows: u64,
+    tele: fss_engine::EngineTelemetry,
+    instrument: bool,
+) -> CellOutcome {
+    CellOutcome {
+        metrics: vec![
+            ("mean_response".into(), stats.mean_response()),
+            ("max_response".into(), stats.max_response as f64),
+            ("makespan".into(), stats.makespan as f64),
+            ("peak_queue".into(), stats.peak_queue as f64),
+        ],
+        flows,
+        engine_mode: "stream",
+        telemetry: instrument.then(|| tele.snapshot()),
+    }
+}
+
+fn telemetry(instrument: bool) -> fss_engine::EngineTelemetry {
+    if instrument {
+        fss_engine::EngineTelemetry::enabled()
+    } else {
+        fss_engine::EngineTelemetry::disabled()
+    }
+}
+
+/// Build the trace-replay experiment from a trace file. The file is
+/// read and validated here, once — in-memory cells replay the shared
+/// trace; streaming cells (`stream = true`) re-read the file at
+/// O(chunk) memory.
+pub fn trace_replay(path: &Path, stream: bool) -> Result<Experiment, String> {
     let name = path
         .file_name()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| path.display().to_string());
+    if stream {
+        return trace_replay_streaming(path, name);
+    }
+    let trace =
+        Arc::new(ArrivalTrace::load(path).map_err(|e| format!("trace {}: {e}", path.display()))?);
     let ports = trace.ports;
     let horizon = trace.horizon();
     let flows = trace.len() as u64;
@@ -49,32 +91,69 @@ pub fn trace_replay(path: &Path) -> Result<Experiment, String> {
                         vec![
                             ("policy", policy.name().to_string()),
                             ("trace", name.clone()),
+                            ("source", "mem".to_string()),
                             ("ports", ports.to_string()),
                             ("horizon", horizon.to_string()),
                         ],
                         move || {
-                            let mut tele = if instrument {
-                                fss_engine::EngineTelemetry::enabled()
-                            } else {
-                                fss_engine::EngineTelemetry::disabled()
-                            };
+                            let mut tele = telemetry(instrument);
                             let stats = fss_engine::run_stream_telemetry(
                                 TraceSource::new(trace.clone()),
                                 fss_engine::EngineMode::Exact(policy.to_engine()),
                                 &mut tele,
                                 |_, _, _| {},
                             );
-                            CellOutcome {
-                                metrics: vec![
-                                    ("mean_response".into(), stats.mean_response()),
-                                    ("max_response".into(), stats.max_response as f64),
-                                    ("makespan".into(), stats.makespan as f64),
-                                    ("peak_queue".into(), stats.peak_queue as f64),
-                                ],
-                                flows,
-                                engine_mode: "stream",
-                                telemetry: instrument.then(|| tele.snapshot()),
+                            outcome(stats, flows, tele, instrument)
+                        },
+                    )
+                })
+                .collect()
+        },
+    ))
+}
+
+/// The streaming substrate: validate once by scan, then let each cell
+/// re-read the file through the chunk-buffered reader.
+fn trace_replay_streaming(path: &Path, name: String) -> Result<Experiment, String> {
+    let summary = fss_trace::scan(path).map_err(|e| format!("trace {}: {e}", path.display()))?;
+    let path = Arc::new(path.to_path_buf());
+    Ok(Experiment::new(
+        "trace_replay",
+        "replay an arrival trace through every policy via the streaming engine",
+        move |scale| {
+            let instrument = scale.telemetry;
+            POLICIES
+                .iter()
+                .map(|&policy| {
+                    let path = path.clone();
+                    let name = name.clone();
+                    CellSpec::new(
+                        format!("trace_replay/{}/{name}", policy.name()),
+                        vec![
+                            ("policy", policy.name().to_string()),
+                            ("trace", name.clone()),
+                            ("source", "stream".to_string()),
+                            ("ports", summary.ports.to_string()),
+                            ("horizon", summary.horizon.to_string()),
+                        ],
+                        move || {
+                            let mut tele = telemetry(instrument);
+                            // The builder's scan already validated the
+                            // file; a mid-replay error here means it
+                            // changed under us — fail loudly.
+                            let source = fss_trace::StreamingTraceSource::open(path.as_ref())
+                                .unwrap_or_else(|e| panic!("reopen trace {}: {e}", path.display()));
+                            let errors = source.error_handle();
+                            let stats = fss_engine::run_stream_telemetry(
+                                source,
+                                fss_engine::EngineMode::Exact(policy.to_engine()),
+                                &mut tele,
+                                |_, _, _| {},
+                            );
+                            if let Some(e) = errors.get() {
+                                panic!("trace {} changed mid-replay: {e}", path.display());
                             }
+                            outcome(stats, summary.flows, tele, instrument)
                         },
                     )
                 })

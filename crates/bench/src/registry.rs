@@ -161,6 +161,7 @@ pub fn registry() -> Vec<Experiment> {
         experiments::tables::table_rounding_ablation(),
         experiments::tables::table_window_ablation(),
         experiments::tables::table_coflow(),
+        experiments::coflow_replay::coflow_replay(),
         experiments::probe::open_problem_probe(),
     ]
 }

@@ -89,6 +89,10 @@ pub struct RunConfig {
     pub trials: Option<u64>,
     /// Arrival-trace path for the `trace_replay` experiment.
     pub trace: Option<String>,
+    /// Replay `trace` through the O(chunk)-memory streaming reader
+    /// (the coordinator's `--stream`). Absent in pre-v3 configs,
+    /// defaulting to the in-memory loader.
+    pub stream_trace: bool,
     /// Record round-loop telemetry while cells execute (the
     /// coordinator's `--progress`): instrumented cells carry a
     /// `telemetry` snapshot in their `Result`.
@@ -126,6 +130,7 @@ impl Deserialize for RunConfig {
             paper: opt_bool(m, "paper")?,
             trials: opt(m, "trials")?,
             trace: opt(m, "trace")?,
+            stream_trace: opt_bool(m, "stream_trace")?,
             progress: opt_bool(m, "progress")?,
             heartbeat_ms: opt(m, "heartbeat_ms")?,
         })
@@ -149,6 +154,7 @@ impl RunConfig {
             paper: opts.paper,
             trials: opts.trials,
             trace,
+            stream_trace: opts.stream_trace,
             progress: opts.progress,
             heartbeat_ms: None,
         })
@@ -169,6 +175,7 @@ impl RunConfig {
             out_dir: std::env::temp_dir(),
             trials: self.trials,
             trace: self.trace.as_ref().map(std::path::PathBuf::from),
+            stream_trace: self.stream_trace,
             progress: self.progress,
         }
     }
@@ -343,6 +350,7 @@ mod tests {
             paper: false,
             trials: Some(2),
             trace: None,
+            stream_trace: false,
             progress: false,
             heartbeat_ms: None,
         }

@@ -208,6 +208,7 @@ mod tests {
             paper: false,
             trials: Some(1),
             trace: None,
+            stream_trace: false,
             progress: false,
             heartbeat_ms: None,
         }

@@ -24,72 +24,15 @@ use std::sync::Arc;
 
 use fss_core::prelude::*;
 use fss_engine::FlowSource;
-use serde::{Deserialize, Serialize};
 
 use crate::scenario::ScenarioError;
 
-/// One trace line (the on-disk form of an [`Arrival`]; ids are implicit
-/// sequence numbers, assigned on load).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct TraceLine {
-    release: u64,
-    src: u32,
-    dst: u32,
-}
-
-/// The trace header: the switch size the arrivals are addressed against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct TraceHeader {
-    ports: usize,
-}
-
-/// One parsed line of the trace wire format — the trace → live event
-/// bridge: the same JSONL lines that make up an on-disk trace can be
-/// streamed to a live consumer (`flowsched serve`) one event at a time,
-/// so a raw trace file *is* a valid ingest stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// The `{"ports":N}` header line.
-    Header {
-        /// Declared switch size (`ports x ports`).
-        ports: usize,
-    },
-    /// One `{"release":R,"src":S,"dst":D}` arrival line (the id is a
-    /// sequence number, assigned by the consumer).
-    Arrival {
-        /// Release round.
-        release: u64,
-        /// Input port.
-        src: u32,
-        /// Output port.
-        dst: u32,
-    },
-}
-
-/// Parse one line of the trace schema into a [`TraceEvent`].
-///
-/// This is the one place the line shapes are recognized:
-/// [`ArrivalTrace::from_jsonl`] and the serve ingest loop both go
-/// through it, so a file that loads as a trace replays identically as
-/// a live stream. Validation (port range, sorted releases) stays with
-/// the consumer, which knows the stream context.
-pub fn parse_trace_event(line: &str) -> Result<TraceEvent, String> {
-    // Arrivals outnumber the single header a million to one: try them
-    // first.
-    if let Ok(rec) = serde_json::from_str::<TraceLine>(line) {
-        return Ok(TraceEvent::Arrival {
-            release: rec.release,
-            src: rec.src,
-            dst: rec.dst,
-        });
-    }
-    match serde_json::from_str::<TraceHeader>(line) {
-        Ok(h) => Ok(TraceEvent::Header { ports: h.ports }),
-        Err(e) => Err(format!(
-            "not a trace event (expected {{\"release\":R,\"src\":S,\"dst\":D}} or {{\"ports\":N}}): {e}"
-        )),
-    }
-}
+// The line grammar lives in `fss-trace` (the streaming subsystem) and
+// is re-exported here so historical consumers (`fss_sim::parse_trace_event`
+// in the serve ingest loop) keep compiling: the in-memory loader below,
+// the streaming reader, and live ingest all recognize the exact same
+// line shapes.
+pub use fss_trace::{parse_trace_event, TraceEvent};
 
 /// A validated, in-memory arrival trace: a square unit-capacity switch
 /// plus arrivals sorted by release round.
@@ -173,16 +116,10 @@ impl ArrivalTrace {
 
     /// Encode as JSON lines (header, then one line per arrival).
     pub fn to_jsonl(&self) -> String {
-        let mut out = serde_json::to_string(&TraceHeader { ports: self.ports })
-            .expect("header is serializable");
+        let mut out = fss_trace::header_line(self.ports);
         out.push('\n');
         for a in &self.arrivals {
-            let line = TraceLine {
-                release: a.release,
-                src: a.src,
-                dst: a.dst,
-            };
-            out.push_str(&serde_json::to_string(&line).expect("line is serializable"));
+            out.push_str(&fss_trace::arrival_line(a.release, a.src, a.dst));
             out.push('\n');
         }
         out

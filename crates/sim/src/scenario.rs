@@ -107,6 +107,26 @@ impl fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
+impl From<fss_trace::TraceFileError> for ScenarioError {
+    /// The streaming reader's errors map variant-for-variant onto the
+    /// trace subset of [`ScenarioError`], so a file rejected by the
+    /// streaming path carries the same diagnosis as the in-memory
+    /// loader.
+    fn from(e: fss_trace::TraceFileError) -> ScenarioError {
+        use fss_trace::TraceFileError as E;
+        match e {
+            E::Io { path, msg } => ScenarioError::Io { path, msg },
+            E::Parse { line, msg } => ScenarioError::Parse { line, msg },
+            E::PortOutOfRange { line, port, ports } => {
+                ScenarioError::PortOutOfRange { line, port, ports }
+            }
+            E::UnsortedRelease { line, prev, next } => {
+                ScenarioError::UnsortedRelease { line, prev, next }
+            }
+        }
+    }
+}
+
 /// The arrival process of a scenario.
 ///
 /// With real serde this would be a `#[derive(Serialize, Deserialize)]`
@@ -125,6 +145,12 @@ pub enum ArrivalSpec {
     Trace {
         /// Path to the JSONL trace file.
         path: String,
+        /// Replay through the chunk-buffered streaming reader
+        /// (`fss_trace::StreamingTraceSource`) instead of loading the
+        /// whole file: O(chunk) memory, so traces far larger than RAM
+        /// replay. Schedules are bit-identical either way (pinned by
+        /// the differential suite). Default `false`.
+        streaming: bool,
     },
 }
 
@@ -135,10 +161,14 @@ impl Serialize for ArrivalSpec {
                 "poisson",
                 Content::Map(vec![("rate".to_string(), rate.to_content())]),
             ),
-            ArrivalSpec::Trace { path } => (
-                "trace",
-                Content::Map(vec![("path".to_string(), path.to_content())]),
-            ),
+            ArrivalSpec::Trace { path, streaming } => {
+                let mut fields = vec![("path".to_string(), path.to_content())];
+                // Omitted when false: old spec files round-trip untouched.
+                if *streaming {
+                    fields.push(("streaming".to_string(), streaming.to_content()));
+                }
+                ("trace", Content::Map(fields))
+            }
         };
         Content::Map(vec![(tag.to_string(), body)])
     }
@@ -169,6 +199,10 @@ impl Deserialize for ArrivalSpec {
                 };
                 Ok(ArrivalSpec::Trace {
                     path: serde::field(fields, "path")?,
+                    streaming: match fields.iter().find(|(k, _)| k == "streaming") {
+                        None => false,
+                        Some((_, v)) => bool::from_content(v)?,
+                    },
                 })
             }
             other => Err(DeError::msg(format!(
@@ -255,10 +289,22 @@ impl ScenarioSpec {
         ScenarioSpec {
             ports: 0,
             horizon: None,
-            arrivals: ArrivalSpec::Trace { path: path.into() },
+            arrivals: ArrivalSpec::Trace {
+                path: path.into(),
+                streaming: false,
+            },
             failures: None,
             seed: 0,
         }
+    }
+
+    /// For trace arrivals, choose between the in-memory loader and the
+    /// O(chunk)-memory streaming reader (no-op for synthetic arrivals).
+    pub fn with_streaming(mut self, on: bool) -> ScenarioSpec {
+        if let ArrivalSpec::Trace { streaming, .. } = &mut self.arrivals {
+            *streaming = on;
+        }
+        self
     }
 
     /// Attach a failure plan.
@@ -282,7 +328,7 @@ impl ScenarioSpec {
                     )));
                 }
             }
-            ArrivalSpec::Trace { path } => {
+            ArrivalSpec::Trace { path, .. } => {
                 if path.is_empty() {
                     return Err(ScenarioError::BadSpec("empty trace path".into()));
                 }
@@ -323,7 +369,10 @@ impl ScenarioSpec {
                 self.horizon,
                 self.seed,
             ))),
-            ArrivalSpec::Trace { path } => {
+            ArrivalSpec::Trace {
+                path,
+                streaming: false,
+            } => {
                 let trace = Arc::new(ArrivalTrace::load(path)?);
                 if self.ports != 0 && self.ports != trace.ports {
                     return Err(ScenarioError::BadSpec(format!(
@@ -332,6 +381,24 @@ impl ScenarioSpec {
                     )));
                 }
                 Ok(Box::new(TraceSource::with_horizon(trace, self.horizon)))
+            }
+            ArrivalSpec::Trace {
+                path,
+                streaming: true,
+            } => {
+                // Full streaming validation up front (O(chunk) memory,
+                // one extra pass), so a bad file fails here with the
+                // same error the in-memory loader would report — not
+                // silently mid-run.
+                let source = fss_trace::StreamingTraceSource::open_validated(path)?;
+                if self.ports != 0 && self.ports != source.ports() {
+                    return Err(ScenarioError::BadSpec(format!(
+                        "spec declares {} ports but trace {path} declares {}",
+                        self.ports,
+                        source.ports()
+                    )));
+                }
+                Ok(Box::new(source.with_horizon(self.horizon)))
             }
         }
     }
@@ -626,6 +693,72 @@ mod tests {
         let a = run_scenario(&replay, PolicyKind::MinRTime).unwrap();
         let b = run_scenario(&spec, PolicyKind::MinRTime).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_knob_round_trips_and_replays_identically() {
+        let dir = std::env::temp_dir().join("fss-scenario-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream-knob.jsonl");
+        ScenarioSpec::poisson(6, 4.0, 25, 17)
+            .dump_trace()
+            .unwrap()
+            .save(&path)
+            .unwrap();
+
+        let in_mem = ScenarioSpec::trace(path.to_string_lossy());
+        let streamed = in_mem.clone().with_streaming(true);
+        // `streaming: true` survives JSON; `false` is omitted so old
+        // spec files round-trip byte-for-byte.
+        assert_eq!(
+            ScenarioSpec::from_json(&streamed.to_json()).unwrap(),
+            streamed
+        );
+        assert!(!in_mem.to_json().contains("streaming"));
+        assert!(streamed.to_json().contains("\"streaming\""));
+
+        for policy in [
+            PolicyKind::MaxCard,
+            PolicyKind::MinRTime,
+            PolicyKind::MaxWeight,
+            PolicyKind::FifoGreedy,
+        ] {
+            assert_eq!(
+                run_scenario(&streamed, policy).unwrap(),
+                run_scenario(&in_mem, policy).unwrap(),
+                "{}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_source_reports_load_style_errors() {
+        let dir = std::env::temp_dir().join("fss-scenario-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streaming-bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"ports\":2}\n{\"release\":0,\"src\":0,\"dst\":1}\n{\"release\":1,\"src\":5,\"dst\":0}\n",
+        )
+        .unwrap();
+        let spec = ScenarioSpec::trace(path.to_string_lossy()).with_streaming(true);
+        assert_eq!(
+            spec.source().err(),
+            Some(ScenarioError::PortOutOfRange {
+                line: 3,
+                port: 5,
+                ports: 2
+            }),
+            "streaming validation matches the in-memory loader's diagnosis"
+        );
+        // Port mismatch against the spec is caught before any replay.
+        std::fs::write(&path, "{\"ports\":2}\n").unwrap();
+        let spec = ScenarioSpec {
+            ports: 4,
+            ..ScenarioSpec::trace(path.to_string_lossy()).with_streaming(true)
+        };
+        assert!(matches!(spec.source(), Err(ScenarioError::BadSpec(_))));
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! Chunk-buffered streaming replay of arrival-trace files.
+//!
+//! [`StreamingTraceSource`] is a [`FlowSource`] over an on-disk JSONL
+//! arrival trace that never materializes the file: it holds one
+//! fixed-size chunk of parsed arrivals plus one line buffer, so a
+//! 10⁸-flow trace replays at the same peak memory as a 10³-flow one.
+//! Validation — header shape, port range, the sorted-release
+//! [`FlowSource`] contract, 1-based line numbers — is performed
+//! incrementally as chunks are refilled, carrying the running state
+//! (previous release, line count) across chunk boundaries, so a
+//! malformed file is rejected with the *same* diagnosis as the
+//! in-memory loader (`fss_sim::ArrivalTrace::from_jsonl`).
+//!
+//! [`FlowSource::next_arrival`] cannot return an error, so a mid-stream
+//! validation failure ends the stream and parks the error in a shared
+//! [`TraceErrorHandle`] the caller keeps after boxing the source —
+//! execution paths check it after the run and fail loudly instead of
+//! silently truncating. Paths that want load-time errors (the scenario
+//! layer, `bench --trace --stream`) use [`StreamingTraceSource::open_validated`]
+//! or [`scan`], which stream the whole file through the same validator
+//! first, still at O(chunk) memory.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use fss_core::prelude::*;
+use fss_engine::FlowSource;
+
+use crate::line::{parse_trace_event, TraceEvent, TraceFileError};
+
+/// Arrivals buffered per refill. Each entry is one [`Arrival`] (24
+/// bytes), so the default chunk costs ~200 KiB — invisible next to the
+/// engine's own queue state, large enough to amortize the per-chunk
+/// bookkeeping.
+pub const DEFAULT_CHUNK: usize = 8192;
+
+/// What a full validation pass learned about a trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Switch size declared by the header.
+    pub ports: usize,
+    /// Total arrivals.
+    pub flows: u64,
+    /// One past the last release round (0 for an arrival-free trace).
+    pub horizon: u64,
+}
+
+/// Shared slot a [`StreamingTraceSource`] parks a mid-stream validation
+/// error in. Clone it before boxing the source into an engine run, and
+/// check it afterwards: `None` means the stream ended cleanly.
+#[derive(Debug, Clone, Default)]
+pub struct TraceErrorHandle(Arc<Mutex<Option<TraceFileError>>>);
+
+impl TraceErrorHandle {
+    /// The recorded error, if the stream failed validation mid-replay.
+    pub fn get(&self) -> Option<TraceFileError> {
+        self.0.lock().expect("trace error slot").clone()
+    }
+
+    fn set(&self, err: TraceFileError) {
+        let mut slot = self.0.lock().expect("trace error slot");
+        // First error wins: it names the first offending line.
+        slot.get_or_insert(err);
+    }
+}
+
+/// A [`FlowSource`] that replays a JSONL arrival trace from any
+/// buffered reader at O(chunk) memory. Use the [`StreamingTraceSource`]
+/// alias for the common file-backed case.
+pub struct StreamingTraceReader<R: BufRead> {
+    reader: R,
+    label: String,
+    ports: usize,
+    /// 1-based number of the last line consumed from the reader.
+    line_no: usize,
+    prev_release: u64,
+    next_id: u64,
+    horizon: Option<u64>,
+    len_hint: Option<usize>,
+    chunk: VecDeque<Arrival>,
+    chunk_cap: usize,
+    line_buf: String,
+    done: bool,
+    error: TraceErrorHandle,
+}
+
+impl<R: BufRead> std::fmt::Debug for StreamingTraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingTraceReader")
+            .field("label", &self.label)
+            .field("ports", &self.ports)
+            .field("line_no", &self.line_no)
+            .field("buffered", &self.chunk.len())
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The file-backed streaming trace source.
+pub type StreamingTraceSource = StreamingTraceReader<BufReader<File>>;
+
+impl StreamingTraceSource {
+    /// Open a trace file and validate its header (O(1) work). The body
+    /// is validated incrementally during replay; see
+    /// [`StreamingTraceSource::open_validated`] for load-time errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<StreamingTraceSource, TraceFileError> {
+        let path = path.as_ref();
+        let label = path.display().to_string();
+        let file = File::open(path).map_err(|e| TraceFileError::io(&label, e))?;
+        StreamingTraceReader::from_reader(BufReader::with_capacity(1 << 18, file), label)
+    }
+
+    /// Open a trace file *after* streaming a full validation pass over
+    /// it ([`scan`]): any malformed line is reported now, exactly like
+    /// the in-memory loader, and the replay gets a length hint so the
+    /// engine can preallocate. Peak memory stays O(chunk); the file is
+    /// read twice.
+    pub fn open_validated(path: impl AsRef<Path>) -> Result<StreamingTraceSource, TraceFileError> {
+        let path = path.as_ref();
+        let summary = scan(path)?;
+        let mut source = StreamingTraceSource::open(path)?;
+        source.len_hint = Some(summary.flows as usize);
+        Ok(source)
+    }
+}
+
+impl<R: BufRead> StreamingTraceReader<R> {
+    /// Wrap any buffered reader positioned at the start of a trace
+    /// (header line first). `label` names the stream in errors.
+    pub fn from_reader(
+        reader: R,
+        label: impl Into<String>,
+    ) -> Result<StreamingTraceReader<R>, TraceFileError> {
+        let mut s = StreamingTraceReader {
+            reader,
+            label: label.into(),
+            ports: 0,
+            line_no: 0,
+            prev_release: 0,
+            next_id: 0,
+            horizon: None,
+            len_hint: None,
+            chunk: VecDeque::new(),
+            chunk_cap: DEFAULT_CHUNK,
+            line_buf: String::new(),
+            done: false,
+            error: TraceErrorHandle::default(),
+        };
+        s.read_header()?;
+        Ok(s)
+    }
+
+    /// Replay only arrivals with `release < horizon` (`None` = all).
+    /// Clears the length hint: counting under a horizon would cost a
+    /// scan.
+    pub fn with_horizon(mut self, horizon: Option<u64>) -> Self {
+        self.horizon = horizon;
+        if horizon.is_some() {
+            self.len_hint = None;
+        }
+        self
+    }
+
+    /// Override the chunk size (arrivals buffered per refill).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk_cap = chunk.max(1);
+        self
+    }
+
+    /// Switch size declared by the header.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The shared error slot. Clone it before handing the source to an
+    /// engine run, and check it afterwards: a mid-stream validation
+    /// failure ends the stream early and records itself here.
+    pub fn error_handle(&self) -> TraceErrorHandle {
+        self.error.clone()
+    }
+
+    /// Read one raw line; `Ok(false)` at EOF. Tracks line numbers.
+    fn next_line(&mut self) -> Result<bool, TraceFileError> {
+        self.line_buf.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.line_buf)
+            .map_err(|e| TraceFileError::io(&self.label, e))?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.line_no += 1;
+        Ok(true)
+    }
+
+    /// Consume lines until the header, mirroring the in-memory loader's
+    /// diagnostics (blank lines skipped, errors cite the real line).
+    fn read_header(&mut self) -> Result<(), TraceFileError> {
+        loop {
+            if !self.next_line()? {
+                return Err(TraceFileError::Parse {
+                    line: 1,
+                    msg: "empty trace file (expected a {\"ports\":N} header)".into(),
+                });
+            }
+            if self.line_buf.trim().is_empty() {
+                continue;
+            }
+            let line = self.line_no;
+            return match parse_trace_event(self.line_buf.trim_end_matches(['\n', '\r'])) {
+                Ok(TraceEvent::Header { ports: 0 }) => Err(TraceFileError::Parse {
+                    line,
+                    msg: "header declares zero ports".into(),
+                }),
+                Ok(TraceEvent::Header { ports }) => {
+                    self.ports = ports;
+                    Ok(())
+                }
+                Ok(TraceEvent::Arrival { .. }) => Err(TraceFileError::Parse {
+                    line,
+                    msg: "expected a {\"ports\":N} header before arrivals".into(),
+                }),
+                Err(e) => Err(TraceFileError::Parse {
+                    line,
+                    msg: format!("bad header: {e}"),
+                }),
+            };
+        }
+    }
+
+    /// Parse and validate lines until the chunk is full or the stream
+    /// ends. The validation state (previous release, line numbers, next
+    /// id) lives on `self`, so it carries across chunk boundaries.
+    fn refill(&mut self) {
+        while self.chunk.len() < self.chunk_cap && !self.done {
+            match self.next_line() {
+                Err(e) => {
+                    self.error.set(e);
+                    self.done = true;
+                    return;
+                }
+                Ok(false) => {
+                    self.done = true;
+                    return;
+                }
+                Ok(true) => {}
+            }
+            if self.line_buf.trim().is_empty() {
+                continue;
+            }
+            let line = self.line_no;
+            match parse_trace_event(self.line_buf.trim_end_matches(['\n', '\r'])) {
+                Ok(TraceEvent::Arrival { release, src, dst }) => {
+                    if src as usize >= self.ports || dst as usize >= self.ports {
+                        self.error.set(TraceFileError::PortOutOfRange {
+                            line,
+                            port: src.max(dst),
+                            ports: self.ports,
+                        });
+                        self.done = true;
+                        return;
+                    }
+                    if release < self.prev_release {
+                        self.error.set(TraceFileError::UnsortedRelease {
+                            line,
+                            prev: self.prev_release,
+                            next: release,
+                        });
+                        self.done = true;
+                        return;
+                    }
+                    self.prev_release = release;
+                    if let Some(h) = self.horizon {
+                        if release >= h {
+                            // Sorted releases: nothing later can pass.
+                            self.done = true;
+                            return;
+                        }
+                    }
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.chunk.push_back(Arrival {
+                        id,
+                        src,
+                        dst,
+                        release,
+                    });
+                }
+                Ok(TraceEvent::Header { .. }) => {
+                    self.error.set(TraceFileError::Parse {
+                        line,
+                        msg: "unexpected second header".into(),
+                    });
+                    self.done = true;
+                    return;
+                }
+                Err(msg) => {
+                    self.error.set(TraceFileError::Parse { line, msg });
+                    self.done = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl<R: BufRead> FlowSource for StreamingTraceReader<R> {
+    fn m_in(&self) -> usize {
+        self.ports
+    }
+
+    fn m_out(&self) -> usize {
+        self.ports
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.chunk.is_empty() && !self.done {
+            self.refill();
+        }
+        self.chunk.pop_front()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.len_hint
+    }
+}
+
+/// Stream a full validation pass over a trace file at O(chunk) memory:
+/// every line is parsed and checked exactly as replay would, and the
+/// first violation is returned as the same error the in-memory loader
+/// reports. On success, returns the file's [`TraceSummary`].
+pub fn scan(path: impl AsRef<Path>) -> Result<TraceSummary, TraceFileError> {
+    scan_with(path, |_| {})
+}
+
+/// [`scan`] with a per-arrival callback (in file order) — the one-pass
+/// backbone behind `trace stats` and the converter's self-checks.
+pub fn scan_with(
+    path: impl AsRef<Path>,
+    mut on_arrival: impl FnMut(&Arrival),
+) -> Result<TraceSummary, TraceFileError> {
+    let mut source = StreamingTraceSource::open(path)?;
+    let mut flows = 0u64;
+    let mut horizon = 0u64;
+    while let Some(a) = source.next_arrival() {
+        flows += 1;
+        horizon = a.release + 1;
+        on_arrival(&a);
+    }
+    if let Some(err) = source.error_handle().get() {
+        return Err(err);
+    }
+    Ok(TraceSummary {
+        ports: source.ports(),
+        flows,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(text: &str) -> StreamingTraceReader<Cursor<&[u8]>> {
+        StreamingTraceReader::from_reader(Cursor::new(text.as_bytes()), "<test>").unwrap()
+    }
+
+    fn try_reader(text: &str) -> Result<StreamingTraceReader<Cursor<&[u8]>>, TraceFileError> {
+        StreamingTraceReader::from_reader(Cursor::new(text.as_bytes()), "<test>")
+    }
+
+    fn drain<R: BufRead>(mut s: StreamingTraceReader<R>) -> (Vec<Arrival>, Option<TraceFileError>) {
+        let mut out = Vec::new();
+        while let Some(a) = s.next_arrival() {
+            out.push(a);
+        }
+        (out, s.error_handle().get())
+    }
+
+    #[test]
+    fn replays_in_order_with_sequence_ids() {
+        let s = reader("{\"ports\":4}\n{\"release\":0,\"src\":0,\"dst\":1}\n{\"release\":2,\"src\":3,\"dst\":2}\n");
+        assert_eq!(s.ports(), 4);
+        let (all, err) = drain(s);
+        assert_eq!(err, None);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].id, 0);
+        assert_eq!(all[1].id, 1);
+        assert_eq!(all[1].release, 2);
+    }
+
+    #[test]
+    fn blank_lines_and_missing_trailing_newline_are_tolerated() {
+        let s = reader("\n{\"ports\":2}\n\n{\"release\":0,\"src\":0,\"dst\":1}\n\n{\"release\":1,\"src\":1,\"dst\":0}");
+        let (all, err) = drain(s);
+        assert_eq!(err, None);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_break_validation_state() {
+        // A 1-arrival chunk forces a refill per line; the sorted-release
+        // check must still see across the boundary.
+        let text = "{\"ports\":2}\n{\"release\":4,\"src\":0,\"dst\":1}\n{\"release\":3,\"src\":1,\"dst\":0}\n";
+        let s = reader(text).with_chunk(1);
+        let (all, err) = drain(s);
+        assert_eq!(all.len(), 1, "valid prefix replays");
+        assert_eq!(
+            err,
+            Some(TraceFileError::UnsortedRelease {
+                line: 3,
+                prev: 4,
+                next: 3
+            })
+        );
+    }
+
+    #[test]
+    fn header_diagnostics_match_the_in_memory_loader() {
+        assert_eq!(
+            try_reader("").unwrap_err(),
+            TraceFileError::Parse {
+                line: 1,
+                msg: "empty trace file (expected a {\"ports\":N} header)".into()
+            }
+        );
+        assert!(matches!(
+            try_reader("{\"release\":0,\"src\":0,\"dst\":0}\n").unwrap_err(),
+            TraceFileError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            try_reader("{\"ports\":0}\n").unwrap_err(),
+            TraceFileError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            try_reader("\n\nnot a header\n").unwrap_err(),
+            TraceFileError::Parse { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn body_violations_carry_line_numbers() {
+        let s = reader("{\"ports\":2}\n{\"release\":0,\"src\":0,\"dst\":1}\n{\"release\":1,\"src\":2,\"dst\":0}\n");
+        let (_, err) = drain(s);
+        assert_eq!(
+            err,
+            Some(TraceFileError::PortOutOfRange {
+                line: 3,
+                port: 2,
+                ports: 2
+            })
+        );
+
+        let s = reader("{\"ports\":2}\n{\"release\":0,\"src\":0,\"dst\":1}\nnot json\n");
+        let (_, err) = drain(s);
+        assert!(matches!(err, Some(TraceFileError::Parse { line: 3, .. })));
+
+        let s = reader("{\"ports\":2}\n{\"release\":0,\"src\":0,\"dst\":1}\n{\"ports\":2}\n");
+        let (_, err) = drain(s);
+        assert!(matches!(err, Some(TraceFileError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn horizon_truncates_and_stops_reading() {
+        let text = "{\"ports\":3}\n{\"release\":0,\"src\":0,\"dst\":1}\n{\"release\":2,\"src\":1,\"dst\":2}\n{\"release\":7,\"src\":2,\"dst\":0}\n";
+        let s = reader(text).with_horizon(Some(3));
+        let (all, err) = drain(s);
+        assert_eq!(err, None);
+        assert_eq!(all.len(), 2, "horizon drops the release-7 arrival");
+        assert!(reader(text).with_horizon(Some(3)).len_hint().is_none());
+    }
+
+    #[test]
+    fn scan_summarizes_files() {
+        let dir = std::env::temp_dir().join("fss-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.jsonl");
+        std::fs::write(
+            &path,
+            "{\"ports\":5}\n{\"release\":1,\"src\":0,\"dst\":4}\n{\"release\":6,\"src\":2,\"dst\":3}\n",
+        )
+        .unwrap();
+        let summary = scan(&path).unwrap();
+        assert_eq!(
+            summary,
+            TraceSummary {
+                ports: 5,
+                flows: 2,
+                horizon: 7
+            }
+        );
+        let validated = StreamingTraceSource::open_validated(&path).unwrap();
+        assert_eq!(validated.len_hint(), Some(2));
+
+        std::fs::write(&path, "{\"ports\":5}\nbroken\n").unwrap();
+        assert!(matches!(
+            scan(&path),
+            Err(TraceFileError::Parse { line: 2, .. })
+        ));
+        assert!(StreamingTraceSource::open_validated(&path).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            StreamingTraceSource::open("/no/such/trace.jsonl"),
+            Err(TraceFileError::Io { .. })
+        ));
+    }
+}

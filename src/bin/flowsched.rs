@@ -12,8 +12,13 @@
 //! flowsched stream   --m 150 --rate 600 --rounds 100 --mode incremental
 //! flowsched stream   --scenario spec.json --mode maxcard --metrics
 //! flowsched trace    --m 8 --rate 6 --rounds 12 --seed 7 -o trace.jsonl
+//! flowsched trace    gen --m 64 --rate 48 --rounds 100000 -o giant.jsonl
+//! flowsched trace    convert examples/sample_coflow.csv --ports 32 -o coflow.jsonl
+//! flowsched trace    morph coflow.jsonl --scale-rate 2.0 --skew zipf:1.2 -o hot.jsonl
+//! flowsched trace    stats hot.jsonl
 //! flowsched bench    --smoke --filter fig6 --jobs 4 --out target/experiments
 //! flowsched bench    --trace examples/sample_trace.jsonl
+//! flowsched bench    --trace giant.jsonl --stream
 //! flowsched bench    --smoke --progress
 //! flowsched bench    --diff OLD.json NEW.json --tolerance 30
 //! flowsched telemetry dump -i target/experiments/BENCH_fig6.json
@@ -61,7 +66,12 @@ const USAGE: &str = "usage:
   flowsched stream   [--m M] [--rate R] [--rounds T] [--seed S] [--scenario SPEC.json]
                      [--mode incremental|maxcard|minrtime|maxweight|fifo] [--metrics]
   flowsched trace    (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S]) -o FILE
-  flowsched bench    [--filter ID] [--trace FILE.jsonl] [--smoke|--paper]
+  flowsched trace    gen [--m M] [--rate R] [--rounds T] [--seed S] -o FILE.jsonl
+  flowsched trace    convert CSV [--ports N] [--quantum-bytes B] [--ms-per-round MS] -o FILE.jsonl
+  flowsched trace    morph IN.jsonl [--scale-rate F] [--dilate F] [--skew zipf:THETA[:SEED]]
+                     [--fold M] [--window FROM:TO] [--truncate N] -o OUT.jsonl
+  flowsched trace    stats FILE.jsonl
+  flowsched bench    [--filter ID] [--trace FILE.jsonl [--stream]] [--smoke|--paper]
                      [--jobs N] [--out DIR] [--trials N] [--list]
                      [--workers N] [--resume] [--progress]
   flowsched bench    --diff OLD.json NEW.json [--tolerance PCT] [--strict-metrics]
@@ -82,7 +92,17 @@ switch for T rounds) or, with --scenario, any ScenarioSpec JSON file
 
 trace freezes a workload into an arrival-trace JSONL file for exact
 replay: either the given scenario file or a Poisson workload described
-by --m/--rate/--rounds/--seed.
+by --m/--rate/--rounds/--seed. The trace sub-subcommands are streaming
+tools (one reader->writer pass, O(1) memory in the trace length, so
+they compose on traces far larger than RAM): `trace gen` streams a
+seeded Poisson workload straight to disk; `trace convert` turns a
+coflow CSV (coflow_id,release_ms,mappers,reducers,bytes with
+`|`-separated port lists) into an arrival trace by folding ports onto
+an N-port switch and quantizing bytes into unit flows; `trace morph`
+rewrites a trace through transforms applied in flag order (time
+compression/dilation, seeded zipf port skew, port folding, round
+windows, truncation); `trace stats` prints a one-pass summary (flows,
+horizon, per-round burstiness, hotspot ports).
 
 bench runs the experiment registry through the parallel orchestrator:
 cells execute on a work-stealing thread pool (--jobs caps the workers),
@@ -90,7 +110,9 @@ per-cell results stream to <out>/BENCH_cells.jsonl, and each experiment
 writes an aggregated BENCH_<id>.json artifact. --filter selects by exact
 id or substring; --trace FILE replays an arrival trace through every
 policy as the trace_replay experiment (alone unless --filter is also
-given); --smoke uses CI-sized grids and --paper the paper-exact grids
+given; with --stream the cells replay the file through the chunked
+streaming source at O(1) memory instead of loading it, so giant traces
+fit); --smoke uses CI-sized grids and --paper the paper-exact grids
 and trial counts; --list prints the registry with per-tier cell counts
 (for shard planning) and exits. --diff compares two BENCH artifacts of
 the same experiment and exits nonzero when a cell vanished or slowed
@@ -147,6 +169,15 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "telemetry" {
         return telemetry_cmd(&args[1..]);
     }
+    // `trace convert|morph|gen|stats ...` likewise take positionals;
+    // the legacy scenario dump (`trace --m ... -o FILE`) still routes
+    // through the flag parser below.
+    if cmd == "trace" {
+        if let Some(sub @ ("convert" | "morph" | "gen" | "stats")) = args.get(1).map(String::as_str)
+        {
+            return trace_sub(sub, &args[2..]);
+        }
+    }
     let opts = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "gen" => gen(&opts),
@@ -189,7 +220,7 @@ impl Flags {
 }
 
 /// Flags that take no value (present = "true").
-const BOOL_FLAGS: [&str; 9] = [
+const BOOL_FLAGS: [&str; 10] = [
     "smoke",
     "paper",
     "list",
@@ -199,6 +230,7 @@ const BOOL_FLAGS: [&str; 9] = [
     "soak",
     "reference",
     "finish",
+    "stream",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -439,7 +471,11 @@ fn bench(flags: &Flags) -> Result<(), String> {
         },
         trace: flags.get("trace").map(std::path::PathBuf::from),
         progress: flags.get("progress").is_some(),
+        stream_trace: flags.get("stream").is_some(),
     };
+    if opts.stream_trace && opts.trace.is_none() {
+        return Err("--stream only applies to --trace replays".into());
+    }
     let workers: usize = flags.parsed("workers", 0usize)?;
     let resume = flags.get("resume").is_some();
     let started = std::time::Instant::now();
@@ -550,6 +586,165 @@ fn trace(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Dispatch the `trace` sub-subcommands backed by `fss-trace`'s
+/// streaming tools — all of them single reader→writer passes, so they
+/// work on traces far larger than RAM.
+fn trace_sub(sub: &str, args: &[String]) -> Result<(), String> {
+    match sub {
+        "convert" => trace_convert(args),
+        "morph" => trace_morph(args),
+        "gen" => trace_gen(args),
+        "stats" => trace_stats(args),
+        other => Err(format!("unknown trace subcommand '{other}'")),
+    }
+}
+
+/// Split one leading positional path off `args`.
+fn positional<'a>(args: &'a [String], what: &str) -> Result<(&'a str, &'a [String]), String> {
+    match args.first() {
+        Some(p) if !p.starts_with('-') => Ok((p.as_str(), &args[1..])),
+        _ => Err(format!("missing {what}")),
+    }
+}
+
+fn trace_summary_line(out: &str, s: &fss_trace::TraceSummary) {
+    eprintln!(
+        "wrote {out}: {} arrivals on a {}x{} switch over {} rounds",
+        s.flows, s.ports, s.ports, s.horizon
+    );
+}
+
+/// Cite `path` in a trace error — except I/O errors, which carry their
+/// own path (the morph/convert output file may be the one that failed).
+fn trace_err(path: &str, e: fss_trace::TraceFileError) -> String {
+    match e {
+        e @ fss_trace::TraceFileError::Io { .. } => e.to_string(),
+        e => format!("{path}: {e}"),
+    }
+}
+
+/// `trace convert CSV -o FILE.jsonl [--ports N] [--quantum-bytes B]
+/// [--ms-per-round MS]`: coflow CSV → arrival-trace JSONL.
+fn trace_convert(args: &[String]) -> Result<(), String> {
+    let (csv, rest) = positional(args, "CSV path (trace convert FILE.csv -o FILE.jsonl)")?;
+    let flags = parse_flags(rest)?;
+    let out = flags.required("o")?;
+    let d = fss_trace::ConvertOptions::default();
+    let opts = fss_trace::ConvertOptions {
+        ports: flags.parsed("ports", d.ports)?,
+        quantum_bytes: flags.parsed("quantum-bytes", d.quantum_bytes)?,
+        ms_per_round: flags.parsed("ms-per-round", d.ms_per_round)?,
+    };
+    let s = fss_trace::convert_file(csv, out, opts).map_err(|e| trace_err(csv, e))?;
+    trace_summary_line(out, &s);
+    Ok(())
+}
+
+/// `trace morph IN.jsonl -o OUT.jsonl --<transform> ...`: apply the
+/// transforms **in flag order** (`--fold 32 --skew zipf:1.2` skews over
+/// the folded port range; the reverse order, over the original).
+fn trace_morph(args: &[String]) -> Result<(), String> {
+    let (input, rest) = positional(args, "trace path (trace morph IN.jsonl -o OUT.jsonl ...)")?;
+    let flags = parse_flags(rest)?;
+    let out = flags.required("o")?;
+    let specs = morph_specs(&flags)?;
+    if specs.is_empty() {
+        return Err("trace morph needs at least one transform \
+             (--scale-rate, --dilate, --skew, --fold, --window, --truncate)"
+            .into());
+    }
+    let s = fss_trace::morph_file(input, out, &specs).map_err(|e| trace_err(input, e))?;
+    trace_summary_line(out, &s);
+    Ok(())
+}
+
+/// Parse the morph transforms out of the flag list, preserving order.
+fn morph_specs(flags: &Flags) -> Result<Vec<fss_trace::MorphSpec>, String> {
+    use fss_trace::MorphSpec;
+    let mut specs = Vec::new();
+    for (key, val) in &flags.0 {
+        let bad = || format!("bad value for --{key}: {val}");
+        let spec = match key.as_str() {
+            "o" => continue,
+            "scale-rate" => MorphSpec::ScaleRate(val.parse().map_err(|_| bad())?),
+            "dilate" => MorphSpec::Dilate(val.parse().map_err(|_| bad())?),
+            "fold" => MorphSpec::Fold(val.parse().map_err(|_| bad())?),
+            "truncate" => MorphSpec::Truncate(val.parse().map_err(|_| bad())?),
+            "skew" => {
+                let spec = val
+                    .strip_prefix("zipf:")
+                    .ok_or_else(|| format!("--skew takes zipf:THETA[:SEED], got '{val}'"))?;
+                let (theta, seed) = match spec.split_once(':') {
+                    None => (spec.parse().map_err(|_| bad())?, 42),
+                    Some((t, s)) => (t.parse().map_err(|_| bad())?, s.parse().map_err(|_| bad())?),
+                };
+                MorphSpec::Skew { theta, seed }
+            }
+            "window" => {
+                let (from, to) = val
+                    .split_once(':')
+                    .ok_or_else(|| format!("--window takes FROM:TO (rounds), got '{val}'"))?;
+                MorphSpec::Window {
+                    from: from.parse().map_err(|_| bad())?,
+                    to: to.parse().map_err(|_| bad())?,
+                }
+            }
+            other => return Err(format!("unknown trace morph flag --{other}")),
+        };
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// `trace gen -o FILE [--m M] [--rate R] [--rounds T] [--seed S]`:
+/// stream a seeded Poisson workload straight to disk (no in-memory
+/// trace, so paper-scale and larger files are fine).
+fn trace_gen(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let out = flags.required("o")?;
+    let m: usize = flags.parsed("m", 150)?;
+    let rate: f64 = flags.parsed("rate", m as f64)?;
+    let rounds: u64 = flags.parsed("rounds", 100)?;
+    let seed: u64 = flags.parsed("seed", 42)?;
+    let s =
+        fss_trace::write_poisson_trace(out, m, rate, rounds, seed).map_err(|e| e.to_string())?;
+    trace_summary_line(out, &s);
+    Ok(())
+}
+
+/// `trace stats FILE.jsonl`: one streaming pass, O(ports) memory.
+fn trace_stats(args: &[String]) -> Result<(), String> {
+    let (path, rest) = positional(args, "trace path (trace stats FILE.jsonl)")?;
+    if let Some(extra) = rest.first() {
+        return Err(format!(
+            "trace stats takes exactly one trace path (unexpected '{extra}')"
+        ));
+    }
+    let st = fss_trace::scan_stats(path).map_err(|e| trace_err(path, e))?;
+    let s = &st.summary;
+    println!("trace            : {path}");
+    println!("switch           : {}x{}", s.ports, s.ports);
+    println!("flows            : {}", s.flows);
+    println!("horizon          : {} rounds", s.horizon);
+    println!("active rounds    : {}", st.active_rounds);
+    println!("mean rate        : {:.3} arrivals/round", st.mean_rate());
+    println!(
+        "round burst      : p50 {} / p90 {} / p99 {} / max {}",
+        st.per_round.p50(),
+        st.per_round.p90(),
+        st.per_round.p99(),
+        st.per_round.max()
+    );
+    match (st.busiest_src(), st.busiest_dst()) {
+        (Some((sp, sn)), Some((dp, dn))) => {
+            println!("busiest src      : port {sp} ({sn} arrivals)");
+            println!("busiest dst      : port {dp} ({dn} arrivals)");
+        }
+        _ => println!("busiest ports    : (no arrivals)"),
+    }
+    Ok(())
+}
+
 fn stream(flags: &Flags) -> Result<(), String> {
     let spec = spec_from_flags(flags)?;
     if !spec.is_bounded() {
@@ -608,8 +803,9 @@ fn stream(flags: &Flags) -> Result<(), String> {
             let (m, rounds, seed) = (spec.ports, spec.horizon.unwrap_or(0), spec.seed);
             println!("switch           : {m}x{m}, Poisson({rate}) x {rounds} rounds, seed {seed}");
         }
-        fss_sim::ArrivalSpec::Trace { path } => {
-            println!("workload         : trace replay of {path}")
+        fss_sim::ArrivalSpec::Trace { path, streaming } => {
+            let how = if *streaming { " (streaming)" } else { "" };
+            println!("workload         : trace replay of {path}{how}")
         }
     }
     println!("flows            : {}", stats.dispatched);
@@ -846,26 +1042,46 @@ fn serve_reference(flags: &Flags) -> Result<(), String> {
 /// skips the first N arrivals (reconnect continuation), `--take N`
 /// sends at most N, `--finish` ends the session cleanly; without it
 /// the client half-closes and drains to the server's Detached marker.
+///
+/// The trace streams straight from disk line-by-line — replay memory
+/// is O(1) in the trace length, so `trace gen` output far larger than
+/// RAM pipes through unchanged.
 fn serve_replay(flags: &Flags, path: &str) -> Result<(), String> {
+    use std::io::BufRead;
     let addr = flags.required("connect")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let skip: usize = flags.parsed("skip", 0usize)?;
     let take: usize = flags.parsed("take", usize::MAX)?;
     let finish = flags.get("finish").is_some();
 
-    let mut header = None;
-    let mut arrivals = Vec::new();
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        match flow_switch::serve::parse_ingest(line)
+    let file = std::fs::File::open(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut trace = std::io::BufReader::with_capacity(1 << 18, file);
+    let mut line = String::new();
+
+    // The header must lead the trace; require it before connecting so
+    // a non-trace file fails fast, without opening a session.
+    let header = loop {
+        line.clear();
+        let n = trace
+            .read_line(&mut line)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        if n == 0 {
+            return Err(format!("{path}: no {{\"ports\":N}} header"));
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match flow_switch::serve::parse_ingest(text)
             .map_err(|e| format!("{path} is not a trace: {e}"))?
         {
-            flow_switch::serve::IngestLine::Header { .. } if header.is_none() => {
-                header = Some(line.to_string())
+            flow_switch::serve::IngestLine::Header { .. } => break text.to_string(),
+            other => {
+                return Err(format!(
+                    "{path}: expected the {{\"ports\":N}} header first, found {other:?}"
+                ))
             }
-            flow_switch::serve::IngestLine::Arrival { .. } => arrivals.push(line.to_string()),
-            other => return Err(format!("{path}: unexpected trace line {other:?}")),
         }
-    }
+    };
 
     let conn = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let reader_conn = conn.try_clone().map_err(|e| e.to_string())?;
@@ -893,12 +1109,34 @@ fn serve_replay(flags: &Flags, path: &str) -> Result<(), String> {
         // The header only opens a session; a reconnect continuation
         // (--skip > 0) must not resend it.
         if skip == 0 {
-            let header = header.ok_or_else(|| format!("{path}: no {{\"ports\":N}} header"))?;
             writeln!(w, "{header}").map_err(|e| format!("send header: {e}"))?;
         }
-        let end = skip.saturating_add(take).min(arrivals.len());
-        for line in &arrivals[skip.min(arrivals.len())..end] {
-            writeln!(w, "{line}").map_err(|e| format!("send arrival: {e}"))?;
+        let mut seen = 0usize;
+        let mut sent = 0usize;
+        while sent < take {
+            line.clear();
+            let n = trace
+                .read_line(&mut line)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            match flow_switch::serve::parse_ingest(text)
+                .map_err(|e| format!("{path} is not a trace: {e}"))?
+            {
+                flow_switch::serve::IngestLine::Arrival { .. } => {
+                    seen += 1;
+                    if seen > skip {
+                        writeln!(w, "{text}").map_err(|e| format!("send arrival: {e}"))?;
+                        sent += 1;
+                    }
+                }
+                other => return Err(format!("{path}: unexpected trace line {other:?}")),
+            }
         }
         if finish {
             writeln!(w, "{}", flow_switch::serve::ServeMsg::finish().to_line())

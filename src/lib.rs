@@ -52,6 +52,7 @@ pub use fss_rounding as rounding;
 pub use fss_serve as serve;
 pub use fss_sim as sim;
 pub use fss_telemetry as telemetry;
+pub use fss_trace as trace;
 
 /// One-stop import for examples and integration tests.
 pub mod prelude {

@@ -633,3 +633,115 @@ fn serve_stdio_replay_matches_reference_and_rejects_bad_flags() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--queue-cap must be at least 1"));
 }
+
+/// The `trace` sub-subcommands chain: gen → stats, convert → morph →
+/// stats, with the declared switch size tracking the morphs.
+#[test]
+fn trace_tools_gen_convert_morph_stats_pipeline() {
+    let gen = tmp("tools-gen.jsonl");
+    let out = flowsched(&[
+        "trace", "gen", "--m", "6", "--rate", "4", "--rounds", "30", "--seed", "11", "-o", &gen,
+    ]);
+    assert!(
+        out.status.success(),
+        "trace gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("6x6 switch"));
+
+    let out = flowsched(&["trace", "stats", &gen]);
+    assert!(
+        out.status.success(),
+        "trace stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("switch           : 6x6"), "{text}");
+    assert!(text.contains("round burst"), "{text}");
+    assert!(text.contains("busiest src"), "{text}");
+
+    let csv = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/sample_coflow.csv");
+    let converted = tmp("tools-conv.jsonl");
+    let out = flowsched(&["trace", "convert", csv, "--ports", "32", "-o", &converted]);
+    assert!(
+        out.status.success(),
+        "trace convert failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("32x32 switch"));
+
+    let morphed = tmp("tools-morph.jsonl");
+    let out = flowsched(&[
+        "trace",
+        "morph",
+        &converted,
+        "--fold",
+        "16",
+        "--skew",
+        "zipf:1.2:9",
+        "--truncate",
+        "100",
+        "-o",
+        &morphed,
+    ]);
+    assert!(
+        out.status.success(),
+        "trace morph failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = flowsched(&["trace", "stats", &morphed]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("switch           : 16x16"), "{text}");
+    assert!(text.contains("flows            : 100"), "{text}");
+}
+
+/// `trace stats` (and friends) fail loudly: nonzero exit and a
+/// diagnostic on stderr citing the path or the offending line.
+#[test]
+fn trace_tools_fail_cleanly() {
+    // Missing file: exit code + path in the message.
+    let out = flowsched(&["trace", "stats", "/no/such/trace.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/no/such/trace.jsonl"));
+
+    // Malformed trace: the 1-based line is cited.
+    let bad = tmp("tools-bad.jsonl");
+    std::fs::write(&bad, "{\"ports\":2}\n{\"release\":0,\"src\":9,\"dst\":0}\n").unwrap();
+    let out = flowsched(&["trace", "stats", &bad]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("line 2") && err.contains("out of range"),
+        "{err}"
+    );
+
+    // Extra positional argument.
+    let out = flowsched(&["trace", "stats", &bad, "extra"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one trace path"));
+
+    // Morph without transforms.
+    let out = flowsched(&["trace", "morph", &bad, "-o", &tmp("tools-noop.jsonl")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one transform"));
+
+    // Bad skew syntax.
+    let out = flowsched(&[
+        "trace",
+        "morph",
+        &bad,
+        "--skew",
+        "pareto:2",
+        "-o",
+        &tmp("tools-noop.jsonl"),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("zipf:THETA"));
+
+    // `bench --stream` is a trace-replay knob, not a general flag.
+    let out = flowsched(&["bench", "--stream", "--smoke", "--filter", "fig6"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--stream only applies"));
+}
