@@ -53,6 +53,7 @@ pub fn scale_of(opts: &BenchOptions) -> Scale {
         paper: opts.paper,
         trials: opts.trials,
         telemetry: opts.progress,
+        cores: opts.cores,
     }
 }
 
@@ -215,6 +216,7 @@ mod tests {
                 paper: false,
                 trials: None,
                 telemetry: false,
+                cores: 1,
             },
         )
         .unwrap();
@@ -225,6 +227,7 @@ mod tests {
                 paper: false,
                 trials: None,
                 telemetry: false,
+                cores: 1,
             },
         )
         .unwrap();
@@ -235,6 +238,7 @@ mod tests {
                 paper: true,
                 trials: None,
                 telemetry: false,
+                cores: 1,
             },
         )
         .unwrap();

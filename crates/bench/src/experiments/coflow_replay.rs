@@ -178,6 +178,7 @@ mod tests {
                 paper,
                 trials: None,
                 telemetry: false,
+                cores: 1,
             });
             assert_eq!(cells.len(), 12, "3 variants x 4 policies");
         }
@@ -191,6 +192,7 @@ mod tests {
             paper: false,
             trials: None,
             telemetry: false,
+            cores: 1,
         };
         let a: Vec<_> = (e.build)(&scale)
             .iter()

@@ -7,7 +7,7 @@
 //! scenario): workloads are never materialized, so the full-scale grid
 //! can push horizons far beyond what the batch runner tolerated.
 
-use fss_sim::{saturation_sweep_telemetry, stable_intensity, PolicyKind};
+use fss_sim::{saturation_sweep_cores, stable_intensity, PolicyKind};
 
 use crate::registry::{CellOutcome, CellSpec, Experiment, Scale};
 
@@ -48,6 +48,11 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
         (20, 5_000, scale.trials_or(4, 4))
     };
     let instrument = scale.telemetry;
+    // Trial-level parallelism (`--cores`): spread each point's trials
+    // over worker threads. Deliberately NOT a cell param — results are
+    // bit-identical at every cores value, so artifacts from different
+    // settings must keep the same fingerprints and diff clean.
+    let cores = scale.cores.max(1);
     let mut cells = Vec::new();
     for policy in POLICIES {
         for &lambda in &INTENSITIES {
@@ -68,13 +73,14 @@ fn build(scale: &Scale) -> Vec<CellSpec> {
                     } else {
                         fss_engine::EngineTelemetry::disabled()
                     };
-                    let pt = saturation_sweep_telemetry(
+                    let pt = saturation_sweep_cores(
                         policy,
                         m,
                         rounds,
                         &[lambda],
                         trials,
                         0x5a7,
+                        cores,
                         &mut tele,
                     )
                     .pop()

@@ -177,6 +177,10 @@ impl RunConfig {
             trace: self.trace.as_ref().map(std::path::PathBuf::from),
             stream_trace: self.stream_trace,
             progress: self.progress,
+            // Workers keep cells sequential: cross-cell parallelism is
+            // the coordinator's worker count, and intra-cell fan-out
+            // would oversubscribe the per-worker thread cap.
+            cores: 1,
         }
     }
 }

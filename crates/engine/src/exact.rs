@@ -134,7 +134,10 @@ impl ExactCore {
             m_in: self.m_in,
             m_out: self.m_out,
         };
-        let mut sel = policy.choose(&state);
+        // Reuse the persistent selection buffer: policies write into it
+        // via `choose_into`, so the hot loop stays allocation-free.
+        let mut sel = std::mem::take(&mut self.selection);
+        policy.choose_into(&state, &mut sel);
         sel.sort_unstable();
         sel.dedup();
         // Validate exactly like the legacy runner: panics on a

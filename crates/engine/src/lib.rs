@@ -48,6 +48,7 @@ pub mod events;
 pub mod exact;
 pub mod matcher;
 pub mod outage;
+pub mod pipeline;
 pub mod queue;
 pub mod source;
 pub mod stream;
@@ -59,7 +60,8 @@ use fss_online::{FifoGreedy, OnlinePolicy, WeightModel};
 pub use events::{EventKind, EventQueue};
 pub use fss_telemetry::{EngineTelemetry, Stage};
 pub use matcher::IncrementalMatcher;
-pub use queue::ShardedQueues;
+pub use pipeline::{run_failures_cores, run_stream_cores, run_weighted_cores, Frontier};
+pub use queue::{CellAgg, QueueView, ShardedQueues};
 pub use source::{poisson, Arrival, ChannelSource, FlowSource, InstanceSource, PoissonSource};
 pub use stream::StreamStats;
 pub use wmatcher::IncrementalWeightedMatcher;

@@ -40,6 +40,7 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
     let mut usable: Vec<usize> = Vec::new();
     let mut visible: Vec<WaitingFlow> = Vec::new();
     let mut picked: Vec<usize> = Vec::new();
+    let mut selection: Vec<usize> = Vec::new();
     let mut used_in = vec![false; m_in];
     let mut used_out = vec![false; m_out];
 
@@ -119,11 +120,12 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
             m_in,
             m_out,
         };
-        let selection = tele.decision(|| {
-            let mut sel = policy.choose(&state);
-            sel.sort_unstable();
-            sel.dedup();
-            sel
+        tele.decision(|| {
+            // Persistent scratch: `choose_into` writes into the reusable
+            // buffer, keeping the per-round dispatch path allocation-free.
+            policy.choose_into(&state, &mut selection);
+            selection.sort_unstable();
+            selection.dedup();
         });
         span!(tele, Stage::Dispatch, {
             used_in.fill(false);

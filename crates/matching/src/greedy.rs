@@ -10,18 +10,25 @@ use crate::graph::BipartiteGraph;
 /// Greedy maximal matching scanning edges in the order given by `order`
 /// (a permutation or subsequence of edge ids). Returns the picked edge ids.
 pub fn greedy_matching(g: &BipartiteGraph, order: &[usize]) -> Vec<usize> {
+    let mut picked = Vec::new();
+    greedy_matching_into(g, order, &mut picked);
+    picked
+}
+
+/// [`greedy_matching`] writing the picked edge ids into a caller-owned
+/// buffer (cleared first) — the allocation-free form for per-round use.
+pub fn greedy_matching_into(g: &BipartiteGraph, order: &[usize], out: &mut Vec<usize>) {
     let mut used_l = vec![false; g.nl()];
     let mut used_r = vec![false; g.nr()];
-    let mut picked = Vec::new();
+    out.clear();
     for &e in order {
         let (u, v) = g.endpoints(e);
         if !used_l[u as usize] && !used_r[v as usize] {
             used_l[u as usize] = true;
             used_r[v as usize] = true;
-            picked.push(e);
+            out.push(e);
         }
     }
-    picked
 }
 
 /// Greedy maximal matching in edge-insertion order.

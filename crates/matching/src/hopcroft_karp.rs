@@ -12,6 +12,15 @@ const INF: u32 = u32::MAX;
 /// Maximum-cardinality matching. Returns the matched edge ids (one per
 /// matched pair; for parallel edges an arbitrary representative).
 pub fn max_cardinality_matching(g: &BipartiteGraph) -> Vec<usize> {
+    let mut out = Vec::new();
+    max_cardinality_matching_into(g, &mut out);
+    out
+}
+
+/// [`max_cardinality_matching`] writing into a caller-owned buffer
+/// (cleared first) — the allocation-free form for per-round use in the
+/// engine's hot loops.
+pub fn max_cardinality_matching_into(g: &BipartiteGraph, out: &mut Vec<usize>) {
     let nl = g.nl();
     let adj = g.left_adjacency();
     // match_l[u] = right partner of u (NIL if free); similarly match_r.
@@ -63,10 +72,12 @@ pub fn max_cardinality_matching(g: &BipartiteGraph) -> Vec<usize> {
         }
     }
 
-    (0..nl)
-        .filter(|&u| match_l[u] != NIL)
-        .map(|u| match_edge[u])
-        .collect()
+    out.clear();
+    out.extend(
+        (0..nl)
+            .filter(|&u| match_l[u] != NIL)
+            .map(|u| match_edge[u]),
+    );
 }
 
 fn dfs(

@@ -29,8 +29,8 @@ pub mod scratch;
 
 pub use bmatching::decompose_into_b_matchings;
 pub use graph::BipartiteGraph;
-pub use greedy::greedy_matching;
-pub use hopcroft_karp::max_cardinality_matching;
+pub use greedy::{greedy_matching, greedy_matching_into};
+pub use hopcroft_karp::{max_cardinality_matching, max_cardinality_matching_into};
 pub use hungarian::{max_weight_matching, total_weight};
 pub use koenig::edge_coloring;
 pub use scratch::HungarianScratch;

@@ -10,10 +10,11 @@
 
 use fss_core::FlowId;
 use fss_matching::{
-    greedy_matching, max_cardinality_matching, max_weight_matching, BipartiteGraph,
+    greedy_matching_into, max_cardinality_matching, max_cardinality_matching_into,
+    max_weight_matching, BipartiteGraph,
 };
 
-use crate::weighted::{choose_with, WeightModel, WeightedSelector};
+use crate::weighted::{choose_with, choose_with_into, WeightModel, WeightedSelector};
 
 /// A flow currently waiting in the open queue `E(G_t)`.
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +106,14 @@ pub trait OnlinePolicy {
     fn name(&self) -> &'static str;
     /// Select the flows to run this round.
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize>;
+    /// [`choose`](OnlinePolicy::choose) writing the selection into a
+    /// caller-owned buffer (cleared first). The engine's round loops call
+    /// this form so a persistent scratch buffer absorbs the per-round
+    /// allocation; the default delegates to `choose`, and the built-in
+    /// policies override it with allocation-free implementations.
+    fn choose_into(&mut self, state: &QueueState<'_>, out: &mut Vec<usize>) {
+        *out = self.choose(state);
+    }
 }
 
 /// **MaxCard**: a maximum-cardinality matching of `G_t` — keeps the most
@@ -123,6 +132,11 @@ impl OnlinePolicy for MaxCard {
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
         state.graph_into(&mut self.g);
         max_cardinality_matching(&self.g)
+    }
+
+    fn choose_into(&mut self, state: &QueueState<'_>, out: &mut Vec<usize>) {
+        state.graph_into(&mut self.g);
+        max_cardinality_matching_into(&self.g, out);
     }
 }
 
@@ -147,6 +161,10 @@ impl OnlinePolicy for MinRTime {
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
         choose_with(&mut self.sel, WeightModel::MinRTime, state)
     }
+
+    fn choose_into(&mut self, state: &QueueState<'_>, out: &mut Vec<usize>) {
+        choose_with_into(&mut self.sel, WeightModel::MinRTime, state, out);
+    }
 }
 
 /// **MaxWeight**: maximum-weight matching with weight = sum of queue sizes
@@ -168,6 +186,10 @@ impl OnlinePolicy for MaxWeight {
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
         choose_with(&mut self.sel, WeightModel::MaxWeight, state)
     }
+
+    fn choose_into(&mut self, state: &QueueState<'_>, out: &mut Vec<usize>) {
+        choose_with_into(&mut self.sel, WeightModel::MaxWeight, state, out);
+    }
 }
 
 /// FIFO-greedy baseline: scan waiting flows oldest first and take each one
@@ -185,12 +207,18 @@ impl OnlinePolicy for FifoGreedy {
     }
 
     fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.choose_into(state, &mut out);
+        out
+    }
+
+    fn choose_into(&mut self, state: &QueueState<'_>, out: &mut Vec<usize>) {
         state.graph_into(&mut self.g);
         self.order.clear();
         self.order.extend(0..state.waiting.len());
         self.order
             .sort_by_key(|&k| (state.waiting[k].release, state.waiting[k].id));
-        greedy_matching(&self.g, &self.order)
+        greedy_matching_into(&self.g, &self.order, out);
     }
 }
 

@@ -19,7 +19,7 @@ use rand::SeedableRng;
 use fss_matching::{greedy_matching, max_weight_matching, BipartiteGraph};
 
 use crate::policy::{OnlinePolicy, QueueState};
-use crate::weighted::{choose_with, WeightModel, WeightedSelector, GAMMA_DENOM};
+use crate::weighted::{choose_with, choose_with_into, WeightModel, WeightedSelector, GAMMA_DENOM};
 
 /// Greedy maximal matching over a uniformly shuffled edge order.
 /// Deterministic per (seed, round): reproducible experiments.
@@ -108,6 +108,13 @@ impl OnlinePolicy for AgedMaxWeight {
             gamma_q: self.gamma_q(),
         };
         choose_with(&mut self.sel, model, state)
+    }
+
+    fn choose_into(&mut self, state: &QueueState<'_>, out: &mut Vec<usize>) {
+        let model = WeightModel::AgedMaxWeight {
+            gamma_q: self.gamma_q(),
+        };
+        choose_with_into(&mut self.sel, model, state, out);
     }
 }
 

@@ -332,6 +332,15 @@ impl WeightedSelector {
     /// a cell the representative is the oldest flow, ties broken by the
     /// smallest flow id (the cell-FIFO order of the engine's queues).
     pub fn choose(&mut self, state: &QueueState<'_>) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.choose_into(state, &mut out);
+        out
+    }
+
+    /// [`choose`](WeightedSelector::choose) writing the selection into a
+    /// caller-owned buffer (cleared first) — the allocation-free form for
+    /// per-round use in the engine's hot loops.
+    pub fn choose_into(&mut self, state: &QueueState<'_>, out: &mut Vec<usize>) {
         if self.core.round.is_some_and(|last| state.round <= last) {
             // Rounds strictly increase within one run, so a call at a
             // round we have already seen means the policy was reused on a
@@ -398,12 +407,13 @@ impl WeightedSelector {
         }
         let mut pairs = std::mem::take(&mut self.pairs);
         self.core.select_into(&mut pairs);
-        let sel: Vec<usize> = pairs
-            .iter()
-            .map(|&(p, q)| self.rep[p as usize * m_out + q as usize] as usize)
-            .collect();
+        out.clear();
+        out.extend(
+            pairs
+                .iter()
+                .map(|&(p, q)| self.rep[p as usize * m_out + q as usize] as usize),
+        );
         self.pairs = pairs;
-        sel
     }
 }
 
@@ -414,6 +424,18 @@ pub(crate) fn choose_with(
     model: WeightModel,
     state: &QueueState<'_>,
 ) -> Vec<usize> {
+    let mut out = Vec::new();
+    choose_with_into(slot, model, state, &mut out);
+    out
+}
+
+/// [`choose_with`] writing into a caller-owned buffer (cleared first).
+pub(crate) fn choose_with_into(
+    slot: &mut Option<WeightedSelector>,
+    model: WeightModel,
+    state: &QueueState<'_>,
+    out: &mut Vec<usize>,
+) {
     let rebuild = match slot {
         Some(sel) => !sel.fits(state) || sel.core.model() != model,
         None => true,
@@ -421,7 +443,9 @@ pub(crate) fn choose_with(
     if rebuild {
         *slot = Some(WeightedSelector::new(model, state.m_in, state.m_out));
     }
-    slot.as_mut().expect("just initialized").choose(state)
+    slot.as_mut()
+        .expect("just initialized")
+        .choose_into(state, out);
 }
 
 #[cfg(test)]

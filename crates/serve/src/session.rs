@@ -150,6 +150,12 @@ pub struct ServeOptions {
     /// Publish the engine's telemetry snapshot to the metrics registry
     /// every this many rounds (`0` = only at drain).
     pub publish_every: u64,
+    /// Engine worker threads (`flowsched serve --cores N`): the session's
+    /// engine thread drives the pipelined multi-core round loop. `0`/`1`
+    /// keeps the sequential drive. Schedules are bit-identical at every
+    /// value (the pipeline's determinism contract), so this is purely a
+    /// throughput knob for heavy ingest streams.
+    pub cores: usize,
 }
 
 impl Default for ServeOptions {
@@ -161,6 +167,7 @@ impl Default for ServeOptions {
             queue_cap: 1024,
             admission: AdmissionMode::Pause,
             publish_every: 64,
+            cores: 1,
         }
     }
 }
@@ -231,15 +238,20 @@ impl ServeSession {
         let policy = self.opts.policy;
         let failures = self.opts.failures.clone();
         let publish_every = self.opts.publish_every;
+        let cores = self.opts.cores;
         let sink = self.sink.clone();
         let metrics = Arc::clone(&self.metrics);
         let engine = std::thread::spawn(move || {
             let mut tele = EngineTelemetry::enabled();
             tele.publish_every(publish_every, Arc::clone(&metrics.engine));
-            let stats = fss_sim::run_source_telemetry(
+            // The pipelined drive keeps its match stage (and thus the
+            // publish cadence) on this engine thread, so live metrics
+            // behave identically at every cores value.
+            let stats = fss_sim::run_source_cores(
                 Box::new(source),
                 policy,
                 failures.as_ref(),
+                cores,
                 &mut tele,
                 |id, release, round| {
                     metrics.dispatched.inc();

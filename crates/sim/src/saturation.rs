@@ -106,6 +106,83 @@ pub fn saturation_sweep_telemetry(
         .collect()
 }
 
+/// [`saturation_sweep_telemetry`] with trial-level parallelism: up to
+/// `cores` worker threads each stream a strided subset of a point's
+/// trials, and the per-trial results are summed in trial-index order —
+/// so the floating-point accumulation (and thus every reported number)
+/// is bit-identical to the sequential sweep. Per-thread telemetry
+/// handles are merged into `tele` after each point.
+#[allow(clippy::too_many_arguments)]
+pub fn saturation_sweep_cores(
+    policy: PolicyKind,
+    m: usize,
+    rounds: u64,
+    intensities: &[f64],
+    trials: u64,
+    seed: u64,
+    cores: usize,
+    tele: &mut fss_engine::EngineTelemetry,
+) -> Vec<SaturationPoint> {
+    if cores <= 1 || trials <= 1 {
+        return saturation_sweep_telemetry(policy, m, rounds, intensities, trials, seed, tele);
+    }
+    let workers = cores.min(trials as usize);
+    intensities
+        .iter()
+        .map(|&lambda| {
+            let mut per_trial: Vec<(f64, f64)> = vec![(0.0, 0.0); trials as usize];
+            let mut worker_teles: Vec<fss_engine::EngineTelemetry> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for w in 0..workers {
+                    let mut wtele = if tele.is_enabled() {
+                        fss_engine::EngineTelemetry::enabled()
+                    } else {
+                        fss_engine::EngineTelemetry::disabled()
+                    };
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut k = w as u64;
+                        while k < trials {
+                            let spec = sweep_scenario(m, lambda, rounds, seed, k);
+                            let stats = crate::scenario::run_scenario_telemetry(
+                                &spec,
+                                policy,
+                                &mut wtele,
+                                |_, _, _| {},
+                            )
+                            .expect("synthetic scenario is valid");
+                            out.push((k, stats.mean_response(), stats.max_response as f64));
+                            k += workers as u64;
+                        }
+                        (out, wtele)
+                    }));
+                }
+                for h in handles {
+                    let (out, wtele) = h.join().expect("sweep worker panicked");
+                    for (k, mean, max) in out {
+                        per_trial[k as usize] = (mean, max);
+                    }
+                    worker_teles.push(wtele);
+                }
+            });
+            for wtele in &worker_teles {
+                tele.merge(wtele);
+            }
+            let (mut avg, mut max) = (0.0, 0.0);
+            for &(a, b) in &per_trial {
+                avg += a;
+                max += b;
+            }
+            SaturationPoint {
+                intensity: lambda,
+                mean_response: avg / trials as f64,
+                max_response: max / trials as f64,
+            }
+        })
+        .collect()
+}
+
 /// Estimate the largest intensity at which the policy keeps the mean
 /// response under `threshold` (bisection over `[lo, hi]`, 8 steps).
 pub fn stable_intensity(
@@ -229,6 +306,35 @@ mod tests {
                 assert_eq!(x.intensity, y.intensity);
                 assert_eq!(x.mean_response, y.mean_response, "{}", policy.name());
                 assert_eq!(x.max_response, y.max_response, "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cores_sweep_is_bit_identical_to_sequential() {
+        for policy in [PolicyKind::MaxCard, PolicyKind::MaxWeight] {
+            let seq = saturation_sweep(policy, 5, 20, &[0.3, 0.9], 3, 41);
+            for cores in [2, 4] {
+                let par = saturation_sweep_cores(
+                    policy,
+                    5,
+                    20,
+                    &[0.3, 0.9],
+                    3,
+                    41,
+                    cores,
+                    &mut fss_engine::EngineTelemetry::disabled(),
+                );
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.intensity, b.intensity);
+                    assert_eq!(
+                        a.mean_response,
+                        b.mean_response,
+                        "{} @{cores}",
+                        policy.name()
+                    );
+                    assert_eq!(a.max_response, b.max_response, "{} @{cores}", policy.name());
+                }
             }
         }
     }

@@ -360,7 +360,7 @@ impl ScenarioSpec {
 
     /// Open the streaming arrival source this spec describes (loading and
     /// validating the trace file for trace arrivals).
-    pub fn source(&self) -> Result<Box<dyn FlowSource>, ScenarioError> {
+    pub fn source(&self) -> Result<Box<dyn FlowSource + Send>, ScenarioError> {
         self.validate()?;
         match &self.arrivals {
             ArrivalSpec::Poisson { rate } => Ok(Box::new(PoissonSource::new(
@@ -574,6 +574,85 @@ pub fn run_source_telemetry(
             ),
         },
     }
+}
+
+/// [`run_source_telemetry`] over the pipelined multi-core engine
+/// ([`fss_engine::run_stream_cores`]). `cores <= 1` delegates to the
+/// sequential drive; any `cores` produces the bit-identical schedule
+/// (the pipeline's determinism contract, pinned by the engine's
+/// differential suite).
+pub fn run_source_cores(
+    source: Box<dyn FlowSource + Send>,
+    policy: PolicyKind,
+    failures: Option<&FailurePlan>,
+    cores: usize,
+    tele: &mut fss_engine::EngineTelemetry,
+    on_dispatch: impl FnMut(u64, u64, u64) + Send,
+) -> StreamStats {
+    match failures {
+        None => fss_engine::run_stream_cores(
+            source,
+            EngineMode::Exact(policy.to_engine()),
+            cores,
+            tele,
+            on_dispatch,
+        ),
+        Some(plan) => match policy {
+            PolicyKind::MaxCard => fss_engine::run_failures_cores(
+                source,
+                &mut MaxCard::default(),
+                plan,
+                cores,
+                tele,
+                on_dispatch,
+            ),
+            PolicyKind::MinRTime => fss_engine::run_failures_cores(
+                source,
+                &mut MinRTime::default(),
+                plan,
+                cores,
+                tele,
+                on_dispatch,
+            ),
+            PolicyKind::MaxWeight => fss_engine::run_failures_cores(
+                source,
+                &mut MaxWeight::default(),
+                plan,
+                cores,
+                tele,
+                on_dispatch,
+            ),
+            PolicyKind::FifoGreedy => fss_engine::run_failures_cores(
+                source,
+                &mut FifoGreedy::default(),
+                plan,
+                cores,
+                tele,
+                on_dispatch,
+            ),
+        },
+    }
+}
+
+/// [`run_scenario_telemetry`] over the pipelined multi-core engine:
+/// opens the spec's source and drives it with `cores` worker threads.
+/// Schedules are bit-identical to [`run_scenario`] at every `cores`.
+pub fn run_scenario_cores(
+    spec: &ScenarioSpec,
+    policy: PolicyKind,
+    cores: usize,
+    tele: &mut fss_engine::EngineTelemetry,
+    on_dispatch: impl FnMut(u64, u64, u64) + Send,
+) -> Result<StreamStats, ScenarioError> {
+    let source = spec.source()?;
+    Ok(run_source_cores(
+        source,
+        policy,
+        spec.failures.as_ref(),
+        cores,
+        tele,
+        on_dispatch,
+    ))
 }
 
 #[cfg(test)]

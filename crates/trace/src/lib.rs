@@ -30,6 +30,10 @@
 //! - **Statistics** ([`stats`]) — [`scan_stats`] one-pass summaries
 //!   (flows, horizon, per-round burstiness histogram, hot ports) for
 //!   `flowsched trace stats`.
+//! - **Sharding** ([`split`]) — [`split_file`] fans one giant trace out
+//!   into `N` release-sorted sub-traces, round-robin by port shard
+//!   (`src % N`, the pipelined engine's sharding rule), at O(chunk)
+//!   memory.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +42,7 @@ pub mod convert;
 pub mod gen;
 pub mod line;
 pub mod morph;
+pub mod split;
 pub mod stats;
 pub mod stream;
 pub mod writer;
@@ -46,6 +51,7 @@ pub use convert::{convert_file, convert_stream, units_per_pair, ConvertOptions};
 pub use gen::write_poisson_trace;
 pub use line::{arrival_line, header_line, parse_trace_event, TraceEvent, TraceFileError};
 pub use morph::{morph_file, MorphPipeline, MorphSpec, MorphedSource};
+pub use split::{shard_of, shard_path, split_file};
 pub use stats::{scan_stats, TraceStats};
 pub use stream::{
     scan, scan_with, StreamingTraceReader, StreamingTraceSource, TraceErrorHandle, TraceSummary,

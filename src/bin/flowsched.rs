@@ -16,6 +16,7 @@
 //! flowsched trace    convert examples/sample_coflow.csv --ports 32 -o coflow.jsonl
 //! flowsched trace    morph coflow.jsonl --scale-rate 2.0 --skew zipf:1.2 -o hot.jsonl
 //! flowsched trace    stats hot.jsonl
+//! flowsched trace    split giant.jsonl --shards 4 -o giant
 //! flowsched bench    --smoke --filter fig6 --jobs 4 --out target/experiments
 //! flowsched bench    --trace examples/sample_trace.jsonl
 //! flowsched bench    --trace giant.jsonl --stream
@@ -65,20 +66,22 @@ const USAGE: &str = "usage:
   flowsched stats    -i INSTANCE -s SCHEDULE
   flowsched stream   [--m M] [--rate R] [--rounds T] [--seed S] [--scenario SPEC.json]
                      [--mode incremental|maxcard|minrtime|maxweight|fifo] [--metrics]
+                     [--cores N]
   flowsched trace    (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S]) -o FILE
   flowsched trace    gen [--m M] [--rate R] [--rounds T] [--seed S] -o FILE.jsonl
   flowsched trace    convert CSV [--ports N] [--quantum-bytes B] [--ms-per-round MS] -o FILE.jsonl
   flowsched trace    morph IN.jsonl [--scale-rate F] [--dilate F] [--skew zipf:THETA[:SEED]]
                      [--fold M] [--window FROM:TO] [--truncate N] -o OUT.jsonl
   flowsched trace    stats FILE.jsonl
+  flowsched trace    split IN.jsonl [--shards N] -o PREFIX
   flowsched bench    [--filter ID] [--trace FILE.jsonl [--stream]] [--smoke|--paper]
-                     [--jobs N] [--out DIR] [--trials N] [--list]
+                     [--jobs N] [--cores N] [--out DIR] [--trials N] [--list]
                      [--workers N] [--resume] [--progress]
   flowsched bench    --diff OLD.json NEW.json [--tolerance PCT] [--strict-metrics]
   flowsched telemetry dump -i ARTIFACT.json|BENCH_cells.jsonl [-o FILE]
   flowsched serve    [--ports M] [--policy maxcard|minrtime|maxweight|fifo]
                      [--queue-cap N] [--admission pause|drop] [--scenario SPEC.json]
-                     [--listen ADDR [--metrics-listen ADDR]]
+                     [--listen ADDR [--metrics-listen ADDR]] [--cores N]
   flowsched serve    --soak [--disconnect-after N] [--queue-cap N]
                      (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S])
   flowsched serve    --replay TRACE.jsonl --connect ADDR [--skip N] [--take N] [--finish]
@@ -102,7 +105,14 @@ an N-port switch and quantizing bytes into unit flows; `trace morph`
 rewrites a trace through transforms applied in flag order (time
 compression/dilation, seeded zipf port skew, port folding, round
 windows, truncation); `trace stats` prints a one-pass summary (flows,
-horizon, per-round burstiness, hotspot ports).
+horizon, per-round burstiness, hotspot ports); `trace split` fans one
+giant trace out into N release-sorted sub-traces PREFIX.<k>.jsonl,
+round-robin by port shard (src % N, the pipelined engine's rule).
+
+--cores N runs the round loop through the pipelined multi-core engine
+(stream/serve: dataflow stages over port-sharded queues; bench: trials
+fanned across threads). Schedules and metrics are bit-identical at
+every cores value — parallelism changes wall time, never results.
 
 bench runs the experiment registry through the parallel orchestrator:
 cells execute on a work-stealing thread pool (--jobs caps the workers),
@@ -173,7 +183,8 @@ fn run(args: &[String]) -> Result<(), String> {
     // the legacy scenario dump (`trace --m ... -o FILE`) still routes
     // through the flag parser below.
     if cmd == "trace" {
-        if let Some(sub @ ("convert" | "morph" | "gen" | "stats")) = args.get(1).map(String::as_str)
+        if let Some(sub @ ("convert" | "morph" | "gen" | "stats" | "split")) =
+            args.get(1).map(String::as_str)
         {
             return trace_sub(sub, &args[2..]);
         }
@@ -472,6 +483,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
         trace: flags.get("trace").map(std::path::PathBuf::from),
         progress: flags.get("progress").is_some(),
         stream_trace: flags.get("stream").is_some(),
+        cores: flags.parsed("cores", 1usize)?,
     };
     if opts.stream_trace && opts.trace.is_none() {
         return Err("--stream only applies to --trace replays".into());
@@ -595,6 +607,7 @@ fn trace_sub(sub: &str, args: &[String]) -> Result<(), String> {
         "morph" => trace_morph(args),
         "gen" => trace_gen(args),
         "stats" => trace_stats(args),
+        "split" => trace_split(args),
         other => Err(format!("unknown trace subcommand '{other}'")),
     }
 }
@@ -712,6 +725,27 @@ fn trace_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `trace split IN.jsonl --shards N -o PREFIX`: fan one giant trace out
+/// into `N` release-sorted sub-traces `PREFIX.<k>.jsonl`, round-robin
+/// by port shard (`src % N` — the pipelined engine's sharding rule).
+/// One streaming pass, O(chunk) memory.
+fn trace_split(args: &[String]) -> Result<(), String> {
+    let (input, rest) = positional(
+        args,
+        "trace path (trace split IN.jsonl --shards N -o PREFIX)",
+    )?;
+    let flags = parse_flags(rest)?;
+    let prefix = flags.required("o")?;
+    let shards: usize = flags.parsed("shards", 2)?;
+    let parts = fss_trace::split_file(input, prefix, shards).map_err(|e| trace_err(input, e))?;
+    for (path, s) in &parts {
+        trace_summary_line(&path.display().to_string(), s);
+    }
+    let total: u64 = parts.iter().map(|(_, s)| s.flows).sum();
+    eprintln!("split {input} into {shards} shards ({total} arrivals total)");
+    Ok(())
+}
+
 /// `trace stats FILE.jsonl`: one streaming pass, O(ports) memory.
 fn trace_stats(args: &[String]) -> Result<(), String> {
     let (path, rest) = positional(args, "trace path (trace stats FILE.jsonl)")?;
@@ -758,6 +792,7 @@ fn stream(flags: &Flags) -> Result<(), String> {
         },
     };
     let metrics = flags.get("metrics").is_some();
+    let cores: usize = flags.parsed("cores", 1usize)?;
     let mut tele = if metrics {
         flow_switch::engine::EngineTelemetry::enabled()
     } else {
@@ -779,7 +814,7 @@ fn stream(flags: &Flags) -> Result<(), String> {
                 BuiltinPolicy::FifoGreedy => fss_sim::PolicyKind::FifoGreedy,
             };
             (
-                fss_sim::run_scenario_telemetry(&spec, policy, &mut tele, |_, _, _| {})
+                fss_sim::run_scenario_cores(&spec, policy, cores, &mut tele, |_, _, _| {})
                     .map_err(|e| e.to_string())?,
                 format!("failures/{}", b.name()),
             )
@@ -791,13 +826,16 @@ fn stream(flags: &Flags) -> Result<(), String> {
                 EngineMode::Exact(b) => format!("exact/{}", b.name()),
             };
             (
-                flow_switch::engine::run_stream_telemetry(source, mode, &mut tele, |_, _, _| {}),
+                flow_switch::engine::run_stream_cores(source, mode, cores, &mut tele, |_, _, _| {}),
                 mode_name,
             )
         }
     };
     let elapsed = start.elapsed();
     println!("mode             : {mode_name}");
+    if cores > 1 {
+        println!("cores            : {cores} (pipelined engine)");
+    }
     match &spec.arrivals {
         fss_sim::ArrivalSpec::Poisson { rate } => {
             let (m, rounds, seed) = (spec.ports, spec.horizon.unwrap_or(0), spec.seed);
@@ -901,6 +939,7 @@ fn serve_session_options(flags: &Flags) -> Result<flow_switch::serve::ServeOptio
         admission: flow_switch::serve::AdmissionMode::parse(
             flags.get("admission").unwrap_or("pause"),
         )?,
+        cores: flags.parsed("cores", 1usize)?,
         ..flow_switch::serve::ServeOptions::default()
     };
     if opts.queue_cap == 0 {

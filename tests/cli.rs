@@ -697,6 +697,73 @@ fn trace_tools_gen_convert_morph_stats_pipeline() {
     assert!(text.contains("flows            : 100"), "{text}");
 }
 
+/// `trace split` shards a trace round-robin by port: the sub-traces
+/// are valid traces on the same switch, their flow counts sum to the
+/// input's, and each holds only its shard's source ports.
+#[test]
+fn trace_split_shards_round_robin_by_port() {
+    let input = tmp("split-in.jsonl");
+    let out = flowsched(&[
+        "trace", "gen", "--m", "6", "--rate", "5", "--rounds", "40", "--seed", "3", "-o", &input,
+    ]);
+    assert!(out.status.success());
+
+    let prefix = tmp("split-out");
+    let out = flowsched(&["trace", "split", &input, "--shards", "3", "-o", &prefix]);
+    assert!(
+        out.status.success(),
+        "trace split failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("into 3 shards"), "{err}");
+
+    let input_flows: u64 = {
+        let stats = flowsched(&["trace", "stats", &input]);
+        assert!(stats.status.success());
+        flows_of(&String::from_utf8_lossy(&stats.stdout))
+    };
+    let mut total = 0u64;
+    for k in 0..3usize {
+        let shard = format!("{prefix}.{k}.jsonl");
+        // Every sub-trace must load cleanly and keep the 6x6 switch.
+        let stats = flowsched(&["trace", "stats", &shard]);
+        assert!(
+            stats.status.success(),
+            "shard {k} invalid: {}",
+            String::from_utf8_lossy(&stats.stderr)
+        );
+        let text = String::from_utf8_lossy(&stats.stdout).into_owned();
+        assert!(text.contains("switch           : 6x6"), "{text}");
+        total += flows_of(&text);
+        // Round-robin by port: shard k holds only src ports ≡ k (mod 3).
+        for line in std::fs::read_to_string(&shard).unwrap().lines().skip(1) {
+            let src: u64 = line
+                .split("\"src\":")
+                .nth(1)
+                .and_then(|t| t.split(',').next())
+                .and_then(|t| t.trim().parse().ok())
+                .unwrap_or_else(|| panic!("unparsable arrival line: {line}"));
+            assert_eq!(src as usize % 3, k, "arrival on the wrong shard: {line}");
+        }
+    }
+    assert_eq!(total, input_flows, "split must be a partition");
+
+    // Zero shards is rejected loudly.
+    let out = flowsched(&["trace", "split", &input, "--shards", "0", "-o", &prefix]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one shard"));
+}
+
+/// Pull the `flows` count out of a `trace stats` dump.
+fn flows_of(stats_text: &str) -> u64 {
+    stats_text
+        .lines()
+        .find_map(|l| l.strip_prefix("flows            : "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("stats output has a flows line")
+}
+
 /// `trace stats` (and friends) fail loudly: nonzero exit and a
 /// diagnostic on stderr citing the path or the offending line.
 #[test]
