@@ -18,6 +18,11 @@
 //! an enabled one. The disabled run *is* the production hot path
 //! (`run_builtin` delegates to it), so the enabled/disabled delta is
 //! the full cost of instrumentation — target <= 5% on the heavy cells.
+//! Two flight cases bracket span tracing the same way: `flight_off`
+//! (an explicitly attached disabled `FlightHandle` — must be
+//! indistinguishable from `disabled`, the measured-zero claim) and
+//! `flight_on` (a live recorder capturing stage spans into per-thread
+//! rings).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fss_core::Instance;
@@ -96,6 +101,21 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("enabled", &label), &inst, |b, inst| {
             b.iter(|| {
                 let mut tele = fss_engine::EngineTelemetry::enabled();
+                black_box(run_builtin_telemetry(inst, policy, &mut tele))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flight_off", &label), &inst, |b, inst| {
+            b.iter(|| {
+                let mut tele = fss_engine::EngineTelemetry::disabled()
+                    .with_flight(fss_telemetry::FlightHandle::disabled());
+                black_box(run_builtin_telemetry(inst, policy, &mut tele))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flight_on", &label), &inst, |b, inst| {
+            b.iter(|| {
+                let recorder = fss_telemetry::FlightRecorder::new();
+                let mut tele =
+                    fss_engine::EngineTelemetry::disabled().with_flight(recorder.handle("bench"));
                 black_box(run_builtin_telemetry(inst, policy, &mut tele))
             })
         });

@@ -45,7 +45,7 @@ pub use diff::{
     DiffReport, DEFAULT_TOLERANCE_PCT,
 };
 pub use orchestrator::{
-    list_experiments, registry_cell_counts, run_bench, BenchOptions, ProgressLine,
+    flows_per_sec, list_experiments, registry_cell_counts, run_bench, BenchOptions, ProgressLine,
     CELLS_STREAM_NAME,
 };
 pub use registry::{registry, select, CellOutcome, CellSpec, Experiment, ExperimentBuilder, Scale};

@@ -13,6 +13,9 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use fss_flight::{
+    read_spool, to_chrome, FlightRecorder, SpanKind, TraceSink, DEFAULT_SPOOL_MAX_EVENTS,
+};
 use fss_sim::report::{bench_cell_to_jsonl, BenchCell, BenchReport};
 use rayon::prelude::*;
 
@@ -58,6 +61,12 @@ pub struct BenchOptions {
     /// at the machine's available parallelism. `0`/`1` = sequential
     /// cells. Never changes results — only wall time.
     pub cores: usize,
+    /// Write a Chrome Trace Format JSON of the run here (`flowsched
+    /// bench --flight-trace OUT.json`): one round-tagged `Cell` span
+    /// per executed cell (round = flat-list position), spooled next to
+    /// the output as `OUT.json.spool.jsonl`. Tracing observes, never
+    /// steers: cells are bit-identical with or without it.
+    pub flight_trace: Option<PathBuf>,
 }
 
 impl Default for BenchOptions {
@@ -73,6 +82,7 @@ impl Default for BenchOptions {
             stream_trace: false,
             progress: false,
             cores: 1,
+            flight_trace: None,
         }
     }
 }
@@ -125,18 +135,41 @@ impl ProgressLine {
     /// stage match_repair`. Stage detail appears once any instrumented
     /// cell has been folded in.
     pub fn line(&self) -> String {
-        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        self.line_at(self.started.elapsed().as_secs_f64())
+    }
+
+    /// [`ProgressLine::line`] at an explicit elapsed time (seconds) —
+    /// split out so the sub-timer-resolution path is testable.
+    pub fn line_at(&self, elapsed_s: f64) -> String {
         let mut line = format!(
             "cells {}/{} · {:.1} flows/s",
             self.done,
             self.total,
-            self.flows as f64 / elapsed
+            flows_per_sec(self.flows, elapsed_s)
         );
         if let Some(stage) = self.merged.slowest_stage() {
             line.push_str(&format!(" · slowest stage {}", stage.stage));
         }
         line
     }
+}
+
+/// A displayable flow rate: `flows / elapsed` with the denominator
+/// clamped to the timer resolution (1 ms). Cells that finish under the
+/// clock's resolution used to divide by a ~1e-9 epsilon and print a
+/// garbage ~1e9x rate (or `inf` for a literal zero); now they cap at
+/// the honest "at least this fast over one millisecond" bound, and a
+/// zero-flow line is exactly `0.0`.
+pub fn flows_per_sec(flows: u64, elapsed_s: f64) -> f64 {
+    if flows == 0 {
+        return 0.0;
+    }
+    let clamped = if elapsed_s.is_finite() {
+        elapsed_s.max(1e-3)
+    } else {
+        1e-3
+    };
+    flows as f64 / clamped
 }
 
 /// Run the selected experiments and persist their artifacts.
@@ -180,6 +213,24 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
         .map_err(|e| format!("create {}: {e}", stream_path.display()))?;
     let stream = Mutex::new(std::io::BufWriter::new(stream));
 
+    // Flight tracing: one round-tagged Cell span per executed cell.
+    // The handle sits behind a mutex (cells are seconds-coarse, so the
+    // lock is cold) and the sink drains after every cell, so even an
+    // interrupted run leaves a readable spool.
+    let flight = match &opts.flight_trace {
+        None => None,
+        Some(out) => {
+            let mut spool = out.as_os_str().to_os_string();
+            spool.push(".spool.jsonl");
+            let spool = PathBuf::from(spool);
+            let recorder = FlightRecorder::new();
+            let sink = TraceSink::create(&recorder, &spool, DEFAULT_SPOOL_MAX_EVENTS)
+                .map_err(|e| format!("create flight spool {}: {e}", spool.display()))?;
+            let handle = recorder.handle("cells");
+            Some((sink, Mutex::new(handle), out.clone()))
+        }
+    };
+
     // Execute every cell through the work-stealing scheduler; stream
     // each as it finishes (completion order), keep (exp, idx) so the
     // aggregate reports come out in declaration order.
@@ -187,10 +238,24 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
     let progress = opts
         .progress
         .then(|| Mutex::new(ProgressLine::new(flat.len())));
-    let executed: Vec<(usize, usize, BenchCell)> = flat
+    let indexed: Vec<(u64, &crate::cells::FlatCell)> = flat
+        .iter()
+        .enumerate()
+        .map(|(pos, fc)| (pos as u64, fc))
+        .collect();
+    let executed: Vec<(usize, usize, BenchCell)> = indexed
         .par_iter()
-        .map(|fc| {
+        .map(|&(pos, fc)| {
+            let cell_t0 = Instant::now();
             let cell = execute_cell(fc);
+            if let Some((sink, handle, _)) = &flight {
+                {
+                    let mut h = handle.lock().expect("flight handle");
+                    h.round_tag(pos);
+                    h.record(SpanKind::Cell, cell_t0, Instant::now());
+                }
+                sink.drain();
+            }
             let line = bench_cell_to_jsonl(&cell);
             {
                 let mut w = stream.lock().expect("jsonl writer");
@@ -209,6 +274,20 @@ pub fn run_bench(opts: &BenchOptions) -> Result<Vec<BenchReport>, String> {
         .expect("jsonl writer")
         .flush()
         .map_err(|e| format!("flush {}: {e}", stream_path.display()))?;
+
+    if let Some((sink, _, out)) = &flight {
+        let s = sink.finish();
+        let spool = read_spool(&s.path)?;
+        std::fs::write(out, to_chrome(&spool))
+            .map_err(|e| format!("write {}: {e}", out.display()))?;
+        eprintln!(
+            "[fss-bench] flight trace: {} ({} span(s), {} dropped; spool {})",
+            out.display(),
+            s.events,
+            s.dropped,
+            s.path.display()
+        );
+    }
 
     let reports = assemble_reports(&selected, opts.smoke, jobs, total_wall_s, executed)?;
     write_reports(&reports, &opts.out_dir)?;
@@ -247,4 +326,50 @@ pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
         .iter()
         .map(|e| (e.id, e.description))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fss_sim::report::BenchCell;
+
+    fn cell_with_flows(flows: u64) -> BenchCell {
+        BenchCell::new(
+            "exp/cell",
+            vec![("m".into(), "4".into())],
+            Vec::new(),
+            0.0, // finished under the timer resolution
+            flows,
+            "exact",
+        )
+    }
+
+    #[test]
+    fn flows_per_sec_is_finite_and_bounded_at_zero_elapsed() {
+        // The zero-elapsed path: no inf, no NaN, no ~1e9x garbage.
+        assert_eq!(flows_per_sec(0, 0.0), 0.0);
+        let r = flows_per_sec(1_000, 0.0);
+        assert!(r.is_finite());
+        assert_eq!(r, 1_000.0 / 1e-3, "clamped to the 1 ms resolution");
+        // Sub-resolution elapsed clamps the same way.
+        assert_eq!(flows_per_sec(1_000, 1e-9), 1_000.0 / 1e-3);
+        // A hostile elapsed (NaN from a broken clock diff) still renders.
+        assert!(flows_per_sec(5, f64::NAN).is_finite());
+        // Normal path is untouched.
+        assert_eq!(flows_per_sec(500, 2.0), 250.0);
+    }
+
+    #[test]
+    fn progress_line_renders_sanely_for_an_instant_cell() {
+        let mut p = ProgressLine::new(2);
+        let line = p.record(&cell_with_flows(10_000));
+        assert!(line.starts_with("cells 1/2"), "{line}");
+        // Re-render at an explicit zero elapsed: the displayed rate is
+        // the clamped bound, not inf/garbage.
+        let line = p.line_at(0.0);
+        assert!(line.contains("10000000.0 flows/s"), "{line}");
+        assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        let line = p.line_at(10.0);
+        assert!(line.contains("1000.0 flows/s"), "{line}");
+    }
 }

@@ -43,6 +43,8 @@ use fss_bench::{
 use fss_sim::report::{bench_cell_to_jsonl, read_cells_jsonl, BenchCell, BenchReport};
 use fss_telemetry::TelemetrySnapshot;
 
+use fss_flight::{read_spool, to_chrome_merged, Spool, TraceSource};
+
 use crate::partition::round_robin;
 use crate::proto::{MsgKind, RunConfig, WireMsg, PROTO_VERSION};
 
@@ -72,6 +74,12 @@ pub struct DistOptions {
     /// heartbeating. Exercises the no-timeout fault model: a stalled
     /// worker must not get its cells re-dealt.
     pub slow_worker: Option<(usize, u64)>,
+    /// Write a merged Chrome Trace Format JSON here (`--flight-trace`):
+    /// workers spool span traces locally under `<out_dir>/flight/`,
+    /// ship the spool path in their `Done` goodbye, and the coordinator
+    /// merges every spool — including those of crashed workers, read
+    /// from the conventional path — with `w<id>/` track prefixes.
+    pub flight_trace: Option<std::path::PathBuf>,
 }
 
 /// What a coordinated run did.
@@ -100,6 +108,13 @@ pub struct DistSummary {
     /// `BenchOptions::progress`). Authoritative — folded from the
     /// checkpointed cells, not from heartbeat payloads.
     pub telemetry: TelemetrySnapshot,
+    /// Where the merged flight trace was written (`--flight-trace`).
+    pub flight_trace: Option<std::path::PathBuf>,
+    /// Span events across every merged worker spool.
+    pub flight_spans: u64,
+    /// Span events lost across every merged worker spool (ring laps +
+    /// spool truncation).
+    pub flight_dropped: u64,
 }
 
 enum Event {
@@ -242,6 +257,9 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
         heartbeats: 0,
         max_heartbeat_seq: 0,
         telemetry: TelemetrySnapshot::new(),
+        flight_trace: None,
+        flight_spans: 0,
+        flight_dropped: 0,
     };
     if pending.is_empty() {
         summary.reports = finish(&selected, opts, &universe, &done, started)?;
@@ -254,6 +272,22 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
     summary.workers_spawned = n_workers;
     let mut config = RunConfig::from_bench(&opts.bench)?;
     config.heartbeat_ms = opts.heartbeat_ms;
+    // Flight tracing: workers spool locally under <out_dir>/flight/;
+    // only the spool path + accounting come back over the pipe.
+    let flight_dir = match &opts.flight_trace {
+        None => None,
+        Some(_) => {
+            let dir = opts.bench.out_dir.join("flight");
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("create flight dir {}: {e}", dir.display()))?;
+            config.flight_dir = Some(
+                dir.to_str()
+                    .ok_or_else(|| format!("non-UTF-8 flight dir {}", dir.display()))?
+                    .to_string(),
+            );
+            Some(dir)
+        }
+    };
     let mut progress = opts
         .bench
         .progress
@@ -459,8 +493,76 @@ pub fn run_dist(opts: &DistOptions) -> Result<DistSummary, String> {
     for w in set.workers.iter_mut().filter(|w| w.alive) {
         w.send(&WireMsg::shutdown());
     }
+
+    // Flighted runs wait for the goodbyes: `Done` carries each
+    // worker's spool path and accounting, and arrives only after the
+    // worker finalized its spool. Liveness is still pipe-EOF — a
+    // worker that dies instead of saying goodbye just closes its pipe,
+    // and its spool is read from the conventional path below.
+    let mut goodbyes: Vec<Option<(String, u64, u64)>> = vec![None; n_workers];
+    if flight_dir.is_some() {
+        let mut awaiting: HashSet<usize> =
+            (0..n_workers).filter(|&k| set.workers[k].alive).collect();
+        while !awaiting.is_empty() {
+            let Ok(event) = rx.recv() else { break };
+            match event {
+                Event::Msg(i, msg) if msg.kind == MsgKind::Done => {
+                    if let Some(spool) = msg.flight_spool {
+                        goodbyes[i] = Some((
+                            spool,
+                            msg.flight_spans.unwrap_or(0),
+                            msg.flight_dropped.unwrap_or(0),
+                        ));
+                    }
+                    awaiting.remove(&i);
+                }
+                Event::Msg(..) => {} // late heartbeats
+                Event::Eof(i) | Event::Corrupt(i, _) => {
+                    awaiting.remove(&i);
+                }
+            }
+        }
+    }
     drop(set);
     drop(stream);
+
+    if let (Some(dir), Some(out)) = (&flight_dir, &opts.flight_trace) {
+        let mut parsed: Vec<(usize, Spool)> = Vec::new();
+        for (i, goodbye) in goodbyes.iter().enumerate() {
+            let path = match goodbye {
+                Some((p, _, _)) => std::path::PathBuf::from(p),
+                // No goodbye (crashed or pre-v3 worker): the per-cell
+                // drains still left a readable spool at the
+                // conventional path, if tracing got far enough.
+                None => dir.join(format!("w{i}.spool.jsonl")),
+            };
+            if !path.exists() {
+                continue;
+            }
+            match read_spool(&path) {
+                Ok(s) => parsed.push((i, s)),
+                Err(e) => eprintln!(
+                    "bench --flight-trace: skipping unreadable spool {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+        for (_, s) in &parsed {
+            summary.flight_spans += s.events.len() as u64;
+            summary.flight_dropped += s.dropped + s.truncated;
+        }
+        let sources: Vec<TraceSource<'_>> = parsed
+            .iter()
+            .map(|(i, s)| TraceSource {
+                pid: *i as u32 + 1,
+                prefix: format!("w{i}/"),
+                spool: s,
+            })
+            .collect();
+        std::fs::write(out, to_chrome_merged(&sources))
+            .map_err(|e| format!("write {}: {e}", out.display()))?;
+        summary.flight_trace = Some(out.clone());
+    }
 
     summary.reports = finish(&selected, opts, &universe, &done, started)?;
     summary.telemetry = merged_telemetry(&summary.reports);
@@ -593,6 +695,7 @@ mod tests {
             fail_worker: None,
             heartbeat_ms: None,
             slow_worker: None,
+            flight_trace: None,
         }
     }
 

@@ -13,7 +13,7 @@
 //! worker → coordinator   Result   { cell }                   (one per executed cell)
 //! worker → coordinator   Heartbeat { seq, snapshot }         (periodic liveness + progress)
 //! coordinator → worker   Shutdown
-//! worker → coordinator   Done                                (clean goodbye)
+//! worker → coordinator   Done     { flight_spool?, flight_spans?, flight_dropped? }
 //! worker → coordinator   Error    { error }                  (protocol/registry failure)
 //! ```
 //!
@@ -35,8 +35,12 @@
 //! *session* up front; tolerant parsing is what makes that rejection a
 //! polite `Error` message instead of a parse failure, and what lets
 //! checkpoint/log readers consume mixed-version streams. Workers never
-//! touch the filesystem; the coordinator owns the `BENCH_cells.jsonl`
-//! checkpoint stream and the merged artifacts.
+//! write *results* to the filesystem; the coordinator owns the
+//! `BENCH_cells.jsonl` checkpoint stream and the merged artifacts. The
+//! one exception (v3) is the flight spool: when the run config carries
+//! a `flight_dir`, each worker spools its own span trace locally —
+//! traces are too big to ship over the result pipe, so only the spool
+//! path and its bounded accounting travel in the `Done` goodbye.
 
 use fss_bench::BenchOptions;
 use fss_sim::report::BenchCell;
@@ -49,7 +53,13 @@ use serde::{Content, DeError, Deserialize, Serialize};
 /// v2 added the heartbeat payload (`seq` + `snapshot`), the
 /// `progress` / `heartbeat_ms` run-config knobs, and per-worker
 /// `slow_ms` fault injection.
-pub const PROTO_VERSION: u32 = 2;
+///
+/// v3 added flight tracing: the `flight_dir` run-config knob (workers
+/// spool span traces locally under it) and the goodbye payload on
+/// `Done` (`flight_spool` / `flight_spans` / `flight_dropped`), which
+/// ships the bounded spool accounting — never the spans themselves —
+/// back to the coordinator for the merged-trace export.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Message discriminator (serialized as the variant name).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,6 +111,10 @@ pub struct RunConfig {
     /// worker default, [`crate::worker::HEARTBEAT_INTERVAL`]). Tests
     /// shrink this so one cell spans many heartbeats.
     pub heartbeat_ms: Option<u64>,
+    /// Directory the worker spools its flight trace into
+    /// (`<flight_dir>/w<id>.spool.jsonl`); `None` = tracing off. The
+    /// coordinator's `--flight-trace`. Absent in pre-v3 configs.
+    pub flight_dir: Option<String>,
 }
 
 /// Look up `key`, treating a missing key and an explicit `null`
@@ -133,6 +147,7 @@ impl Deserialize for RunConfig {
             stream_trace: opt_bool(m, "stream_trace")?,
             progress: opt_bool(m, "progress")?,
             heartbeat_ms: opt(m, "heartbeat_ms")?,
+            flight_dir: opt(m, "flight_dir")?,
         })
     }
 }
@@ -157,6 +172,7 @@ impl RunConfig {
             stream_trace: opts.stream_trace,
             progress: opts.progress,
             heartbeat_ms: None,
+            flight_dir: None,
         })
     }
 
@@ -181,6 +197,9 @@ impl RunConfig {
             // the coordinator's worker count, and intra-cell fan-out
             // would oversubscribe the per-worker thread cap.
             cores: 1,
+            // Worker-side tracing runs off `flight_dir`, not the bench
+            // orchestrator's own exporter.
+            flight_trace: None,
         }
     }
 }
@@ -219,6 +238,13 @@ pub struct WireMsg {
     /// `Hello`: fault injection — sleep this long before each cell
     /// (a slow-but-alive worker for the heartbeat tests).
     pub slow_ms: Option<u64>,
+    /// `Done`: where this worker's flight spool lives (only when the
+    /// run config carried a `flight_dir`).
+    pub flight_spool: Option<String>,
+    /// `Done`: span events written to the spool.
+    pub flight_spans: Option<u64>,
+    /// `Done`: span events lost (ring laps + spool truncation).
+    pub flight_dropped: Option<u64>,
 }
 
 impl Deserialize for WireMsg {
@@ -239,6 +265,9 @@ impl Deserialize for WireMsg {
             seq: opt(m, "seq")?,
             snapshot: opt(m, "snapshot")?,
             slow_ms: opt(m, "slow_ms")?,
+            flight_spool: opt(m, "flight_spool")?,
+            flight_spans: opt(m, "flight_spans")?,
+            flight_dropped: opt(m, "flight_dropped")?,
         })
     }
 }
@@ -258,6 +287,9 @@ impl WireMsg {
             seq: None,
             snapshot: None,
             slow_ms: None,
+            flight_spool: None,
+            flight_spans: None,
+            flight_dropped: None,
         }
     }
 
@@ -324,6 +356,15 @@ impl WireMsg {
         WireMsg::base(MsgKind::Done)
     }
 
+    /// Attach the flight-spool accounting to a `Done` goodbye (builder,
+    /// used when the run config carried a `flight_dir`).
+    pub fn with_flight(mut self, spool: String, spans: u64, dropped: u64) -> WireMsg {
+        self.flight_spool = Some(spool);
+        self.flight_spans = Some(spans);
+        self.flight_dropped = Some(dropped);
+        self
+    }
+
     /// Build an `Error` report.
     pub fn error(message: impl Into<String>) -> WireMsg {
         WireMsg {
@@ -357,6 +398,7 @@ mod tests {
             stream_trace: false,
             progress: false,
             heartbeat_ms: None,
+            flight_dir: None,
         }
     }
 
@@ -381,6 +423,7 @@ mod tests {
             WireMsg::heartbeat(7, beat_snap),
             WireMsg::shutdown(),
             WireMsg::done(),
+            WireMsg::done().with_flight("/tmp/flight/w3.spool.jsonl".into(), 1200, 7),
             WireMsg::error("boom"),
         ];
         for msg in msgs {
@@ -433,6 +476,23 @@ mod tests {
         assert!(config.smoke);
         assert!(!config.progress, "missing v2 field defaults to false");
         assert_eq!(config.heartbeat_ms, None);
+        assert_eq!(config.flight_dir, None, "missing v3 field defaults to None");
+    }
+
+    #[test]
+    fn v2_done_without_flight_fields_still_parses() {
+        // Byte-for-byte what a proto-v2 worker said goodbye with: no
+        // flight keys existed before v3.
+        let line = concat!(
+            r#"{"kind":"Done","proto":null,"worker":null,"config":null,"fail_after":null,"#,
+            r#""cells":null,"assign":null,"cell":null,"error":null,"seq":null,"#,
+            r#""snapshot":null,"slow_ms":null}"#,
+        );
+        let msg = WireMsg::parse(line).expect("v2 done parses under v3 reader");
+        assert_eq!(msg.kind, MsgKind::Done);
+        assert_eq!(msg.flight_spool, None);
+        assert_eq!(msg.flight_spans, None);
+        assert_eq!(msg.flight_dropped, None);
     }
 
     #[test]

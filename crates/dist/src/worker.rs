@@ -11,7 +11,13 @@
 //! worker's *cumulative* telemetry snapshot (completed-cell telemetry
 //! plus a `worker_cells_done` counter), so the coordinator can show
 //! live progress without waiting on the result stream. Workers
-//! never touch the filesystem — checkpointing is the coordinator's job.
+//! never write results to the filesystem — checkpointing is the
+//! coordinator's job. The one local artifact is the v3 flight spool:
+//! when the run config carries a `flight_dir`, the worker records one
+//! `Cell` span per executed cell (round-tagged with the execution
+//! index) into `<flight_dir>/w<id>.spool.jsonl`, drained after every
+//! cell so a crashed worker still leaves a readable post-mortem, and
+//! ships only the spool path + accounting in its `Done` goodbye.
 //!
 //! The loop is generic over its transport (`BufRead` in, `Write` out),
 //! so tests drive it in-process over byte buffers; production wires it
@@ -21,9 +27,10 @@ use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fss_bench::{execute_cell, flatten, scale_of, select_experiments, FlatCell};
+use fss_flight::{FlightHandle, FlightRecorder, SpanKind, TraceSink, DEFAULT_SPOOL_MAX_EVENTS};
 use fss_telemetry::TelemetrySnapshot;
 
 use crate::framing::{read_msg, send_msg as send};
@@ -64,12 +71,40 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
         return Err(err);
     }
     let config = hello.config.ok_or("Hello carried no run config")?;
+    let worker_id = hello.worker.unwrap_or(0);
     let fail_after = hello.fail_after;
     let slow_ms = hello.slow_ms;
     let interval = config
         .heartbeat_ms
         .map(Duration::from_millis)
         .unwrap_or(HEARTBEAT_INTERVAL);
+
+    // Flight tracing (proto v3): spool Cell spans locally, drained
+    // after every cell so even a crashed worker leaves a readable
+    // post-mortem. Only the path + accounting travel on the wire.
+    let mut flight: Option<(TraceSink, FlightHandle)> = match &config.flight_dir {
+        None => None,
+        Some(dir) => {
+            let setup = (|| -> Result<(TraceSink, FlightHandle), String> {
+                let dir = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("create flight dir {}: {e}", dir.display()))?;
+                let spool = dir.join(format!("w{worker_id}.spool.jsonl"));
+                let recorder = FlightRecorder::new();
+                let sink = TraceSink::create(&recorder, &spool, DEFAULT_SPOOL_MAX_EVENTS)
+                    .map_err(|e| format!("create flight spool {}: {e}", spool.display()))?;
+                let handle = recorder.handle("cells");
+                Ok((sink, handle))
+            })();
+            match setup {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    let _ = send(&output, &WireMsg::error(&e));
+                    return Err(e);
+                }
+            }
+        }
+    };
 
     let universe = (|| -> Result<Vec<FlatCell>, String> {
         let opts = config.to_bench();
@@ -139,7 +174,15 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
                             // failure-detector invariant in tests.
                             std::thread::sleep(Duration::from_millis(ms));
                         }
+                        let cell_t0 = Instant::now();
                         let cell = execute_cell(fc);
+                        if let Some((sink, h)) = flight.as_mut() {
+                            // Round-tag with the execution index so the
+                            // merged trace orders cells per worker.
+                            h.round_tag(executed);
+                            h.record(SpanKind::Cell, cell_t0, Instant::now());
+                            sink.drain();
+                        }
                         {
                             let mut a = accum.lock().map_err(|_| "telemetry mutex poisoned")?;
                             if let Some(t) = &cell.telemetry {
@@ -155,7 +198,18 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
                     }
                 }
                 MsgKind::Shutdown => {
-                    send(&output, &WireMsg::done())?;
+                    let goodbye = match flight.as_ref() {
+                        None => WireMsg::done(),
+                        Some((sink, _)) => {
+                            let s = sink.finish();
+                            WireMsg::done().with_flight(
+                                s.path.display().to_string(),
+                                s.events,
+                                s.dropped,
+                            )
+                        }
+                    };
+                    send(&output, &goodbye)?;
                     return Ok(());
                 }
                 other => return Err(format!("unexpected {other:?} from coordinator")),
@@ -166,6 +220,13 @@ pub fn run_worker<R: BufRead, W: Write + Send + 'static>(
 
     stop.store(true, Ordering::Relaxed);
     let _ = beat.join();
+    // EOF/crash exits skipped the Shutdown goodbye: drain whatever the
+    // rings still hold so the on-disk spool is a complete post-mortem.
+    // (No finalize — the Shutdown path already finalized, and doing it
+    // twice would double-write the accounting metas.)
+    if let Some((sink, _)) = &flight {
+        sink.drain();
+    }
     if let Err(e) = &result {
         if e != INJECTED_CRASH {
             let _ = send(&output, &WireMsg::error(e));
@@ -211,6 +272,7 @@ mod tests {
             stream_trace: false,
             progress: false,
             heartbeat_ms: None,
+            flight_dir: None,
         }
     }
 
@@ -324,6 +386,56 @@ mod tests {
             (1..=3).contains(&max_done),
             "beats after the first completed cell carry its count, got {max_done}"
         );
+    }
+
+    #[test]
+    fn a_flighted_worker_spools_cell_spans_and_ships_the_accounting() {
+        let dir = std::env::temp_dir().join("fss-dist-test-worker-flight");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = gaps_config();
+        cfg.flight_dir = Some(dir.to_str().unwrap().to_string());
+        let universe = gaps_universe();
+        let fps: Vec<String> = universe.iter().map(|f| f.fingerprint.clone()).collect();
+        let (result, out) = drive(&[
+            WireMsg::hello(5, cfg, None),
+            WireMsg::assign(fps.clone()),
+            WireMsg::shutdown(),
+        ]);
+        result.expect("clean session");
+
+        // The goodbye carries the spool path and accounting...
+        let done = out
+            .iter()
+            .find(|m| m.kind == MsgKind::Done)
+            .expect("worker says goodbye");
+        let spool_path = done
+            .flight_spool
+            .as_deref()
+            .expect("flighted goodbye names the spool");
+        assert!(
+            spool_path.ends_with("w5.spool.jsonl"),
+            "spool is named after the worker id from Hello: {spool_path}"
+        );
+        assert_eq!(
+            done.flight_spans,
+            Some(fps.len() as u64),
+            "one Cell span per cell"
+        );
+        assert_eq!(done.flight_dropped, Some(0));
+
+        // ...and the spool itself holds one round-tagged Cell span per
+        // executed cell, in execution order.
+        let spool = fss_flight::read_spool(std::path::Path::new(spool_path)).unwrap();
+        let cells: Vec<_> = spool
+            .events
+            .iter()
+            .filter(|e| e.kind == SpanKind::Cell)
+            .collect();
+        assert_eq!(cells.len(), fps.len());
+        let rounds: Vec<u64> = cells.iter().map(|e| e.round).collect();
+        let want: Vec<u64> = (0..fps.len() as u64).collect();
+        assert_eq!(rounds, want, "rounds are the execution indices");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
     };
 
     while !waiting.is_empty() || pending.is_some() {
+        tele.flight_round(t);
         // Ingest every arrival released by round `t` (the source contract
         // guarantees `(release, id)` order, matching the legacy ingest).
         span!(tele, Stage::Ingest, {
@@ -157,6 +158,7 @@ pub(crate) fn drive_failures<S: FlowSource, P: OnlinePolicy + ?Sized>(
         t += 1;
         tele.round();
     }
+    tele.flight_round_finish();
     crate::stream::finish_telemetry(tele, &stats);
     stats
 }

@@ -56,7 +56,7 @@ use crate::wmatcher::IncrementalWeightedMatcher;
 use crate::{outage, stream, EngineMode};
 use fss_core::prelude::FailurePlan;
 use fss_online::{OnlinePolicy, WeightModel};
-use fss_telemetry::{span, EngineTelemetry, Stage};
+use fss_telemetry::{span, ChanId, EngineTelemetry, FlightHandle, Stage, WaitDir};
 
 /// Arrivals per ingest batch (amortizes one channel op over many
 /// arrivals; batches may straddle round boundaries — the round loop
@@ -135,6 +135,11 @@ struct BatchSource {
     len_hint: Option<usize>,
     rx: Receiver<Vec<Arrival>>,
     cur: std::vec::IntoIter<Arrival>,
+    /// Span handle for the blocking batch receives (its own ring: the
+    /// consumer thread's main handle is mutably borrowed by the drive
+    /// while this source is polled).
+    flight: FlightHandle,
+    chan: ChanId,
 }
 
 impl FlowSource for BatchSource {
@@ -151,7 +156,8 @@ impl FlowSource for BatchSource {
             if let Some(a) = self.cur.next() {
                 return Some(a);
             }
-            match self.rx.recv() {
+            let (flight, chan) = (&mut self.flight, self.chan);
+            match flight.wait(WaitDir::Recv, chan, || self.rx.recv()) {
                 Ok(batch) => self.cur = batch.into_iter(),
                 Err(_) => return None,
             }
@@ -163,30 +169,21 @@ impl FlowSource for BatchSource {
     }
 }
 
-/// Sibling telemetry handle for a worker thread: records iff the
-/// parent does, merged back into the parent at join.
-fn fork(tele: &EngineTelemetry) -> EngineTelemetry {
-    if tele.is_enabled() {
-        EngineTelemetry::enabled()
-    } else {
-        EngineTelemetry::disabled()
-    }
-}
-
 /// Move `source` onto a dedicated ingest thread inside `scope`,
 /// returning the channel-backed replacement plus the thread's telemetry
 /// handle (joined by the caller).
 fn spawn_ingest<'scope, S: FlowSource + Send + 'scope>(
     scope: &'scope thread::Scope<'scope, '_>,
     source: S,
-    tele: &EngineTelemetry,
+    tele: &mut EngineTelemetry,
 ) -> (
     BatchSource,
     thread::ScopedJoinHandle<'scope, EngineTelemetry>,
 ) {
     let (m_in, m_out, len_hint) = (source.m_in(), source.m_out(), source.len_hint());
     let (tx, rx) = sync_channel::<Vec<Arrival>>(ARRIVAL_DEPTH);
-    let mut tele_i = fork(tele);
+    let arr_chan = tele.flight_chan("arrivals");
+    let mut tele_i = tele.sibling("ingest");
     let handle = scope.spawn(move || {
         let mut source = source;
         loop {
@@ -200,7 +197,15 @@ fn spawn_ingest<'scope, S: FlowSource + Send + 'scope>(
                 }
                 batch
             });
-            if batch.is_empty() || tx.send(batch).is_err() {
+            if batch.is_empty() {
+                break;
+            }
+            // Ingest learns rounds second-hand: tag this thread's
+            // subsequent spans with the batch tail's release round.
+            if let Some(a) = batch.last() {
+                tele_i.flight_round_tag(a.release);
+            }
+            if tele_i.chan_send(arr_chan, || tx.send(batch)).is_err() {
                 break;
             }
         }
@@ -213,6 +218,8 @@ fn spawn_ingest<'scope, S: FlowSource + Send + 'scope>(
             len_hint,
             rx,
             cur: Vec::new().into_iter(),
+            flight: tele.flight().sibling("arrivals"),
+            chan: arr_chan,
         },
         handle,
     )
@@ -239,9 +246,13 @@ where
         let mut sink_tele = None;
         if offload_dispatch {
             let (tx, rx) = sync_channel::<Vec<(u64, u64, u64)>>(DISPATCH_DEPTH);
-            let mut tele_d = fork(tele);
+            let disp_chan = tele.flight_chan("dispatch");
+            let mut tele_d = tele.sibling("dispatch");
             let sink = scope.spawn(move || {
-                while let Ok(batch) = rx.recv() {
+                while let Ok(batch) = tele_d.chan_recv(disp_chan, || rx.recv()) {
+                    if let Some(&(_, _, round)) = batch.first() {
+                        tele_d.flight_round_tag(round);
+                    }
                     span!(tele_d, Stage::Dispatch, {
                         for (id, release, round) in batch {
                             on_dispatch(id, release, round);
@@ -403,18 +414,24 @@ fn run_sharded<S: FlowSource + Send>(
         // Match → shard command channels and shard → dispatch output
         // channels, one SPSC pair per worker.
         let mut cmd_txs = Vec::with_capacity(workers);
+        let mut cmd_chans = Vec::with_capacity(workers);
         let mut out_rxs = Vec::with_capacity(workers);
+        let mut out_chans = Vec::with_capacity(workers);
         let mut shards = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for s in 0..workers {
             let (cmd_tx, cmd_rx) = sync_channel::<Vec<ShardCmd>>(CMD_DEPTH);
             let (out_tx, out_rx) = sync_channel::<Vec<(u64, u64)>>(OUT_DEPTH);
             cmd_txs.push(cmd_tx);
             out_rxs.push(out_rx);
-            let mut tele_s = fork(tele);
+            let cmd_chan = tele.flight_chan(&format!("cmd{s}"));
+            let out_chan = tele.flight_chan(&format!("out{s}"));
+            cmd_chans.push(cmd_chan);
+            out_chans.push(out_chan);
+            let mut tele_s = tele.sibling(&format!("shard{s}"));
             shards.push(scope.spawn(move || {
                 let mut queues = ShardedQueues::new(m_in, m_out);
                 let mut out: Vec<(u64, u64)> = Vec::new();
-                while let Ok(cmds) = cmd_rx.recv() {
+                while let Ok(cmds) = tele_s.chan_recv(cmd_chan, || cmd_rx.recv()) {
                     span!(tele_s, Stage::QueueUpdate, {
                         for cmd in cmds {
                             match cmd {
@@ -433,7 +450,11 @@ fn run_sharded<S: FlowSource + Send>(
                             }
                         }
                     });
-                    if !out.is_empty() && out_tx.send(std::mem::take(&mut out)).is_err() {
+                    if !out.is_empty()
+                        && tele_s
+                            .chan_send(out_chan, || out_tx.send(std::mem::take(&mut out)))
+                            .is_err()
+                    {
                         break;
                     }
                 }
@@ -446,24 +467,31 @@ fn run_sharded<S: FlowSource + Send>(
         // and account response times — the sequential drive's dispatch
         // block, verbatim, one thread downstream.
         let (man_tx, man_rx) = sync_channel::<(u64, Vec<(u32, u32)>)>(MANIFEST_DEPTH);
-        let mut tele_d = fork(tele);
+        let man_chan = tele.flight_chan("manifest");
+        let mut tele_d = tele.sibling("dispatch");
         let dispatch = scope.spawn(move || {
             let mut stats = StreamStats::default();
             let mut needed = vec![0usize; workers];
             let mut bufs: Vec<(Vec<(u64, u64)>, usize)> = vec![(Vec::new(), 0); workers];
-            while let Ok((t, sel)) = man_rx.recv() {
+            while let Ok((t, sel)) = tele_d.chan_recv(man_chan, || man_rx.recv()) {
+                tele_d.flight_round_tag(t);
+                needed.fill(0);
+                for &(p, _) in &sel {
+                    needed[shard_of(p)] += 1;
+                }
+                // Collect the round's shard outputs first (blocking
+                // receives, recorded as channel waits, not dispatch
+                // work), then reassemble under the dispatch span.
+                for (s, n) in needed.iter().enumerate() {
+                    if *n > 0 {
+                        let batch = tele_d
+                            .chan_recv(out_chans[s], || out_rxs[s].recv())
+                            .expect("shard output");
+                        debug_assert_eq!(batch.len(), *n, "one output batch per round");
+                        bufs[s] = (batch, 0);
+                    }
+                }
                 span!(tele_d, Stage::Dispatch, {
-                    needed.fill(0);
-                    for &(p, _) in &sel {
-                        needed[shard_of(p)] += 1;
-                    }
-                    for (s, n) in needed.iter().enumerate() {
-                        if *n > 0 {
-                            let batch = out_rxs[s].recv().expect("shard output");
-                            debug_assert_eq!(batch.len(), *n, "one output batch per round");
-                            bufs[s] = (batch, 0);
-                        }
-                    }
                     for &(p, _) in &sel {
                         let (batch, cursor) = &mut bufs[shard_of(p)];
                         let (id, release) = batch[*cursor];
@@ -492,6 +520,7 @@ fn run_sharded<S: FlowSource + Send>(
             arrival_scheduled = Some(a.release);
         }
         while let Some(t) = events.pop_round() {
+            tele.flight_round(t);
             span!(tele, Stage::Ingest, {
                 while let Some(a) = pending {
                     if a.release > t {
@@ -531,19 +560,23 @@ fn run_sharded<S: FlowSource + Send>(
             }
             // Manifest before pop commands — see the module docs on
             // deadlock freedom.
-            man_tx.send((t, sel.clone())).expect("dispatch stage alive");
+            tele.chan_send(man_chan, || man_tx.send((t, sel.clone())))
+                .expect("dispatch stage alive");
             for &(p, q) in &sel {
                 cmd_bufs[shard_of(p)].push(ShardCmd::Pop { src: p, dst: q });
                 let (_release, now_empty) = agg.pop(p, q);
                 matcher.on_pop(p, q, now_empty);
             }
-            span!(tele, Stage::QueueUpdate, {
-                for (s, buf) in cmd_bufs.iter_mut().enumerate() {
-                    if !buf.is_empty() {
-                        cmd_txs[s].send(std::mem::take(buf)).expect("shard alive");
-                    }
+            // Command flush: the (possibly blocking) per-shard sends are
+            // recorded as channel waits rather than queue_update work —
+            // the shards account the actual queue mutations.
+            for (s, buf) in cmd_bufs.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    let cmds = std::mem::take(buf);
+                    tele.chan_send(cmd_chans[s], || cmd_txs[s].send(cmds))
+                        .expect("shard alive");
                 }
-            });
+            }
             if !agg.is_empty() {
                 events.push(t + 1, EventKind::Dispatch);
             }
@@ -562,6 +595,7 @@ fn run_sharded<S: FlowSource + Send>(
         for shard in shards {
             tele.merge(&shard.join().expect("shard worker"));
         }
+        tele.flight_round_finish();
         finish_telemetry(tele, &stats);
         stats
     })

@@ -80,6 +80,7 @@ pub(crate) fn drive_exact<S: FlowSource>(
         arrival_scheduled = Some(a.release);
     }
     while let Some(t) = events.pop_round() {
+        tele.flight_round(t);
         // Ingest every arrival released by round `t` (the event queue may
         // have jumped over several release rounds while the queue drained).
         span!(tele, Stage::Ingest, {
@@ -129,6 +130,7 @@ pub(crate) fn drive_exact<S: FlowSource>(
         }
         tele.round();
     }
+    tele.flight_round_finish();
     finish_telemetry(tele, &stats);
     stats
 }
@@ -157,6 +159,7 @@ pub(crate) fn drive_incremental<S: FlowSource>(
         arrival_scheduled = Some(a.release);
     }
     while let Some(t) = events.pop_round() {
+        tele.flight_round(t);
         span!(tele, Stage::Ingest, {
             while let Some(a) = pending {
                 if a.release > t {
@@ -209,6 +212,7 @@ pub(crate) fn drive_incremental<S: FlowSource>(
     let (searches, augmentations) = matcher.work();
     tele.counter_add("match_searches", searches);
     tele.counter_add("match_augmentations", augmentations);
+    tele.flight_round_finish();
     finish_telemetry(tele, &stats);
     stats
 }
@@ -242,6 +246,7 @@ pub(crate) fn drive_weighted<S: FlowSource>(
         arrival_scheduled = Some(a.release);
     }
     while let Some(t) = events.pop_round() {
+        tele.flight_round(t);
         span!(tele, Stage::Ingest, {
             while let Some(a) = pending {
                 if a.release > t {
@@ -284,6 +289,7 @@ pub(crate) fn drive_weighted<S: FlowSource>(
     let (selects, cells_touched) = matcher.work();
     tele.counter_add("wmatch_selects", selects);
     tele.counter_add("wmatch_cells_touched", cells_touched);
+    tele.flight_round_finish();
     finish_telemetry(tele, &stats);
     stats
 }

@@ -3,8 +3,9 @@
 //! sequential drives **round-for-round** — the exact `on_dispatch`
 //! sequence and `StreamStats`, not merely equal aggregates — at every
 //! cores level, for every §5 policy, with and without failure plans,
-//! with and without telemetry. Parallelism changes wall time, never
-//! results.
+//! with and without telemetry, and with and without the flight
+//! recorder. Parallelism changes wall time, never results; tracing
+//! observes runs, never steers them.
 
 use fss_core::prelude::*;
 use fss_engine::{
@@ -12,6 +13,7 @@ use fss_engine::{
     InstanceSource,
 };
 use fss_online::{FifoGreedy, MaxCard, MaxWeight, MinRTime, OnlinePolicy};
+use fss_telemetry::FlightRecorder;
 use proptest::prelude::*;
 
 /// Strategy: a unit-demand instance on an `m x m` unit switch with
@@ -161,6 +163,58 @@ proptest! {
                 prop_assert_eq!(
                     &got, &base,
                     "telemetry steered mode {:?} at {} cores", mode, cores
+                );
+            }
+        }
+    }
+
+    /// The flight recorder observes, never steers: with span tracing
+    /// armed, every §5 policy (and the incremental mode) produces a
+    /// bit-identical schedule at 1/2/4 cores — and actually records
+    /// spans, so the comparison is not vacuous.
+    #[test]
+    fn flight_tracing_never_steers_the_pipeline(inst in unit_instance()) {
+        let modes = POLICIES
+            .iter()
+            .map(|&p| EngineMode::Exact(p))
+            .chain([EngineMode::Incremental]);
+        for mode in modes {
+            let mut off = EngineTelemetry::disabled();
+            let base = stream_at(&inst, mode, 1, &mut off);
+            for cores in [1usize, 2, 4] {
+                let recorder = FlightRecorder::new();
+                let mut on = EngineTelemetry::disabled()
+                    .with_flight(recorder.handle("differential"));
+                let got = stream_at(&inst, mode, cores, &mut on);
+                prop_assert_eq!(
+                    &got, &base,
+                    "flight tracing steered mode {:?} at {} cores", mode, cores
+                );
+                let (recorded, _) = recorder.totals();
+                prop_assert!(
+                    recorded > 0,
+                    "no spans recorded for mode {:?} at {} cores", mode, cores
+                );
+            }
+        }
+    }
+
+    /// Same under port outages: the traced failure drive matches the
+    /// untraced sequential one per policy, at every cores level.
+    #[test]
+    fn flight_tracing_never_steers_under_failures((inst, plan) in instance_and_plan()) {
+        for kind in POLICIES {
+            let mut off = EngineTelemetry::disabled();
+            let base = failures_at(&inst, kind, &plan, 1, &mut off);
+            for cores in [1usize, 2, 4] {
+                let recorder = FlightRecorder::new();
+                let mut on = EngineTelemetry::disabled()
+                    .with_flight(recorder.handle("differential"));
+                let got = failures_at(&inst, kind, &plan, cores, &mut on);
+                prop_assert_eq!(
+                    &got, &base,
+                    "flight tracing steered policy {} + outages at {} cores",
+                    kind.name(), cores
                 );
             }
         }

@@ -18,6 +18,7 @@
 //! same exposition `flowsched telemetry export` produces for batch
 //! artifacts, so dashboards work on either.
 
+use fss_flight::{read_spool, to_chrome, TraceSink};
 use fss_telemetry::{to_prometheus, Counter, Registry, TelemetrySnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,6 +40,12 @@ pub struct ServeMetrics {
     pub pauses: Arc<Counter>,
     /// Client connections accepted after the first (reattaches).
     pub reconnects: Arc<Counter>,
+    /// Stalls the flight watchdog detected (round counter frozen past
+    /// its budget; each one also dumped a post-mortem to the spool).
+    pub stalls: Arc<Counter>,
+    /// The session's live trace sink, when `--flight-trace` is on —
+    /// the `/trace` endpoint drains and renders it.
+    pub flight: Arc<Mutex<Option<TraceSink>>>,
     /// Live ingest queue depth, shared with the [`crate::AdmissionGate`].
     pub queue_depth: Arc<AtomicU64>,
     /// The engine round-loop's periodically-published snapshot
@@ -59,6 +66,7 @@ impl ServeMetrics {
         let dispatched = registry.counter("serve_flows_dispatched");
         let pauses = registry.counter("serve_ingest_pauses");
         let reconnects = registry.counter("serve_client_reconnects");
+        let stalls = registry.counter("serve_stalls");
         ServeMetrics {
             registry,
             ingested,
@@ -67,6 +75,8 @@ impl ServeMetrics {
             dispatched,
             pauses,
             reconnects,
+            stalls,
+            flight: Arc::new(Mutex::new(None)),
             queue_depth: Arc::new(AtomicU64::new(0)),
             engine: Arc::new(Mutex::new(TelemetrySnapshot::new())),
             started: Instant::now(),
@@ -101,6 +111,21 @@ impl ServeMetrics {
             snap.max_gauge("serve_decision_p99_ns", p99);
         }
         to_prometheus(&snap, &[("source", "serve")])
+    }
+
+    /// Render the current span trace as Chrome Trace Format JSON (the
+    /// `/trace` endpoint body): drains the rings into the spool, reads
+    /// it back, and exports. `None` when the session runs untraced.
+    pub fn trace_json(&self) -> Option<Result<String, String>> {
+        let path = {
+            let guard = self.flight.lock().ok()?;
+            let sink = guard.as_ref()?;
+            sink.drain();
+            let w = sink.writer();
+            let path = w.lock().ok()?.path().to_path_buf();
+            path
+        };
+        Some(read_spool(&path).map(|spool| to_chrome(&spool)))
     }
 }
 

@@ -143,13 +143,36 @@ pub fn spawn_metrics_server(
 fn answer_scrape(mut stream: TcpStream, metrics: &ServeMetrics) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    // Read (and ignore) the request head; scrapers send well under 1 KiB.
+    // Read the request head (scrapers send well under 1 KiB); only the
+    // path matters for routing.
     let mut head = [0u8; 1024];
-    let _ = stream.read(&mut head);
-    let body = metrics.render();
+    let n = stream.read(&mut head).unwrap_or(0);
+    let head = String::from_utf8_lossy(&head[..n]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/metrics");
+    let (status, ctype, body) = if path.starts_with("/trace") {
+        match metrics.trace_json() {
+            Some(Ok(json)) => ("200 OK", "application/json", json),
+            Some(Err(e)) => (
+                "500 Internal Server Error",
+                "text/plain",
+                format!("trace export failed: {e}\n"),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "tracing is off: start the session with --flight-trace\n".to_string(),
+            ),
+        }
+    } else {
+        ("200 OK", "text/plain; version=0.0.4", metrics.render())
+    };
     write!(
         stream,
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()

@@ -22,10 +22,16 @@ use crate::admission::{Admission, AdmissionGate, AdmissionMode};
 use crate::metrics::ServeMetrics;
 use crate::proto::{parse_ingest, IngestLine, ServeKind, ServeMsg, ServeStats};
 use fss_engine::{ChannelSource, EngineTelemetry, StreamStats};
+use fss_flight::{
+    stall_inject_from_env, FlightHandle, FlightRecorder, SpanKind, StallWatchdog, TraceSink,
+    DEFAULT_SPOOL_MAX_EVENTS, DEFAULT_STALL_BUDGET,
+};
 use fss_sim::{FailurePlan, PolicyKind};
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Where response lines go. Cloneable handle over a shared state so the
 /// ingest thread, the engine thread, and the server's accept loop all
@@ -156,6 +162,13 @@ pub struct ServeOptions {
     /// value (the pipeline's determinism contract), so this is purely a
     /// throughput knob for heavy ingest streams.
     pub cores: usize,
+    /// Record a span trace into this spool file (`flowsched serve
+    /// --flight-trace OUT.json` spools to `OUT.json.spool.jsonl` and
+    /// exports at finish). Tracing never changes schedules.
+    pub flight_spool: Option<PathBuf>,
+    /// Stall-watchdog budget (`--stall-budget-ms`); `None` uses
+    /// [`DEFAULT_STALL_BUDGET`]. Only meaningful with a spool.
+    pub stall_budget: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -168,6 +181,8 @@ impl Default for ServeOptions {
             admission: AdmissionMode::Pause,
             publish_every: 64,
             cores: 1,
+            flight_spool: None,
+            stall_budget: None,
         }
     }
 }
@@ -184,6 +199,15 @@ pub enum Ingested {
 struct Running {
     gate: AdmissionGate,
     engine: JoinHandle<StreamStats>,
+    flight: Option<FlightRun>,
+}
+
+/// The tracing side of a running session: the sink (shared with the
+/// metrics `/trace` slot) and the stall watchdog over the engine's
+/// round-progress cell.
+struct FlightRun {
+    sink: TraceSink,
+    watchdog: StallWatchdog,
 }
 
 /// One live serve session (see the module docs).
@@ -241,9 +265,43 @@ impl ServeSession {
         let cores = self.opts.cores;
         let sink = self.sink.clone();
         let metrics = Arc::clone(&self.metrics);
+
+        // Span tracing: one recorder + spool per session, the engine
+        // thread's handle rides inside its telemetry, and a watchdog
+        // monitors the round-progress cell (a stall bumps the
+        // `serve_stalls` counter and dumps a post-mortem).
+        let mut flight = None;
+        let mut flight_handle = FlightHandle::disabled();
+        let mut session_span = 0u64;
+        if let Some(spool) = &self.opts.flight_spool {
+            let recorder = FlightRecorder::new();
+            let trace_sink = TraceSink::create(&recorder, spool, DEFAULT_SPOOL_MAX_EVENTS)
+                .map_err(|e| format!("create flight spool {}: {e}", spool.display()))?;
+            let mut h = recorder.handle("engine");
+            if let Some(inject) = stall_inject_from_env()? {
+                h.set_stall_inject(inject);
+            }
+            session_span = recorder.alloc_span_id();
+            h.set_session(session_span);
+            flight_handle = h;
+            let budget = self.opts.stall_budget.unwrap_or(DEFAULT_STALL_BUDGET);
+            let stalls = Arc::clone(&self.metrics.stalls);
+            let watchdog = StallWatchdog::spawn(&recorder, &trace_sink, budget, move |_| {
+                stalls.inc();
+            });
+            if let Ok(mut slot) = self.metrics.flight.lock() {
+                *slot = Some(trace_sink.clone());
+            }
+            flight = Some(FlightRun {
+                sink: trace_sink,
+                watchdog,
+            });
+        }
+
         let engine = std::thread::spawn(move || {
-            let mut tele = EngineTelemetry::enabled();
+            let mut tele = EngineTelemetry::enabled().with_flight(flight_handle);
             tele.publish_every(publish_every, Arc::clone(&metrics.engine));
+            let session_started = Instant::now();
             // The pipelined drive keeps its match stage (and thus the
             // publish cadence) on this engine thread, so live metrics
             // behave identically at every cores value.
@@ -258,13 +316,26 @@ impl ServeSession {
                     sink.send(&ServeMsg::dispatch(id, release, round));
                 },
             );
-            // Final publish so a post-drain scrape sees the full run.
+            // One umbrella span covering the whole drive (the id round
+            // spans were parented under), then the final publish so a
+            // post-drain scrape sees the full run.
+            tele.flight().record_with(
+                SpanKind::Session,
+                session_span,
+                0,
+                session_started,
+                Instant::now(),
+            );
             if let Ok(mut slot) = metrics.engine.lock() {
                 *slot = tele.snapshot();
             }
             stats
         });
-        self.running = Some(Running { gate, engine });
+        self.running = Some(Running {
+            gate,
+            engine,
+            flight,
+        });
         Ok(())
     }
 
@@ -339,11 +410,19 @@ impl ServeSession {
         let stats = match self.running.take() {
             // No arrival ever started the engine: everything is zero.
             None => ServeStats::default(),
-            Some(Running { mut gate, engine }) => {
+            Some(Running {
+                mut gate,
+                engine,
+                flight,
+            }) => {
                 gate.close();
                 let stream = engine
                     .join()
                     .map_err(|_| "engine thread panicked".to_string())?;
+                if let Some(f) = flight {
+                    f.watchdog.finish();
+                    f.sink.finish();
+                }
                 ServeStats {
                     arrived: gate.arrived,
                     admitted: gate.admitted,
@@ -475,6 +554,42 @@ mod tests {
         assert_eq!(msgs.last().unwrap().kind, ServeKind::Stats);
         assert_eq!(msgs.last().unwrap().dispatched, Some(3));
         assert_eq!(metrics.dispatched.get(), 3);
+    }
+
+    #[test]
+    fn a_traced_session_spools_spans_and_renders_chrome_json() {
+        let dir = std::env::temp_dir().join(format!("fss_serve_flight_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spool = dir.join("session.spool.jsonl");
+        let input = concat!(
+            "{\"ports\":4}\n",
+            "{\"release\":0,\"src\":0,\"dst\":1}\n",
+            "{\"release\":1,\"src\":1,\"dst\":2}\n",
+            "{\"release\":2,\"src\":2,\"dst\":3}\n",
+            "{\"kind\":\"Finish\"}\n",
+        );
+        let opts = ServeOptions {
+            flight_spool: Some(spool.clone()),
+            ..ServeOptions::default()
+        };
+        let (sink, _buf) = Sink::capture();
+        let metrics = Arc::new(ServeMetrics::new());
+        let stats = serve_reader(opts, Cursor::new(input), sink, Arc::clone(&metrics)).unwrap();
+        assert_eq!(stats.dispatched, 3);
+        assert!(spool.exists(), "spool written at {}", spool.display());
+        let json = metrics
+            .trace_json()
+            .expect("tracing was on")
+            .expect("spool exports");
+        let check = fss_flight::check_chrome(&json).expect("valid chrome trace");
+        assert!(check.spans > 0, "traced session recorded spans");
+        assert!(
+            json.contains("match_repair") && json.contains("round"),
+            "stage + round spans present; saw {:?}",
+            check.names
+        );
+        assert_eq!(metrics.stalls.get(), 0, "healthy run never stalls");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -162,11 +162,14 @@ impl BenchCell {
     }
 
     /// Throughput in work units per second (`0.0` when `flows == 0`).
+    /// The denominator clamps to the 1 ms timer resolution so a cell
+    /// finishing under it reports a bounded rate, not a ~1e9x garbage
+    /// one.
     pub fn flows_per_s(&self) -> f64 {
         if self.flows == 0 {
             0.0
         } else {
-            self.flows as f64 / self.wall_s.max(1e-9)
+            self.flows as f64 / self.wall_s.max(1e-3)
         }
     }
 

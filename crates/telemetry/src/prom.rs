@@ -17,6 +17,23 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed must be escaped (`\\`, `\"`, `\n`) — a literal
+/// newline would split the sample line and emit invalid exposition
+/// text.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render a label set (`{k="v",...}`), empty string when no labels.
 fn label_str(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
@@ -24,13 +41,7 @@ fn label_str(labels: &[(&str, &str)]) -> String {
     }
     let body: Vec<String> = labels
         .iter()
-        .map(|(k, v)| {
-            format!(
-                "{}=\"{}\"",
-                sanitize(k),
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            )
-        })
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label(v)))
         .collect();
     format!("{{{}}}", body.join(","))
 }
@@ -119,6 +130,36 @@ mod tests {
         assert!(text.contains("fss_stage_ns_total{cell_id=\"fig6/a\",stage=\"ingest\"} 1000"));
         assert!(text.contains("fss_decision_latency_ns_bucket{cell_id=\"fig6/a\",le=\"+Inf\"} 2"));
         assert!(text.contains("fss_decision_latency_ns_count{cell_id=\"fig6/a\"} 2"));
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        let mut s = TelemetrySnapshot::new();
+        s.add_counter("rounds", 1);
+        s.add_stage_ns("weird\"stage\\with\nnewline", 5);
+        let text = to_prometheus(&s, &[("artifact", "runs/\"q1\"\\cell\nline2")]);
+        // Every sample stays on one physical line...
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "torn sample line: {line:?}"
+            );
+        }
+        // ...and the value is escaped exactly per the exposition format.
+        assert!(
+            text.contains(r#"artifact="runs/\"q1\"\\cell\nline2""#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"stage="weird\"stage\\with\nnewline""#),
+            "{text}"
+        );
+        // No raw newline survives inside any label value.
+        assert_eq!(text.matches("line2").count(), 2);
+        for line in text.lines() {
+            let quotes = line.matches('"').count() - line.matches("\\\"").count();
+            assert!(quotes % 2 == 0, "unbalanced quotes in {line:?}");
+        }
     }
 
     #[test]

@@ -148,6 +148,45 @@ mod tests {
     use crate::LatencyHisto;
 
     #[test]
+    fn merge_with_disjoint_stage_sets_is_total_not_intersecting() {
+        // Worker A only ever entered ingest + match_repair; worker B
+        // only queue_update + dispatch (say, it ran the shard threads).
+        // The run-level merge must carry *every* stage either worker
+        // saw, at its full total — not just the intersection.
+        let mut a = TelemetrySnapshot::new();
+        a.add_stage_ns("ingest", 100);
+        a.add_stage_ns("match_repair", 40);
+        let mut b = TelemetrySnapshot::new();
+        b.add_stage_ns("queue_update", 70);
+        b.add_stage_ns("dispatch", 25);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.stages.len(), 4, "union, not intersection");
+        assert_eq!(merged.stage_ns("ingest"), Some(100));
+        assert_eq!(merged.stage_ns("match_repair"), Some(40));
+        assert_eq!(merged.stage_ns("queue_update"), Some(70));
+        assert_eq!(merged.stage_ns("dispatch"), Some(25));
+
+        // Merging the other way yields the same multiset of totals.
+        let mut other = b.clone();
+        other.merge(&a);
+        for s in &merged.stages {
+            assert_eq!(other.stage_ns(&s.stage), Some(s.total_ns));
+        }
+
+        // Partially-overlapping sets: shared stages add, exclusive
+        // stages pass through.
+        let mut c = TelemetrySnapshot::new();
+        c.add_stage_ns("ingest", 1);
+        c.add_stage_ns("dispatch", 2);
+        merged.merge(&c);
+        assert_eq!(merged.stage_ns("ingest"), Some(101));
+        assert_eq!(merged.stage_ns("dispatch"), Some(27));
+        assert_eq!(merged.stages.len(), 4);
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = TelemetrySnapshot::new();
         a.add_counter("flows", 10);

@@ -6,6 +6,7 @@ use std::time::Instant;
 
 use crate::histo::LatencyHisto;
 use crate::snapshot::TelemetrySnapshot;
+use fss_flight::{ChanId, FlightHandle, SpanKind, WaitDir};
 
 /// The four stages of one engine round (the taxonomy the pipelined
 /// multi-core engine will split along).
@@ -54,6 +55,18 @@ impl Stage {
             Stage::Dispatch => 3,
         }
     }
+
+    /// The fss-flight span kind for this stage (same discriminant
+    /// order; pinned by tests in both crates).
+    #[inline]
+    pub fn span_kind(self) -> SpanKind {
+        match self {
+            Stage::Ingest => SpanKind::Ingest,
+            Stage::QueueUpdate => SpanKind::QueueUpdate,
+            Stage::MatchRepair => SpanKind::MatchRepair,
+            Stage::Dispatch => SpanKind::Dispatch,
+        }
+    }
 }
 
 /// The hot-path telemetry handle the engine's drive loops carry.
@@ -65,7 +78,7 @@ impl Stage {
 /// uninstrumented runs are measured-zero overhead and produce
 /// bit-identical schedules (the engine's differential tests pin this
 /// down).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EngineTelemetry {
     on: bool,
     stage_ns: [u64; Stage::COUNT],
@@ -74,6 +87,9 @@ pub struct EngineTelemetry {
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, u64)>,
     publish: Option<(u64, Arc<Mutex<TelemetrySnapshot>>)>,
+    /// Span recording (fss-flight). Disabled by default: one branch
+    /// per instrumentation point, no clock reads, no ring.
+    flight: FlightHandle,
 }
 
 impl EngineTelemetry {
@@ -87,6 +103,7 @@ impl EngineTelemetry {
             counters: Vec::new(),
             gauges: Vec::new(),
             publish: None,
+            flight: FlightHandle::disabled(),
         }
     }
 
@@ -105,11 +122,26 @@ impl EngineTelemetry {
         self.on
     }
 
-    /// Time `f` under `stage` (no-op timing when disabled).
+    /// Time `f` under `stage` (no-op timing when disabled). With a
+    /// live flight handle the activation is also recorded as a span
+    /// tagged with the current round.
     #[inline]
     pub fn stage<R>(&mut self, stage: Stage, f: impl FnOnce() -> R) -> R {
         if !self.on {
             return f();
+        }
+        if self.flight.is_enabled() {
+            if stage == Stage::MatchRepair {
+                // CI fault injection: the armed FSS_FLIGHT_FAIL_STALL
+                // sleep lives in the match stage.
+                self.flight.maybe_stall();
+            }
+            let t0 = Instant::now();
+            let r = f();
+            let t1 = Instant::now();
+            self.stage_ns[stage.index()] += t1.duration_since(t0).as_nanos() as u64;
+            self.flight.record(stage.span_kind(), t0, t1);
+            return r;
         }
         let t0 = Instant::now();
         let r = f();
@@ -124,6 +156,20 @@ impl EngineTelemetry {
     pub fn decision<R>(&mut self, f: impl FnOnce() -> R) -> R {
         if !self.on {
             return f();
+        }
+        if self.flight.is_enabled() {
+            // The decision *is* the match stage in every drive loop, so
+            // the CI fault injection and the match_repair span both
+            // live here.
+            self.flight.maybe_stall();
+            let t0 = Instant::now();
+            let r = f();
+            let t1 = Instant::now();
+            let ns = t1.duration_since(t0).as_nanos() as u64;
+            self.stage_ns[Stage::MatchRepair.index()] += ns;
+            self.decision.record(ns);
+            self.flight.record(SpanKind::MatchRepair, t0, t1);
+            return r;
         }
         let t0 = Instant::now();
         let r = f();
@@ -215,6 +261,83 @@ impl EngineTelemetry {
         for (n, v) in &other.gauges {
             self.gauge_max(n, *v);
         }
+    }
+
+    /// Attach a span-recording flight handle. Tracing rides on an
+    /// enabled handle (stage spans are recorded inside the timed
+    /// path), so attaching a live handle forces `on`; attaching a
+    /// disabled one changes nothing.
+    pub fn with_flight(mut self, flight: FlightHandle) -> Self {
+        if flight.is_enabled() {
+            self.on = true;
+        }
+        self.flight = flight;
+        self
+    }
+
+    /// The flight handle (disabled by default).
+    pub fn flight(&mut self) -> &mut FlightHandle {
+        &mut self.flight
+    }
+
+    /// Is span tracing live on this handle?
+    #[inline]
+    pub fn flight_enabled(&self) -> bool {
+        self.flight.is_enabled()
+    }
+
+    /// A fork of this handle for a worker thread: same enabled-ness,
+    /// fresh totals, and (when tracing) its own span ring labelled
+    /// `name`. Merge the fork back with [`EngineTelemetry::merge`] at
+    /// join.
+    pub fn sibling(&self, name: &str) -> EngineTelemetry {
+        let mut t = if self.on {
+            EngineTelemetry::enabled()
+        } else {
+            EngineTelemetry::disabled()
+        };
+        t.flight = self.flight.sibling(name);
+        t
+    }
+
+    /// Mark the start of engine round `t` (the `Frontier` round stamp):
+    /// closes the previous round's span and tags subsequent spans on
+    /// this thread with `t`. One branch when tracing is off.
+    #[inline]
+    pub fn flight_round(&mut self, t: u64) {
+        self.flight.round_start(t);
+    }
+
+    /// Tag-only round stamp for threads that learn rounds second-hand
+    /// (ingest batch heads, dispatch manifests): no round span, no
+    /// watchdog progress.
+    #[inline]
+    pub fn flight_round_tag(&mut self, t: u64) {
+        self.flight.round_tag(t);
+    }
+
+    /// Close the final round span when a drive finishes.
+    pub fn flight_round_finish(&mut self) {
+        self.flight.round_finish();
+    }
+
+    /// Register a channel for watchdog depth accounting.
+    pub fn flight_chan(&mut self, name: &str) -> ChanId {
+        self.flight.chan(name)
+    }
+
+    /// Record a blocking receive as a `chan_recv` span (one branch
+    /// when tracing is off).
+    #[inline]
+    pub fn chan_recv<R>(&mut self, chan: ChanId, f: impl FnOnce() -> R) -> R {
+        self.flight.wait(WaitDir::Recv, chan, f)
+    }
+
+    /// Record a blocking send as a `chan_send` span (one branch when
+    /// tracing is off).
+    #[inline]
+    pub fn chan_send<R>(&mut self, chan: ChanId, f: impl FnOnce() -> R) -> R {
+        self.flight.wait(WaitDir::Send, chan, f)
     }
 
     /// Freeze into the serializable snapshot form. A disabled handle

@@ -66,7 +66,7 @@ const USAGE: &str = "usage:
   flowsched stats    -i INSTANCE -s SCHEDULE
   flowsched stream   [--m M] [--rate R] [--rounds T] [--seed S] [--scenario SPEC.json]
                      [--mode incremental|maxcard|minrtime|maxweight|fifo] [--metrics]
-                     [--cores N]
+                     [--cores N] [--flight-trace OUT.json [--stall-budget-ms MS]]
   flowsched trace    (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S]) -o FILE
   flowsched trace    gen [--m M] [--rate R] [--rounds T] [--seed S] -o FILE.jsonl
   flowsched trace    convert CSV [--ports N] [--quantum-bytes B] [--ms-per-round MS] -o FILE.jsonl
@@ -76,12 +76,16 @@ const USAGE: &str = "usage:
   flowsched trace    split IN.jsonl [--shards N] -o PREFIX
   flowsched bench    [--filter ID] [--trace FILE.jsonl [--stream]] [--smoke|--paper]
                      [--jobs N] [--cores N] [--out DIR] [--trials N] [--list]
-                     [--workers N] [--resume] [--progress]
+                     [--workers N] [--resume] [--progress] [--flight-trace OUT.json]
   flowsched bench    --diff OLD.json NEW.json [--tolerance PCT] [--strict-metrics]
   flowsched telemetry dump -i ARTIFACT.json|BENCH_cells.jsonl [-o FILE]
+  flowsched flight   export SPOOL.jsonl -o OUT.json
+  flowsched flight   stats SPOOL.jsonl [--top K]
+  flowsched flight   check TRACE.json
   flowsched serve    [--ports M] [--policy maxcard|minrtime|maxweight|fifo]
                      [--queue-cap N] [--admission pause|drop] [--scenario SPEC.json]
                      [--listen ADDR [--metrics-listen ADDR]] [--cores N]
+                     [--flight-trace OUT.json [--stall-budget-ms MS]]
   flowsched serve    --soak [--disconnect-after N] [--queue-cap N]
                      (--scenario SPEC.json | [--m M] [--rate R] [--rounds T] [--seed S])
   flowsched serve    --replay TRACE.jsonl --connect ADDR [--skip N] [--take N] [--finish]
@@ -178,6 +182,10 @@ fn run(args: &[String]) -> Result<(), String> {
     // before the key/value flag parser too.
     if cmd == "telemetry" {
         return telemetry_cmd(&args[1..]);
+    }
+    // `flight export|stats|check ...` likewise take positionals.
+    if cmd == "flight" {
+        return flight_cmd(&args[1..]);
     }
     // `trace convert|morph|gen|stats ...` likewise take positionals;
     // the legacy scenario dump (`trace --m ... -o FILE`) still routes
@@ -484,6 +492,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
         progress: flags.get("progress").is_some(),
         stream_trace: flags.get("stream").is_some(),
         cores: flags.parsed("cores", 1usize)?,
+        flight_trace: flags.get("flight-trace").map(std::path::PathBuf::from),
     };
     if opts.stream_trace && opts.trace.is_none() {
         return Err("--stream only applies to --trace replays".into());
@@ -493,6 +502,14 @@ fn bench(flags: &Flags) -> Result<(), String> {
     let started = std::time::Instant::now();
     let (reports, dist_note) = if workers > 0 || resume {
         let summary = bench_dist(&opts, workers.max(1), resume)?;
+        if let Some(trace) = &summary.flight_trace {
+            println!(
+                "flight trace: {} ({} span(s), {} dropped, merged from worker spools)",
+                trace.display(),
+                summary.flight_spans,
+                summary.flight_dropped,
+            );
+        }
         let note = format!(
             "dist: {} {}-tier cell(s) = {} from checkpoint + {} executed on {} worker(s), \
              {} reassigned, {} worker(s) lost",
@@ -565,6 +582,7 @@ fn bench_dist(
         fail_worker,
         heartbeat_ms: None,
         slow_worker: None,
+        flight_trace: opts.flight_trace.clone(),
     })
 }
 
@@ -798,6 +816,47 @@ fn stream(flags: &Flags) -> Result<(), String> {
     } else {
         flow_switch::engine::EngineTelemetry::disabled()
     };
+    // --flight-trace OUT.json: record stage/channel spans into
+    // OUT.json.spool.jsonl while the engine runs, arm the stall
+    // watchdog, and export the Chrome trace when the run finishes.
+    // Tracing observes the run; it never steers it.
+    let flight_out = flags.get("flight-trace").map(std::path::PathBuf::from);
+    let flight = match &flight_out {
+        None => None,
+        Some(out) => {
+            let mut spool = out.as_os_str().to_os_string();
+            spool.push(".spool.jsonl");
+            let spool = std::path::PathBuf::from(spool);
+            let recorder = fss_flight::FlightRecorder::new();
+            let sink = fss_flight::TraceSink::create(
+                &recorder,
+                &spool,
+                fss_flight::DEFAULT_SPOOL_MAX_EVENTS,
+            )
+            .map_err(|e| format!("create flight spool {}: {e}", spool.display()))?;
+            let mut handle = recorder.handle("driver");
+            if let Some(inject) = fss_flight::stall_inject_from_env()? {
+                handle.set_stall_inject(inject);
+            }
+            let budget_ms: u64 = flags.parsed(
+                "stall-budget-ms",
+                fss_flight::DEFAULT_STALL_BUDGET.as_millis() as u64,
+            )?;
+            let watchdog = fss_flight::StallWatchdog::spawn(
+                &recorder,
+                &sink,
+                std::time::Duration::from_millis(budget_ms),
+                |round| {
+                    eprintln!(
+                        "[fss-flight] watchdog: round counter stalled at round {round}; \
+                         post-mortem spans and channel depths dumped to the spool"
+                    )
+                },
+            );
+            tele = tele.with_flight(handle);
+            Some((sink, watchdog))
+        }
+    };
     let start = std::time::Instant::now();
     let (stats, mode_name) = match (&spec.failures, mode) {
         (Some(_), EngineMode::Incremental) => {
@@ -857,6 +916,22 @@ fn stream(flags: &Flags) -> Result<(), String> {
         elapsed.as_secs_f64(),
         stats.dispatched as f64 / elapsed.as_secs_f64().max(1e-9)
     );
+    if let Some((sink, watchdog)) = flight {
+        let stalls = watchdog.finish();
+        let summary = sink.finish();
+        let spool = fss_flight::read_spool(&summary.path)?;
+        let out = flight_out.as_ref().expect("flight implies --flight-trace");
+        std::fs::write(out, fss_flight::to_chrome(&spool))
+            .map_err(|e| format!("write {}: {e}", out.display()))?;
+        println!(
+            "flight trace     : {} ({} span(s), {} dropped, {} stall(s); spool {})",
+            out.display(),
+            summary.events,
+            summary.dropped,
+            stalls,
+            summary.path.display()
+        );
+    }
     if metrics {
         let snap = tele.snapshot();
         println!();
@@ -919,6 +994,66 @@ fn telemetry_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Dispatch the `flight` sub-subcommands over `fss-flight` artifacts:
+///
+/// * `flight export SPOOL.jsonl -o OUT.json` — convert a raw spool
+///   (e.g. a crashed worker's post-mortem) into a Chrome trace;
+/// * `flight stats SPOOL.jsonl [--top K]` — slowest spans per kind and
+///   slowest rounds, straight from the spool, no Perfetto needed;
+/// * `flight check TRACE.json` — structurally validate an exported
+///   trace (CI uses this so it needs no JSON tooling of its own).
+fn flight_cmd(args: &[String]) -> Result<(), String> {
+    let usage = "use: flight export SPOOL -o OUT.json | flight stats SPOOL [--top K] | \
+                 flight check TRACE.json";
+    let (sub, rest) = match args.split_first() {
+        Some((sub, rest)) => (sub.as_str(), rest),
+        None => return Err(format!("missing flight subcommand ({usage})")),
+    };
+    let (path, rest) = match rest.split_first() {
+        Some((path, rest)) if !path.starts_with('-') => (path.as_str(), rest),
+        _ => return Err(format!("flight {sub} needs a file argument ({usage})")),
+    };
+    let flags = parse_flags(rest)?;
+    match sub {
+        "export" => {
+            let out = flags.required("o")?;
+            let spool = fss_flight::read_spool(std::path::Path::new(path))?;
+            std::fs::write(out, fss_flight::to_chrome(&spool))
+                .map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!(
+                "wrote {out}: {} span(s) on {} thread(s), {} watchdog dump(s), {} dropped",
+                spool.events.len(),
+                spool.threads.len(),
+                spool.watchdogs.len(),
+                spool.dropped + spool.truncated
+            );
+            Ok(())
+        }
+        "stats" => {
+            let top: usize = flags.parsed("top", 5usize)?;
+            let spool = fss_flight::read_spool(std::path::Path::new(path))?;
+            let report = fss_flight::stats(&spool, top);
+            print!("{}", fss_flight::render_stats(&spool, &report));
+            Ok(())
+        }
+        "check" => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let check = fss_flight::check_chrome(&json)?;
+            println!(
+                "{path}: OK — {} span(s) ({} duration events) on {} track(s), {} round-tagged",
+                check.spans, check.duration_events, check.tracks, check.round_tagged
+            );
+            let mut names: Vec<_> = check.names.iter().collect();
+            names.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+            for (name, n) in names {
+                println!("  {name:<14} {n}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown flight subcommand '{other}' ({usage})")),
+    }
+}
+
 fn serve_policy(flags: &Flags) -> Result<fss_sim::PolicyKind, String> {
     Ok(match flags.get("policy").unwrap_or("maxcard") {
         "maxcard" => fss_sim::PolicyKind::MaxCard,
@@ -951,6 +1086,22 @@ fn serve_session_options(flags: &Flags) -> Result<flow_switch::serve::ServeOptio
         opts.failures = spec.failures;
     }
     opts.ports = flags.parsed("ports", opts.ports)?;
+    // `--flight-trace OUT.json` spools live spans next to the trace and
+    // exports the Chrome JSON when the session ends (serve_cmd does the
+    // export); `--stall-budget-ms` tunes the watchdog.
+    if let Some(out) = flags.get("flight-trace") {
+        let mut spool = std::ffi::OsString::from(out);
+        spool.push(".spool.jsonl");
+        opts.flight_spool = Some(std::path::PathBuf::from(spool));
+        if let Some(ms) = flags.get("stall-budget-ms") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad value for --stall-budget-ms: {ms}"))?;
+            opts.stall_budget = Some(std::time::Duration::from_millis(ms));
+        }
+    } else if flags.get("stall-budget-ms").is_some() {
+        return Err("--stall-budget-ms requires --flight-trace".into());
+    }
     Ok(opts)
 }
 
@@ -998,6 +1149,28 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         stats.pauses,
         stats.makespan
     );
+    // The session spooled spans while it ran (and finalized the spool on
+    // finish); export the Chrome trace now that the engine is down.
+    if let Some(out) = flags.get("flight-trace") {
+        let mut spool = std::ffi::OsString::from(out);
+        spool.push(".spool.jsonl");
+        let spool = std::path::PathBuf::from(spool);
+        if spool.exists() {
+            let parsed = fss_flight::read_spool(&spool)?;
+            std::fs::write(out, fss_flight::to_chrome(&parsed))
+                .map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!(
+                "serve: flight trace {out} ({} span(s), {} watchdog dump(s); spool {})",
+                parsed.events.len(),
+                parsed.watchdogs.len(),
+                spool.display()
+            );
+        } else {
+            eprintln!(
+                "serve: no spans recorded (no arrival started the engine); {out} not written"
+            );
+        }
+    }
     Ok(())
 }
 

@@ -35,7 +35,14 @@
 //!   arrival ingest over a socket or stdin, bounded admission control
 //!   with explicit backpressure, a streaming dispatch-decision
 //!   response, a Prometheus `/metrics` endpoint, and the soak harness
-//!   that strict-diffs live schedules against `run_scenario`.
+//!   that strict-diffs live schedules against `run_scenario`;
+//! * [`flight`] — the flight recorder: per-thread lock-free span rings
+//!   drained into a bounded on-disk spool, a Chrome Trace Format
+//!   exporter (load the JSON in Perfetto), and the stall watchdog that
+//!   dumps a post-mortem when the round counter stops advancing.
+//!   Wired through `--flight-trace` on `stream`/`bench`/`serve` and
+//!   the `flowsched flight` subcommands; disabled tracing is
+//!   measured-zero overhead and never changes schedules.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and
 //! `flowsched stream` for driving unbounded streaming workloads.
@@ -44,6 +51,7 @@ pub use fss_coflow as coflow;
 pub use fss_core as core;
 pub use fss_dist as dist;
 pub use fss_engine as engine;
+pub use fss_flight as flight;
 pub use fss_lp as lp;
 pub use fss_matching as matching;
 pub use fss_offline as offline;

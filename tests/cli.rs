@@ -812,3 +812,280 @@ fn trace_tools_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--stream only applies"));
 }
+
+/// The deterministic result lines of a `stream` run (everything the
+/// engine computes, nothing wall-clock dependent).
+fn stream_results(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| {
+            [
+                "flows ",
+                "active rounds",
+                "makespan",
+                "mean response",
+                "max response",
+                "peak queue",
+            ]
+            .iter()
+            .any(|p| l.starts_with(p))
+        })
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// `stream --cores 4 --flight-trace`: tracing is pure observation (the
+/// traced run reproduces the untraced results exactly), and the
+/// exported Chrome trace carries spans for all four pipeline stages
+/// plus channel waits, spread over multiple thread tracks and
+/// round-tagged. The `flight` subcommands round-trip the artifacts.
+#[test]
+fn stream_flight_trace_covers_all_stages_without_steering() {
+    let trace = tmp("flight-stream.json");
+    let spool = format!("{trace}.spool.jsonl");
+    let args = [
+        "stream", "--m", "24", "--rate", "30", "--rounds", "120", "--seed", "11", "--mode",
+        "maxcard", "--cores", "4",
+    ];
+    let base = flowsched(&args);
+    assert!(
+        base.status.success(),
+        "{}",
+        String::from_utf8_lossy(&base.stderr)
+    );
+
+    let mut traced_args: Vec<&str> = args.to_vec();
+    traced_args.extend(["--flight-trace", &trace]);
+    let traced = flowsched(&traced_args);
+    assert!(
+        traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+
+    // Bit-identical results: tracing observes, never steers.
+    let base_out = String::from_utf8_lossy(&base.stdout);
+    let traced_out = String::from_utf8_lossy(&traced.stdout);
+    assert_eq!(
+        stream_results(&base_out),
+        stream_results(&traced_out),
+        "flight tracing changed the stream results"
+    );
+    assert!(traced_out.contains("flight trace     : "), "{traced_out}");
+
+    // The exported trace is structurally valid Chrome JSON with all
+    // four stages, channel waits, >= 2 thread tracks, round tags.
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let check = flow_switch::flight::check_chrome(&json).expect("trace validates");
+    for stage in ["ingest", "queue_update", "match_repair", "dispatch"] {
+        assert!(
+            check.names.get(stage).copied().unwrap_or(0) > 0,
+            "no {stage} spans in {:?}",
+            check.names
+        );
+    }
+    assert!(
+        check.names.get("chan_recv").copied().unwrap_or(0)
+            + check.names.get("chan_send").copied().unwrap_or(0)
+            > 0,
+        "no channel-wait spans: {:?}",
+        check.names
+    );
+    assert!(
+        check.tracks >= 2,
+        "spans landed on {} track(s)",
+        check.tracks
+    );
+    assert!(check.round_tagged > 0, "no round-tagged spans");
+
+    // `flight check` agrees, `flight stats` reads the spool, and
+    // `flight export` regenerates an equally valid trace from it.
+    let out = flowsched(&["flight", "check", &trace]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    let out = flowsched(&["flight", "stats", &spool, "--top", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stats.contains("match_repair"), "{stats}");
+    assert!(stats.contains("0 watchdog dump(s)"), "{stats}");
+
+    let reexport = tmp("flight-stream-reexport.json");
+    let out = flowsched(&["flight", "export", &spool, "-o", &reexport]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json2 = std::fs::read_to_string(&reexport).unwrap();
+    let check2 = flow_switch::flight::check_chrome(&json2).expect("re-export validates");
+    assert_eq!(check2.spans, check.spans, "export lost spans");
+}
+
+/// `FSS_FLIGHT_FAIL_STALL=<round>:<millis>` freezes the driver at that
+/// round; with a small `--stall-budget-ms` the watchdog must fire,
+/// dump a post-mortem into the spool, and `flight stats` must read it
+/// back — the crashed-process debugging path, end to end.
+#[test]
+fn flight_watchdog_detects_injected_stall() {
+    let trace = tmp("flight-stall.json");
+    let spool = format!("{trace}.spool.jsonl");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_flowsched"))
+        .args([
+            "stream",
+            "--m",
+            "12",
+            "--rate",
+            "15",
+            "--rounds",
+            "150",
+            "--seed",
+            "5",
+            "--mode",
+            "minrtime",
+            "--cores",
+            "2",
+            "--flight-trace",
+            &trace,
+            "--stall-budget-ms",
+            "60",
+        ])
+        .env("FSS_FLIGHT_FAIL_STALL", "40:300")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("watchdog: round counter stalled"), "{err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 stall(s)"), "{stdout}");
+
+    let out = flowsched(&["flight", "stats", &spool]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stats.contains("1 watchdog dump(s)"), "{stats}");
+
+    // The injection env is rejected loudly when malformed.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_flowsched"))
+        .args([
+            "stream",
+            "--m",
+            "4",
+            "--rounds",
+            "5",
+            "--flight-trace",
+            &tmp("flight-bad.json"),
+        ])
+        .env("FSS_FLIGHT_FAIL_STALL", "garbage")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("FSS_FLIGHT_FAIL_STALL"));
+}
+
+/// `serve --flight-trace`: the live session spools spans and the CLI
+/// exports the Chrome trace after the session ends — with the dispatch
+/// stream byte-identical to an untraced session fed the same trace.
+#[test]
+fn serve_flight_trace_exports_after_session() {
+    let trace = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/sample_trace.jsonl");
+    let spec = tmp("serve-flight-spec.json");
+    std::fs::write(
+        &spec,
+        format!(r#"{{"ports": 0, "arrivals": {{"trace": {{"path": "{trace}"}}}}}}"#),
+    )
+    .unwrap();
+    let trace_bytes = std::fs::read(trace).unwrap();
+
+    let untraced = flowsched_with_stdin(&["serve", "--scenario", &spec], &trace_bytes);
+    assert!(
+        untraced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&untraced.stderr)
+    );
+
+    let flight = tmp("serve-flight.json");
+    let traced = flowsched_with_stdin(
+        &["serve", "--scenario", &spec, "--flight-trace", &flight],
+        &trace_bytes,
+    );
+    assert!(
+        traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+
+    let dispatches = |out: &[u8]| -> String {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"Dispatch\""))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    assert_eq!(
+        dispatches(&traced.stdout),
+        dispatches(&untraced.stdout),
+        "flight tracing changed the live dispatch stream"
+    );
+
+    let json = std::fs::read_to_string(&flight).unwrap();
+    let check = flow_switch::flight::check_chrome(&json).expect("serve trace validates");
+    assert!(check.spans > 0, "empty serve trace");
+    assert!(
+        check.names.contains_key("session"),
+        "no session span: {:?}",
+        check.names
+    );
+    assert!(
+        String::from_utf8_lossy(&traced.stderr).contains("flight trace"),
+        "no export note"
+    );
+
+    // --stall-budget-ms is a flight knob; alone it is an error.
+    let out = flowsched_with_stdin(&["serve", "--stall-budget-ms", "50"], b"");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --flight-trace"));
+}
+
+/// The `flight` subcommands fail loudly on bad input: missing
+/// subcommand, unknown subcommand, missing file operand, a spool path
+/// that does not exist, and a non-JSON "trace".
+#[test]
+fn flight_subcommands_fail_cleanly() {
+    let out = flowsched(&["flight"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing flight subcommand"));
+
+    let out = flowsched(&["flight", "frobnicate", "x.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flight subcommand"));
+
+    let out = flowsched(&["flight", "stats"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a file argument"));
+
+    let out = flowsched(&["flight", "stats", "/no/such/spool.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/no/such/spool.jsonl"));
+
+    let bad = tmp("flight-not-json.json");
+    std::fs::write(&bad, "this is not a trace\n").unwrap();
+    let out = flowsched(&["flight", "check", &bad]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not JSON"));
+}

@@ -52,6 +52,7 @@ fn dist_opts(out_dir: PathBuf, workers: usize) -> DistOptions {
         fail_worker: None,
         heartbeat_ms: None,
         slow_worker: None,
+        flight_trace: None,
     }
 }
 
@@ -206,6 +207,45 @@ fn instrumented_dist_run_carries_telemetry_and_matches_uninstrumented() {
     assert_eq!(
         instrumented, engine_cells,
         "every engine-routed cell carries its telemetry snapshot"
+    );
+}
+
+#[test]
+fn flighted_dist_run_merges_worker_traces_without_changing_results() {
+    // Reference: an untraced single-process run. The flighted sharded
+    // run must produce identical cells modulo timing — tracing
+    // observes, it never steers.
+    let ref_dir = tmp_dir("flight-ref");
+    let reference = run_bench(&bench_opts(ref_dir)).expect("single-process run");
+
+    let dist_dir = tmp_dir("flight-dist");
+    let trace_path = dist_dir.join("DIST_trace.json");
+    let mut opts = dist_opts(dist_dir.clone(), 2);
+    opts.flight_trace = Some(trace_path.clone());
+    let summary = run_dist(&opts).expect("flighted sharded run");
+    for (a, b) in reference.iter().zip(&summary.reports) {
+        assert!(
+            reports_eq_modulo_timing(a, b),
+            "flight tracing changed the schedule for {}",
+            a.experiment
+        );
+    }
+
+    // Both workers spooled locally and the coordinator merged their
+    // traces: one Cell span per executed cell, tracks prefixed w<id>/.
+    assert_eq!(summary.flight_trace.as_deref(), Some(trace_path.as_path()));
+    assert_eq!(summary.flight_spans, universe_size() as u64);
+    assert_eq!(summary.flight_dropped, 0);
+    for w in 0..2 {
+        let spool = dist_dir.join("flight").join(format!("w{w}.spool.jsonl"));
+        assert!(spool.exists(), "worker {w} left its spool behind");
+    }
+    let json = std::fs::read_to_string(&trace_path).expect("merged trace artifact");
+    let check = fss_flight::check_chrome(&json).expect("merged trace is valid Chrome JSON");
+    assert_eq!(*check.names.get("cell").unwrap_or(&0), universe_size());
+    assert!(
+        json.contains("w0/cells") && json.contains("w1/cells"),
+        "merged tracks are prefixed with the worker id"
     );
 }
 
